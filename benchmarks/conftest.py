@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures on a reduced
+but representative workload set (one or two workloads per suite), so the full
+``pytest benchmarks/ --benchmark-only`` run completes in minutes.  The
+benchmark bodies call the same experiment entry points a user would; the
+printed tables are the reproduced artefacts.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.experiments.runner import prepare_workloads  # noqa: E402
+
+#: Workloads used by the benchmark harness: a slice of each suite.
+BENCH_WORKLOADS = [
+    "ChaCha20_ct",
+    "SHA-256",
+    "Poly1305_ctmul",
+    "EC_c25519_i31",
+    "DES_ct",
+    "sha256",
+    "sphincs-sha2-128s",
+    "sphincs-haraka-128s",
+]
+
+
+@pytest.fixture(scope="session")
+def bench_artifacts():
+    """Workload artefacts shared by all benchmarks (built once per session)."""
+    return prepare_workloads(BENCH_WORKLOADS)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate the Q3 Cassandra-lite comparison (Section 8)."""
+
+from repro.experiments.cassandra_lite import format_cassandra_lite, run_cassandra_lite
+
+
+def test_bench_cassandra_lite(benchmark, bench_artifacts):
+    rows = benchmark.pedantic(
+        run_cassandra_lite, kwargs={"artifacts": bench_artifacts}, rounds=1, iterations=1
+    )
+    print("\n=== Q3: Cassandra-lite vs Cassandra (normalized to the unsafe baseline) ===")
+    print(format_cassandra_lite(rows))
+    geomeans = [row for row in rows if str(row["workload"]).startswith("geomean")]
+    assert geomeans
+    assert all(float(row["lite_over_cassandra"]) >= 1.0 for row in geomeans)

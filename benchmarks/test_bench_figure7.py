@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 7 (normalized execution time of the designs)."""
+
+from repro.experiments.figure7 import format_figure7, run_figure7, summarize_speedup
+
+
+def test_bench_figure7(benchmark, bench_artifacts):
+    rows = benchmark.pedantic(
+        run_figure7, kwargs={"artifacts": bench_artifacts}, rounds=1, iterations=1
+    )
+    print("\n=== Figure 7: execution time normalized to the unsafe baseline ===")
+    print(format_figure7(rows))
+    speedup = summarize_speedup(rows)
+    print(f"\nCassandra geomean speedup over the unsafe baseline: {speedup:.2f}%")
+    geomean = rows[-1]
+    assert geomean["cassandra"] <= 1.0, "Cassandra must not slow the geomean down"
+    assert geomean["spt"] >= 1.0, "SPT must not speed the geomean up"
+    assert geomean["cassandra"] <= geomean["spt"]

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 8 (ProSpeCT vs Cassandra+ProSpeCT mixes)."""
+
+from repro.experiments.figure8 import format_figure8, run_figure8
+
+
+def test_bench_figure8(benchmark):
+    rows = benchmark.pedantic(run_figure8, rounds=1, iterations=1)
+    print("\n=== Figure 8: synthetic sandbox/crypto mixes (overhead %, lower is better) ===")
+    print(format_figure8(rows))
+    assert len(rows) == 10  # 2 primitives x 5 mix points
+    for row in rows:
+        assert -15.0 < float(row["prospect"]) < 75.0
+        assert -15.0 < float(row["cassandra+prospect"]) < 75.0

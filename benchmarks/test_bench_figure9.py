@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 9 (power and area relative to the baseline)."""
+
+from repro.experiments.figure9 import (
+    btu_area_percent,
+    format_figure9,
+    power_reduction_percent,
+    run_figure9,
+)
+
+
+def test_bench_figure9(benchmark, bench_artifacts):
+    report = benchmark(run_figure9, artifacts=bench_artifacts)
+    print("\n=== Figure 9: power and area normalized to the unsafe baseline ===")
+    print(format_figure9(report))
+    reduction = power_reduction_percent(report)
+    area = btu_area_percent(report)
+    print(f"\nCassandra power reduction: {reduction:.2f}% (paper: 2.73%)")
+    print(f"BTU area overhead: {area:.2f}% (paper: 1.26%)")
+    assert reduction > 0.0
+    assert abs(area - 1.26) < 0.05

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate the Q4 BTU-flush (interrupt) study (Section 8)."""
+
+from repro.experiments.interrupts import format_interrupt_study, run_interrupt_study
+
+
+def test_bench_interrupts(benchmark, bench_artifacts):
+    rows = benchmark.pedantic(
+        run_interrupt_study, kwargs={"artifacts": bench_artifacts}, rounds=1, iterations=1
+    )
+    print("\n=== Q4: periodic BTU flushes (context switches between crypto apps) ===")
+    print(format_interrupt_study(rows))
+    geomean = rows[-1]
+    # Flushing costs at most a small amount on top of Cassandra (paper: 1.85% -> 1.80%).
+    assert float(geomean["cassandra+flush"]) >= float(geomean["cassandra"]) - 1e-9
+    assert float(geomean["cassandra+flush"]) <= float(geomean["cassandra"]) * 1.10

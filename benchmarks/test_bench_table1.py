@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 1 (branch analysis and trace compression)."""
+
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_bench_table1(benchmark, bench_artifacts):
+    rows = benchmark(run_table1, artifacts=bench_artifacts, invocations=128)
+    print("\n=== Table 1: branch analysis of cryptographic programs ===")
+    print(format_table1(rows))
+    all_row = rows[-1]
+    assert all_row["compression_avg"] > 10, "k-mers compression must be substantial"
+    assert all_row["kmers_avg"] < all_row["vanilla_avg"]

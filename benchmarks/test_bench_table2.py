@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 2 (security scenarios under both semantics)."""
+
+from repro.experiments.table2 import format_table2, run_table2
+
+
+def test_bench_table2(benchmark):
+    results = benchmark(run_table2)
+    print("\n=== Table 2: control-flow scenarios (leak = attacker distinguishes secrets) ===")
+    print(format_table2(results))
+    in_scope = [result for result in results if result.scenario <= 6]
+    assert all(not result.leaks_cassandra for result in in_scope)
+    assert any(result.leaks_unsafe for result in in_scope)

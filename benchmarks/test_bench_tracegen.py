@@ -1,0 +1,21 @@
+"""Benchmark: the upfront trace-generation runtime (Section 7.5)."""
+
+from repro.analysis.tracegen import generate_trace_bundle
+from repro.crypto.workloads import get_workload
+from repro.experiments.trace_runtime import format_trace_runtime, run_trace_runtime
+
+
+def test_bench_tracegen_runtime_breakdown(benchmark, bench_artifacts):
+    rows = benchmark.pedantic(
+        run_trace_runtime, kwargs={"artifacts": bench_artifacts}, rounds=1, iterations=1
+    )
+    print("\n=== Section 7.5: trace-generation runtime per step (seconds) ===")
+    print(format_trace_runtime(rows))
+    assert all(row["E_kmers_compression"] >= 0 for row in rows)
+
+
+def test_bench_tracegen_single_workload(benchmark):
+    """Micro-benchmark Algorithm 2 end to end on one workload."""
+    kernel = get_workload("SHA-256").kernel()
+    bundle = benchmark(generate_trace_bundle, kernel.program, kernel.inputs)
+    assert bundle.hardware_traces()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Compare all defense design points across the benchmark suites.
+
+Reproduces a slice of Figure 7 plus the Q3 (Cassandra-lite) and Q4 (BTU
+flush) studies, printing normalized execution times for every design the
+repository implements.  Pass workload names on the command line to pick a
+different set, e.g.::
+
+    python examples/defense_comparison.py AES_CTR kyber512 SHAKE
+"""
+
+import sys
+
+from repro.experiments.cassandra_lite import format_cassandra_lite, run_cassandra_lite
+from repro.experiments.figure7 import format_figure7, run_figure7, summarize_speedup
+from repro.experiments.interrupts import format_interrupt_study, run_interrupt_study
+from repro.experiments.runner import prepare_workloads
+
+DEFAULT_WORKLOADS = [
+    "ChaCha20_ct",
+    "SHA-256",
+    "DES_ct",
+    "EC_c25519_i31",
+    "sha256",
+    "sphincs-shake-128s",
+]
+
+
+def main() -> None:
+    names = sys.argv[1:] or DEFAULT_WORKLOADS
+    print(f"preparing workloads: {', '.join(names)}")
+    artifacts = prepare_workloads(names)
+
+    print("\n=== Figure 7: normalized execution time ===")
+    rows = run_figure7(artifacts=artifacts)
+    print(format_figure7(rows))
+    print(f"\nCassandra geomean speedup: {summarize_speedup(rows):.2f}% "
+          f"(the paper reports 1.85% on full-size workloads)")
+
+    print("\n=== Q3: Cassandra-lite (single-target branches only) ===")
+    print(format_cassandra_lite(run_cassandra_lite(artifacts=artifacts)))
+
+    print("\n=== Q4: flushing the BTU on context switches ===")
+    print(format_interrupt_study(run_interrupt_study(artifacts=artifacts)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that ``pip install -e .`` also works on minimal offline environments where
+the ``wheel`` package (required for PEP 660 editable installs) is not
+available — pip falls back to the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

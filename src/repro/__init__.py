@@ -1,0 +1,22 @@
+"""repro: a reproduction of *Cassandra: Efficient Enforcement of Sequential
+Execution for Cryptographic Programs* (ISCA 2025).
+
+The package is organised around the paper's artefacts:
+
+* :mod:`repro.isa`, :mod:`repro.arch` — the instruction set and sequential
+  execution model the workloads run on.
+* :mod:`repro.analysis` — the branch analysis and k-mers trace compression
+  (Section 4).
+* :mod:`repro.uarch` — the out-of-order core, the Branch Trace Unit, and the
+  defense design points (Sections 5 and 7).
+* :mod:`repro.crypto` — constant-time cryptographic workloads (BearSSL-,
+  OpenSSL-, and PQC-inspired kernels plus synthetic mixes).
+* :mod:`repro.power` — the analytical power/area model (Section 7.4).
+* :mod:`repro.formal` — the executable contract model (Appendix A).
+* :mod:`repro.attacks` — Spectre-style gadgets and the Table 2 scenarios.
+* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,66 @@
+"""Branch analysis and trace compression (the paper's Section 4).
+
+The pipeline mirrors Figure 1 of the paper:
+
+1. *Raw traces* — per static branch, the sequence of target PCs observed
+   during a sequential run (:mod:`repro.analysis.raw_trace`).
+2. *Vanilla traces* — run-length encoded raw traces
+   (:mod:`repro.analysis.vanilla`).
+3. *DNA encoding* — vanilla traces mapped onto a symbolic alphabet
+   (:mod:`repro.analysis.dna`).
+4. *k-mers compression* — Algorithm 1: repeated substitution of the most
+   frequent k-mer until the sequence stops shrinking
+   (:mod:`repro.analysis.kmers`).
+5. *Hardware representation* — bit-packed pattern / trace / checkpoint
+   elements and per-branch hints (Figure 4, Section 5.2)
+   (:mod:`repro.analysis.representation`, :mod:`repro.analysis.hints`).
+6. *Automatic trace generation* — Algorithm 2: run with two inputs, detect
+   input-dependent branches, and bundle everything the hardware needs
+   (:mod:`repro.analysis.tracegen`).
+"""
+
+from repro.analysis.raw_trace import RawTrace, collect_raw_traces
+from repro.analysis.vanilla import VanillaElement, VanillaTrace, to_vanilla_trace
+from repro.analysis.dna import DnaSequence, encode_vanilla_trace
+from repro.analysis.kmers import KmersResult, compress_sequence, count_kmers
+from repro.analysis.representation import (
+    CheckpointElement,
+    PatternElement,
+    TraceElement,
+    HardwareTrace,
+    build_hardware_trace,
+)
+from repro.analysis.hints import BranchHint, HintTable
+from repro.analysis.tracegen import (
+    BranchTraceData,
+    TraceBundle,
+    generate_kmers_trace,
+    generate_trace_bundle,
+)
+from repro.analysis.stats import BranchAnalysisStats, analyze_program
+
+__all__ = [
+    "RawTrace",
+    "collect_raw_traces",
+    "VanillaElement",
+    "VanillaTrace",
+    "to_vanilla_trace",
+    "DnaSequence",
+    "encode_vanilla_trace",
+    "KmersResult",
+    "compress_sequence",
+    "count_kmers",
+    "CheckpointElement",
+    "PatternElement",
+    "TraceElement",
+    "HardwareTrace",
+    "build_hardware_trace",
+    "BranchHint",
+    "HintTable",
+    "BranchTraceData",
+    "TraceBundle",
+    "generate_kmers_trace",
+    "generate_trace_bundle",
+    "BranchAnalysisStats",
+    "analyze_program",
+]

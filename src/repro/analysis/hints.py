@@ -1,0 +1,110 @@
+"""Per-branch hint information embedded in the binary (Section 5.2).
+
+The paper embeds fourteen bits of hint information per static branch using
+re-purposed instruction prefix bytes: a *single-target* mark (1 bit), a
+12-bit virtual-address offset pointing at the branch's traces in a data page,
+and a *short-trace* mark (1 bit).  We model the same information at the
+granularity of the program's static branches, plus an ``input_dependent``
+flag for branches whose traces change between runs (Algorithm 2 refuses to
+record those; the BTU stalls fetch until they resolve).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.isa.program import Program
+
+#: Bits available in the hint encoding (single-target + 12-bit delta + short-trace).
+HINT_BITS = 14
+TRACE_DELTA_BITS = 12
+
+
+@dataclass(frozen=True)
+class BranchHint:
+    """Hint metadata for one static branch."""
+
+    branch_pc: int
+    single_target: bool = False
+    single_target_pc: Optional[int] = None
+    short_trace: bool = False
+    trace_address_delta: int = 0
+    input_dependent: bool = False
+    has_trace: bool = False
+
+    def encode(self) -> int:
+        """Pack the hint into its 14-bit binary encoding."""
+        delta = self.trace_address_delta & ((1 << TRACE_DELTA_BITS) - 1)
+        return (
+            (int(self.single_target) << (TRACE_DELTA_BITS + 1))
+            | (delta << 1)
+            | int(self.short_trace)
+        )
+
+    @classmethod
+    def decode(cls, branch_pc: int, word: int) -> "BranchHint":
+        short_trace = bool(word & 1)
+        delta = (word >> 1) & ((1 << TRACE_DELTA_BITS) - 1)
+        single_target = bool(word >> (TRACE_DELTA_BITS + 1))
+        return cls(
+            branch_pc=branch_pc,
+            single_target=single_target,
+            short_trace=short_trace,
+            trace_address_delta=delta,
+        )
+
+
+class HintTable:
+    """All hints for a program plus its crypto PC ranges.
+
+    This is the software-visible product of the trace-generation procedure:
+    the *Crypto PC Ranges* status register is initialised from
+    :attr:`crypto_ranges`, and the fetch unit consults :meth:`lookup` when a
+    crypto branch misses in the BTU.
+    """
+
+    def __init__(self, program: Program, hints: Optional[Dict[int, BranchHint]] = None) -> None:
+        self.program_name = program.name
+        self.crypto_ranges: Tuple[Tuple[int, int], ...] = tuple(
+            (region.start, region.end) for region in program.crypto_regions
+        )
+        self._hints: Dict[int, BranchHint] = dict(hints or {})
+
+    def add(self, hint: BranchHint) -> None:
+        self._hints[hint.branch_pc] = hint
+
+    def lookup(self, branch_pc: int) -> Optional[BranchHint]:
+        return self._hints.get(branch_pc)
+
+    def __contains__(self, branch_pc: int) -> bool:
+        return branch_pc in self._hints
+
+    def __len__(self) -> int:
+        return len(self._hints)
+
+    def __iter__(self) -> Iterator[BranchHint]:
+        return iter(self._hints.values())
+
+    def is_crypto_pc(self, pc: int) -> bool:
+        """The integrity check used by the non-crypto fetch flow (Section 5.3)."""
+        return any(start <= pc < end for start, end in self.crypto_ranges)
+
+    # ------------------------------------------------------------------ #
+    # Summary statistics used in reports and tests
+    # ------------------------------------------------------------------ #
+    def single_target_fraction(self) -> float:
+        """Fraction of hinted branches marked single-target (Q3 discussion)."""
+        if not self._hints:
+            return 0.0
+        single = sum(1 for hint in self._hints.values() if hint.single_target)
+        return single / len(self._hints)
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "branches": len(self._hints),
+            "single_target": sum(1 for h in self._hints.values() if h.single_target),
+            "short_trace": sum(1 for h in self._hints.values() if h.short_trace),
+            "input_dependent": sum(1 for h in self._hints.values() if h.input_dependent),
+            "with_trace": sum(1 for h in self._hints.values() if h.has_trace),
+        }

@@ -1,0 +1,91 @@
+"""Vanilla traces: run-length encoded raw traces (step 2 of Figure 1).
+
+A vanilla trace replaces runs of the same branch outcome with a single
+``(target, repetitions)`` element, e.g. the raw trace ``PC1 PC1 PC1 PC1 PC0``
+becomes ``PC1 x 4 . PC0 x 1``.  Vanilla traces are the paper's baseline for
+the compression study: Table 1 reports their element counts before and after
+k-mers compression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.analysis.raw_trace import RawTrace
+
+
+@dataclass(frozen=True)
+class VanillaElement:
+    """One run-length encoded element of a vanilla trace."""
+
+    target: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("vanilla element count must be positive")
+
+    def __str__(self) -> str:  # pragma: no cover - debugging convenience
+        return f"PC{self.target} x {self.count}"
+
+
+@dataclass(frozen=True)
+class VanillaTrace:
+    """The vanilla (run-length encoded) trace of a single static branch."""
+
+    branch_pc: int
+    elements: Tuple[VanillaElement, ...]
+
+    def __len__(self) -> int:
+        """The *size* of the trace as counted by the paper (element count)."""
+        return len(self.elements)
+
+    def __iter__(self) -> Iterator[VanillaElement]:
+        return iter(self.elements)
+
+    @property
+    def total_executions(self) -> int:
+        """Number of dynamic branch executions the trace represents."""
+        return sum(element.count for element in self.elements)
+
+    @property
+    def unique_targets(self) -> Tuple[int, ...]:
+        seen = {}
+        for element in self.elements:
+            seen.setdefault(element.target, None)
+        return tuple(seen.keys())
+
+    @property
+    def is_single_target(self) -> bool:
+        return len(self.unique_targets) <= 1
+
+    def expand(self) -> List[int]:
+        """Inverse of the run-length encoding: the original raw target list."""
+        raw: List[int] = []
+        for element in self.elements:
+            raw.extend([element.target] * element.count)
+        return raw
+
+
+def run_length_encode(targets: Sequence[int]) -> Tuple[VanillaElement, ...]:
+    """Run-length encode a sequence of branch targets."""
+    elements: List[VanillaElement] = []
+    current: int | None = None
+    count = 0
+    for target in targets:
+        if target == current:
+            count += 1
+        else:
+            if current is not None:
+                elements.append(VanillaElement(current, count))
+            current = target
+            count = 1
+    if current is not None:
+        elements.append(VanillaElement(current, count))
+    return tuple(elements)
+
+
+def to_vanilla_trace(raw: RawTrace) -> VanillaTrace:
+    """Aggregate a raw trace into its vanilla (RLE) form."""
+    return VanillaTrace(branch_pc=raw.branch_pc, elements=run_length_encode(raw.targets))

@@ -1,0 +1,379 @@
+"""Sequential (architectural) executor.
+
+The :class:`SequentialExecutor` implements the paper's sequential execution
+model ⟦·⟧seq.  It runs a :class:`~repro.isa.program.Program` to completion
+and produces three artefacts that the rest of the system consumes:
+
+* the final :class:`~repro.arch.state.ArchState`;
+* the *contract observation trace* (⟦·⟧ct leakage: pc/call/ret + load/store
+  addresses, plus ``leak`` observations for the ⟦·⟧arch model), used by the
+  formal model and the security experiments;
+* the *dynamic instruction stream*, a list of
+  :class:`DynamicInstruction` records used by the branch analysis (raw
+  per-branch traces) and by the out-of-order timing model.
+
+Because constant-time programs have input-independent control flow, the
+dynamic instruction stream doubles as the "recorded" sequential control flow
+that Cassandra replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.observations import Observation, ObservationKind
+from repro.arch.state import WORD_MASK, ArchState
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+
+MASK32 = 0xFFFFFFFF
+
+
+class ExecutionError(RuntimeError):
+    """Raised when a program misbehaves (bad PC, step limit exceeded, ...)."""
+
+
+@dataclass(frozen=True)
+class DynamicInstruction:
+    """One dynamically executed instruction.
+
+    The record carries everything the timing model needs to rebuild data
+    dependencies and memory behaviour without re-executing the program:
+    source/destination registers, the effective memory address (if any), the
+    architecturally correct next PC, and secrecy/crypto metadata.
+    """
+
+    seq: int
+    pc: int
+    opcode: Opcode
+    dst: Optional[str]
+    srcs: Tuple[str, ...]
+    next_pc: int
+    mem_address: Optional[int] = None
+    is_branch: bool = False
+    taken: Optional[bool] = None
+    crypto: bool = False
+    secret_operand: bool = False
+    value: Optional[int] = None
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode is Opcode.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode is Opcode.STORE
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in (Opcode.LOAD, Opcode.STORE)
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.opcode in (Opcode.BEQZ, Opcode.BNEZ)
+
+    @property
+    def is_call(self) -> bool:
+        return self.opcode in (Opcode.CALL, Opcode.CALLI)
+
+    @property
+    def is_return(self) -> bool:
+        return self.opcode is Opcode.RET
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.opcode in (Opcode.JMPI, Opcode.CALLI, Opcode.RET)
+
+
+@dataclass
+class ExecutionResult:
+    """The complete outcome of a sequential run."""
+
+    program: Program
+    state: ArchState
+    observations: List[Observation]
+    dynamic: List[DynamicInstruction]
+    instruction_count: int
+    branch_outcomes: Dict[int, List[int]] = field(default_factory=dict)
+
+    def register(self, name: str) -> int:
+        """Convenience accessor for a final register value."""
+        return self.state.read_reg(name)
+
+    def memory_words(self, base: int, count: int) -> List[int]:
+        """Read ``count`` consecutive words starting at ``base``."""
+        return [self.state.read_mem(base + i) for i in range(count)]
+
+
+class SequentialExecutor:
+    """Functional, in-order executor for the reproduction ISA."""
+
+    def __init__(self, max_steps: int = 5_000_000, record_dynamic: bool = True) -> None:
+        self.max_steps = max_steps
+        self.record_dynamic = record_dynamic
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        program: Program,
+        initial_registers: Optional[Dict[str, int]] = None,
+        memory_overrides: Optional[Dict[int, int]] = None,
+    ) -> ExecutionResult:
+        """Execute ``program`` to completion under the sequential model.
+
+        ``memory_overrides`` lets callers substitute different inputs (for
+        example the two-input diff of the trace generation procedure) without
+        rebuilding the program.
+        """
+        state = ArchState(pc=program.entry)
+        state.memory.update(program.initial_memory)
+        if memory_overrides:
+            state.memory.update(
+                {addr: value & WORD_MASK for addr, value in memory_overrides.items()}
+            )
+        if initial_registers:
+            for name, value in initial_registers.items():
+                state.write_reg(name, value)
+        state.mark_secret_addresses(program.secret_addresses)
+
+        observations: List[Observation] = []
+        dynamic: List[DynamicInstruction] = []
+        branch_outcomes: Dict[int, List[int]] = {}
+        steps = 0
+
+        while not state.halted:
+            if steps >= self.max_steps:
+                raise ExecutionError(
+                    f"program {program.name!r} exceeded {self.max_steps} steps"
+                )
+            pc = state.pc
+            if not program.is_valid_pc(pc):
+                raise ExecutionError(f"program {program.name!r} jumped to invalid PC {pc}")
+            instruction = program.fetch(pc)
+            record = self._step(program, state, instruction, pc, steps, observations)
+            steps += 1
+            if record is not None:
+                if self.record_dynamic:
+                    dynamic.append(record)
+                if record.is_branch:
+                    branch_outcomes.setdefault(pc, []).append(record.next_pc)
+
+        return ExecutionResult(
+            program=program,
+            state=state,
+            observations=observations,
+            dynamic=dynamic,
+            instruction_count=steps,
+            branch_outcomes=branch_outcomes,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Single-step semantics
+    # ------------------------------------------------------------------ #
+    def _step(
+        self,
+        program: Program,
+        state: ArchState,
+        instruction: Instruction,
+        pc: int,
+        seq: int,
+        observations: List[Observation],
+    ) -> Optional[DynamicInstruction]:
+        opcode = instruction.opcode
+        crypto = instruction.crypto or program.is_crypto_pc(pc)
+        next_pc = pc + 1
+        mem_address: Optional[int] = None
+        taken: Optional[bool] = None
+        result_value: Optional[int] = None
+        secret_operand = any(state.reg_is_secret(src) for src in instruction.srcs)
+
+        def observe(kind: ObservationKind, value: int) -> None:
+            observations.append(Observation(kind=kind, value=value, crypto=crypto, pc=pc))
+
+        if opcode in _ALU_OPS:
+            result_value = self._alu(state, instruction)
+            state.write_reg(instruction.dst, result_value)  # type: ignore[arg-type]
+            state.set_reg_taint(instruction.dst, secret_operand)  # type: ignore[arg-type]
+        elif opcode is Opcode.MOV:
+            result_value = state.read_reg(instruction.srcs[0])
+            state.write_reg(instruction.dst, result_value)  # type: ignore[arg-type]
+            state.set_reg_taint(instruction.dst, secret_operand)  # type: ignore[arg-type]
+        elif opcode is Opcode.MOVI:
+            result_value = int(instruction.imm or 0)
+            state.write_reg(instruction.dst, result_value)  # type: ignore[arg-type]
+            state.set_reg_taint(instruction.dst, False)  # type: ignore[arg-type]
+        elif opcode is Opcode.CSEL:
+            cond, a, b = instruction.srcs
+            result_value = state.read_reg(a) if state.read_reg(cond) != 0 else state.read_reg(b)
+            state.write_reg(instruction.dst, result_value)  # type: ignore[arg-type]
+            state.set_reg_taint(instruction.dst, secret_operand)  # type: ignore[arg-type]
+        elif opcode is Opcode.LOAD:
+            mem_address = (state.read_reg(instruction.srcs[0]) + (instruction.imm or 0)) & WORD_MASK
+            result_value = state.read_mem(mem_address)
+            state.write_reg(instruction.dst, result_value)  # type: ignore[arg-type]
+            state.set_reg_taint(instruction.dst, state.mem_is_secret(mem_address))  # type: ignore[arg-type]
+            secret_operand = secret_operand or state.mem_is_secret(mem_address)
+            observe(ObservationKind.LOAD, mem_address)
+        elif opcode is Opcode.STORE:
+            src, addr_reg = instruction.srcs
+            mem_address = (state.read_reg(addr_reg) + (instruction.imm or 0)) & WORD_MASK
+            value = state.read_reg(src)
+            state.write_mem(mem_address, value)
+            state.set_mem_taint(mem_address, state.reg_is_secret(src))
+            observe(ObservationKind.STORE, mem_address)
+        elif opcode is Opcode.BEQZ or opcode is Opcode.BNEZ:
+            cond = state.read_reg(instruction.srcs[0])
+            take_if_zero = opcode is Opcode.BEQZ
+            taken = (cond == 0) if take_if_zero else (cond != 0)
+            next_pc = int(instruction.imm) if taken else pc + 1  # type: ignore[arg-type]
+            observe(ObservationKind.PC, next_pc)
+        elif opcode is Opcode.JMP:
+            next_pc = int(instruction.imm)  # type: ignore[arg-type]
+            taken = True
+            observe(ObservationKind.PC, next_pc)
+        elif opcode is Opcode.JMPI:
+            next_pc = state.read_reg(instruction.srcs[0])
+            taken = True
+            observe(ObservationKind.PC, next_pc)
+        elif opcode is Opcode.CALL:
+            next_pc = int(instruction.imm)  # type: ignore[arg-type]
+            state.call_stack.append(pc + 1)
+            taken = True
+            observe(ObservationKind.CALL, next_pc)
+        elif opcode is Opcode.CALLI:
+            next_pc = state.read_reg(instruction.srcs[0])
+            state.call_stack.append(pc + 1)
+            taken = True
+            observe(ObservationKind.CALL, next_pc)
+        elif opcode is Opcode.RET:
+            if state.call_stack:
+                next_pc = state.call_stack.pop()
+            else:
+                state.halted = True
+                next_pc = pc
+            taken = True
+            observe(ObservationKind.RET, next_pc)
+        elif opcode is Opcode.HALT:
+            state.halted = True
+            next_pc = pc
+        elif opcode is Opcode.DECLASSIFY:
+            state.set_reg_taint(instruction.srcs[0], False)
+        elif opcode is Opcode.LEAK:
+            result_value = state.read_reg(instruction.srcs[0])
+            observe(ObservationKind.LEAK, result_value)
+        elif opcode in (Opcode.NOP, Opcode.FENCE, Opcode.HINT):
+            pass
+        else:  # pragma: no cover - defensive
+            raise ExecutionError(f"unsupported opcode {opcode!r} at PC {pc}")
+
+        state.pc = next_pc
+
+        return DynamicInstruction(
+            seq=seq,
+            pc=pc,
+            opcode=opcode,
+            dst=instruction.dst if instruction.writes_register else None,
+            srcs=instruction.srcs,
+            next_pc=next_pc,
+            mem_address=mem_address,
+            is_branch=instruction.is_branch,
+            taken=taken,
+            crypto=crypto,
+            secret_operand=secret_operand,
+            value=result_value,
+        )
+
+    # ------------------------------------------------------------------ #
+    # ALU semantics
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _operands(state: ArchState, instruction: Instruction) -> Tuple[int, int]:
+        a = state.read_reg(instruction.srcs[0])
+        if len(instruction.srcs) > 1:
+            b = state.read_reg(instruction.srcs[1])
+        else:
+            b = int(instruction.imm or 0)
+        return a, b
+
+    def _alu(self, state: ArchState, instruction: Instruction) -> int:
+        opcode = instruction.opcode
+        if opcode is Opcode.NOT:
+            return (~state.read_reg(instruction.srcs[0])) & WORD_MASK
+        a, b = self._operands(state, instruction)
+        if opcode is Opcode.ADD:
+            return (a + b) & WORD_MASK
+        if opcode is Opcode.SUB:
+            return (a - b) & WORD_MASK
+        if opcode is Opcode.MUL:
+            return (a * b) & WORD_MASK
+        if opcode is Opcode.DIV:
+            return (a // b) & WORD_MASK if b else 0
+        if opcode is Opcode.MOD:
+            return (a % b) & WORD_MASK if b else 0
+        if opcode is Opcode.AND:
+            return a & b
+        if opcode is Opcode.OR:
+            return a | b
+        if opcode is Opcode.XOR:
+            return a ^ b
+        if opcode is Opcode.SHL:
+            return (a << b) & WORD_MASK if b < 64 else 0
+        if opcode is Opcode.SHR:
+            return (a >> b) & WORD_MASK if b < 64 else 0
+        if opcode is Opcode.ROTL:
+            amount = b % 32
+            a32 = a & MASK32
+            return ((a32 << amount) | (a32 >> (32 - amount))) & MASK32 if amount else a32
+        if opcode is Opcode.ROTR:
+            amount = b % 32
+            a32 = a & MASK32
+            return ((a32 >> amount) | (a32 << (32 - amount))) & MASK32 if amount else a32
+        if opcode is Opcode.ROTL64:
+            amount = b % 64
+            return ((a << amount) | (a >> (64 - amount))) & WORD_MASK if amount else a
+        if opcode is Opcode.ROTR64:
+            amount = b % 64
+            return ((a >> amount) | (a << (64 - amount))) & WORD_MASK if amount else a
+        if opcode is Opcode.CMPEQ:
+            return int(a == b)
+        if opcode is Opcode.CMPNE:
+            return int(a != b)
+        if opcode is Opcode.CMPLT:
+            return int(a < b)
+        if opcode is Opcode.CMPLE:
+            return int(a <= b)
+        if opcode is Opcode.CMPGT:
+            return int(a > b)
+        if opcode is Opcode.CMPGE:
+            return int(a >= b)
+        raise ExecutionError(f"not an ALU opcode: {opcode!r}")  # pragma: no cover
+
+
+_ALU_OPS = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.MOD,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.NOT,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.ROTL,
+        Opcode.ROTR,
+        Opcode.ROTL64,
+        Opcode.ROTR64,
+        Opcode.CMPEQ,
+        Opcode.CMPNE,
+        Opcode.CMPLT,
+        Opcode.CMPLE,
+        Opcode.CMPGT,
+        Opcode.CMPGE,
+    }
+)

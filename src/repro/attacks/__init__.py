@@ -1,0 +1,15 @@
+"""Spectre-style attack gadgets and the Table 2 security scenarios."""
+
+from repro.attacks.detector import transient_leak_detected
+from repro.attacks.spectre_v1 import build_listing1_program, listing1_attacker, run_listing1_attack
+from repro.attacks.gadgets import ScenarioResult, build_scenario_program, evaluate_scenarios
+
+__all__ = [
+    "transient_leak_detected",
+    "build_listing1_program",
+    "listing1_attacker",
+    "run_listing1_attack",
+    "ScenarioResult",
+    "build_scenario_program",
+    "evaluate_scenarios",
+]

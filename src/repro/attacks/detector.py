@@ -1,0 +1,32 @@
+"""Leak detection: does the attacker-visible trace depend on the secret?
+
+A program leaks under a given machine mode and attacker strategy when two
+runs that differ only in their confidential inputs produce different
+attacker-visible hardware traces (the negation of the contract-satisfaction
+property of Definition 3).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.formal.speculative import AttackerStrategy, hardware_trace
+from repro.isa.program import Program
+
+
+def transient_leak_detected(
+    program: Program,
+    secret_input_a: Mapping[int, int],
+    secret_input_b: Mapping[int, int],
+    mode: str = "unsafe",
+    attacker: Optional[AttackerStrategy] = None,
+    speculation_window: int = 48,
+) -> bool:
+    """True when the attacker can distinguish the two secret inputs."""
+    trace_a = hardware_trace(
+        program, secret_input_a, mode=mode, attacker=attacker, speculation_window=speculation_window
+    )
+    trace_b = hardware_trace(
+        program, secret_input_b, mode=mode, attacker=attacker, speculation_window=speculation_window
+    )
+    return trace_a != trace_b

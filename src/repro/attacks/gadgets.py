@@ -1,0 +1,178 @@
+"""The eight control-flow scenarios of Figure 6 / Table 2.
+
+One program contains a crypto branch (``BR1``), a non-crypto branch
+(``BR2``), and four leak gadgets: a crypto register-leak gadget (``R1``), a
+crypto memory-leak gadget (``M1``), a non-crypto register-leak gadget
+(``R2``), and a non-crypto memory-leak gadget (``M2``, reading a secret
+address — the software-isolation case).  Each scenario steers one branch to
+one gadget and asks whether the attacker-visible trace then depends on the
+secret, under both the unsafe and the Cassandra semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.attacks.detector import transient_leak_detected
+from repro.formal.speculative import AttackerStrategy
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+
+
+@dataclass
+class ScenarioProgram:
+    """The gadget program plus the PCs/addresses the scenarios reference."""
+
+    program: Program
+    secret_addr: int
+    branch_pcs: Dict[str, int]
+    gadget_pcs: Dict[str, int]
+
+    def inputs(self) -> Tuple[Dict[int, int], Dict[int, int]]:
+        return {self.secret_addr: 0x51, self.secret_addr + 1: 0xA7}, {
+            self.secret_addr: 0xE3,
+            self.secret_addr + 1: 0x19,
+        }
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one Table 2 scenario."""
+
+    scenario: int
+    transition: str
+    description: str
+    leaks_unsafe: bool
+    leaks_cassandra: bool
+    expected_mechanism: str
+
+
+def build_scenario_program() -> ScenarioProgram:
+    """Build the shared gadget program."""
+    b = ProgramBuilder("table2-gadgets")
+    secret_addr = b.alloc_secret("secret_region", [0x51, 0xA7])
+    public_addr = b.alloc("public_region", [7, 9])
+
+    branch_pcs: Dict[str, int] = {}
+    gadget_pcs: Dict[str, int] = {}
+
+    # -------------------- crypto code -------------------- #
+    with b.crypto():
+        r1, r2, addr, cond = b.regs("r1", "r2", "addr", "cond")
+        # Load the secret non-speculatively (as constant-time code does).
+        b.movi(addr, secret_addr)
+        b.load(r1, addr)
+        # BR1: a crypto conditional branch on public data.  The condition is
+        # non-zero, so the branch falls through sequentially and the gadget
+        # blocks below are only reachable transiently.
+        b.movi(cond, 1)
+        skip_crypto_gadgets = b.label("skip_crypto_gadgets")
+        branch_pcs["BR1"] = b.beqz(cond, skip_crypto_gadgets)
+        # Fall-through is the sequential path: the crypto routine finishes and
+        # leaves only public (declassified) data in r1 before handing control
+        # to non-crypto code.
+        b.movi(r1, 0x42)
+        b.jmp(skip_crypto_gadgets)
+        # R1: crypto register-leak gadget (transient-only target).
+        gadget_pcs["R1"] = b.leak(r1)
+        b.jmp(skip_crypto_gadgets)
+        # M1: crypto memory-leak gadget: loads and transmits the secret region.
+        m1_base = b.reg("m1_base")
+        m1_val = b.reg("m1_val")
+        gadget_pcs["M1"] = b.movi(m1_base, secret_addr)
+        b.load(m1_val, m1_base)
+        b.leak(m1_val)
+        b.jmp(skip_crypto_gadgets)
+        b.place(skip_crypto_gadgets)
+        b.declassify(r1)
+
+    # ------------------ non-crypto code ------------------ #
+    r4, addr2, cond2 = b.regs("r4", "addr2", "cond2")
+    b.movi(addr2, public_addr)
+    b.load(r4, addr2)
+    skip_plain_gadgets = b.label("skip_plain_gadgets")
+    b.movi(cond2, 0)
+    branch_pcs["BR2"] = b.beqz(cond2, skip_plain_gadgets)  # not taken sequentially
+    b.add(r4, r4, 1)
+    b.jmp(skip_plain_gadgets)
+    # R2: non-crypto register-leak gadget (leaks public data).
+    gadget_pcs["R2"] = b.leak(r4)
+    b.jmp(skip_plain_gadgets)
+    # M2: non-crypto memory-leak gadget reading the secret region
+    # (a software-isolation violation, out of Cassandra's scope).
+    m2_base, m2_val = b.regs("m2_base", "m2_val")
+    gadget_pcs["M2"] = b.movi(m2_base, secret_addr)
+    b.load(m2_val, m2_base, 1)
+    b.leak(m2_val)
+    b.jmp(skip_plain_gadgets)
+    b.place(skip_plain_gadgets)
+    b.halt()
+
+    return ScenarioProgram(
+        program=b.build(),
+        secret_addr=secret_addr,
+        branch_pcs=branch_pcs,
+        gadget_pcs=gadget_pcs,
+    )
+
+
+def _steer(branch_pc: int, target_pc: int) -> AttackerStrategy:
+    def attacker(pc: int, instruction: Instruction, correct_next: int) -> Optional[int]:
+        if pc == branch_pc and correct_next != target_pc:
+            return target_pc
+        return None
+
+    return attacker
+
+
+#: (scenario number, branch, gadget, description, expected mechanism).
+SCENARIOS: Tuple[Tuple[int, str, str, str, str], ...] = (
+    (1, "BR1", "R1", "crypto register leak after a crypto branch", "BTU enforces sequential flow"),
+    (2, "BR1", "M1", "crypto memory leak after a crypto branch", "BTU enforces sequential flow"),
+    (3, "BR1", "R2", "non-crypto register leak after a crypto branch", "BTU enforces sequential flow"),
+    (4, "BR1", "M2", "non-crypto memory leak after a crypto branch", "BTU enforces sequential flow"),
+    (5, "BR2", "M1", "crypto memory leak after a non-crypto branch", "crypto PC range integrity check"),
+    (6, "BR2", "R1", "crypto register leak after a non-crypto branch", "integrity check; register already declassified"),
+    (7, "BR2", "R2", "non-crypto register leak after a non-crypto branch", "speculation allowed (no secret involved)"),
+    (8, "BR2", "M2", "non-crypto memory leak after a non-crypto branch", "out of scope (software isolation)"),
+)
+
+
+def evaluate_scenarios(speculation_window: int = 16) -> List[ScenarioResult]:
+    """Run all eight scenarios under both semantics (the Table 2 evidence)."""
+    scenario_program = build_scenario_program()
+    input_a, input_b = scenario_program.inputs()
+    results: List[ScenarioResult] = []
+    for number, branch, gadget, description, mechanism in SCENARIOS:
+        attacker = _steer(
+            scenario_program.branch_pcs[branch], scenario_program.gadget_pcs[gadget]
+        )
+        leaks_unsafe = transient_leak_detected(
+            scenario_program.program,
+            input_a,
+            input_b,
+            mode="unsafe",
+            attacker=attacker,
+            speculation_window=speculation_window,
+        )
+        leaks_cassandra = transient_leak_detected(
+            scenario_program.program,
+            input_a,
+            input_b,
+            mode="cassandra",
+            attacker=attacker,
+            speculation_window=speculation_window,
+        )
+        results.append(
+            ScenarioResult(
+                scenario=number,
+                transition=f"{branch} -> {gadget}",
+                description=description,
+                leaks_unsafe=leaks_unsafe,
+                leaks_cassandra=leaks_cassandra,
+                expected_mechanism=mechanism,
+            )
+        )
+    return results

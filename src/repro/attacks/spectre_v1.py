@@ -1,0 +1,75 @@
+"""The paper's Listing 1: leaking a secret by skipping a decryption loop.
+
+The constant-time program loads a secret message, runs it through a fixed
+number of decryption rounds, declassifies the result, and only then transmits
+it.  Sequentially this is secure; a Spectre adversary who makes the loop
+branch mispredict on its first iteration transiently skips the decryption
+rounds and transmits the raw secret.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.attacks.detector import transient_leak_detected
+from repro.formal.speculative import AttackerStrategy
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Instruction
+from repro.isa.program import Program
+
+NUM_ROUNDS = 4
+ROUND_KEY = 0x5A
+
+
+def build_listing1_program() -> Tuple[Program, int]:
+    """Build the Listing 1 program; returns (program, secret address)."""
+    b = ProgramBuilder("listing1")
+    secret_addr = b.alloc_secret("message", [0xC0FFEE])
+    key_addr = b.alloc("round_keys", [ROUND_KEY] * NUM_ROUNDS)
+
+    with b.crypto():
+        state, addr, key, i = b.regs("state", "addr", "key", "i")
+        b.movi(addr, secret_addr)
+        b.load(state, addr)
+        with b.for_range(i, 0, NUM_ROUNDS):
+            b.movi(addr, key_addr)
+            b.add(addr, addr, i)
+            b.load(key, addr)
+            b.xor(state, state, key)
+        b.declassify(state)
+        b.leak(state)
+    b.halt()
+    return b.build(), secret_addr
+
+
+def listing1_attacker(program: Program) -> AttackerStrategy:
+    """Steer the decryption loop's head branch straight to the loop exit."""
+    loop_branch_pc: Optional[int] = None
+    for pc in program.static_branches():
+        instruction = program.fetch(pc)
+        if instruction.is_conditional:
+            loop_branch_pc = pc
+            break
+    if loop_branch_pc is None:  # pragma: no cover - defensive
+        raise ValueError("listing1 program has no conditional branch")
+    exit_pc = int(program.fetch(loop_branch_pc).imm)
+
+    def attacker(pc: int, instruction: Instruction, correct_next: int) -> Optional[int]:
+        if pc == loop_branch_pc and correct_next != exit_pc:
+            return exit_pc
+        return None
+
+    return attacker
+
+
+def run_listing1_attack(mode: str = "unsafe") -> bool:
+    """Run the attack under ``mode``; returns True when the secret leaks."""
+    program, secret_addr = build_listing1_program()
+    attacker = listing1_attacker(program)
+    return transient_leak_detected(
+        program,
+        {secret_addr: 0xC0FFEE},
+        {secret_addr: 0xDEAD01},
+        mode=mode,
+        attacker=attacker,
+    )

@@ -1,0 +1,23 @@
+"""Cryptographic workloads for the Cassandra reproduction.
+
+Two layers live here:
+
+* :mod:`repro.crypto.primitives` — pure-Python reference implementations of
+  the algorithms the paper's benchmark suites exercise (ChaCha20, Poly1305,
+  AES, SHA-256, Keccak/SHAKE, DES, HMAC/TLS-PRF, X25519, modular
+  exponentiation, ECDSA-style curves, Kyber- and SPHINCS-style post-quantum
+  schemes).  They serve as ground truth for the ISA kernels and as standalone
+  substrates.
+* :mod:`repro.crypto.programs` — the same algorithms written as ISA programs
+  via the :class:`~repro.isa.builder.ProgramBuilder`.  These preserve the
+  loop/call control-flow structure of the real implementations (the property
+  the branch analysis and the BTU depend on); where full-width arithmetic is
+  impractical on the 64-bit toy ISA the kernels use reduced parameters and
+  are verified against a matching reduced model.
+
+The named workloads used by the paper's evaluation (Table 1, Figure 7) are
+registered in :mod:`repro.crypto.workloads`, and the SpectreGuard-style mixed
+sandbox/crypto benchmarks of Figure 8 live in :mod:`repro.crypto.synthetic`.
+Import those modules directly; this package intentionally re-exports nothing
+to keep import costs low for users who only need one layer.
+"""

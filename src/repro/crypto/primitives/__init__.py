@@ -1,0 +1,38 @@
+"""Pure-Python reference implementations of the evaluated crypto algorithms.
+
+These are correctness references (checked against published test vectors
+where they exist) and self-contained substrates; they are *not* optimised or
+hardened implementations.  The ISA kernels in :mod:`repro.crypto.programs`
+are validated against these modules (full-strength algorithms) or against the
+reduced-parameter models they also export.
+"""
+
+from repro.crypto.primitives import (  # noqa: F401
+    aes,
+    chacha20,
+    curve25519,
+    des,
+    ecdsa,
+    keccak,
+    kyber,
+    modmath,
+    poly1305,
+    sha256,
+    sphincs,
+    tls_prf,
+)
+
+__all__ = [
+    "aes",
+    "chacha20",
+    "curve25519",
+    "des",
+    "ecdsa",
+    "keccak",
+    "kyber",
+    "modmath",
+    "poly1305",
+    "sha256",
+    "sphincs",
+    "tls_prf",
+]

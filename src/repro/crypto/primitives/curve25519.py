@@ -1,0 +1,100 @@
+"""X25519 Diffie-Hellman (RFC 7748).
+
+Implements the constant-structure Montgomery ladder over GF(2^255 - 19).
+The module also exports a *reduced-field* ladder (same control-flow shape,
+Mersenne prime 2^31 - 1) that the ISA kernel is validated against.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+P25519 = (1 << 255) - 19
+A24 = 121665
+
+
+def _decode_scalar(scalar: bytes) -> int:
+    if len(scalar) != 32:
+        raise ValueError("X25519 scalar must be 32 bytes")
+    k = bytearray(scalar)
+    k[0] &= 248
+    k[31] &= 127
+    k[31] |= 64
+    return int.from_bytes(k, "little")
+
+
+def _decode_u(u: bytes) -> int:
+    if len(u) != 32:
+        raise ValueError("X25519 u-coordinate must be 32 bytes")
+    value = int.from_bytes(u, "little")
+    return value & ((1 << 255) - 1)
+
+
+def _cswap(swap: int, a: int, b: int) -> Tuple[int, int]:
+    """Constant-structure conditional swap."""
+    mask = -swap & ((1 << 256) - 1)
+    dummy = mask & (a ^ b)
+    return a ^ dummy, b ^ dummy
+
+
+def montgomery_ladder(k: int, u: int, prime: int = P25519, a24: int = A24, bits: int = 255) -> int:
+    """The Montgomery ladder shared by the full and reduced variants."""
+    x1 = u % prime
+    x2, z2 = 1, 0
+    x3, z3 = x1, 1
+    swap = 0
+    for t in range(bits - 1, -1, -1):
+        k_t = (k >> t) & 1
+        swap ^= k_t
+        x2, x3 = _cswap(swap, x2, x3)
+        z2, z3 = _cswap(swap, z2, z3)
+        swap = k_t
+
+        a = (x2 + z2) % prime
+        aa = (a * a) % prime
+        b = (x2 - z2) % prime
+        bb = (b * b) % prime
+        e = (aa - bb) % prime
+        c = (x3 + z3) % prime
+        d = (x3 - z3) % prime
+        da = (d * a) % prime
+        cb = (c * b) % prime
+        x3 = pow(da + cb, 2, prime)
+        z3 = (x1 * pow(da - cb, 2, prime)) % prime
+        x2 = (aa * bb) % prime
+        z2 = (e * (aa + a24 * e)) % prime
+
+    x2, x3 = _cswap(swap, x2, x3)
+    z2, z3 = _cswap(swap, z2, z3)
+    return (x2 * pow(z2, prime - 2, prime)) % prime
+
+
+def x25519(scalar: bytes, u: bytes) -> bytes:
+    """RFC 7748 X25519 function."""
+    k = _decode_scalar(scalar)
+    u_int = _decode_u(u)
+    result = montgomery_ladder(k, u_int)
+    return result.to_bytes(32, "little")
+
+
+def x25519_base(scalar: bytes) -> bytes:
+    """Scalar multiplication of the standard base point (u = 9)."""
+    return x25519(scalar, (9).to_bytes(32, "little"))
+
+
+# --------------------------------------------------------------------------- #
+# Reduced-field model used to validate the ISA kernel
+# --------------------------------------------------------------------------- #
+REDUCED_PRIME = (1 << 31) - 1
+REDUCED_A24 = 121665 % REDUCED_PRIME
+REDUCED_BITS = 64
+
+
+def reduced_ladder(k: int, u: int, bits: int = REDUCED_BITS) -> int:
+    """Montgomery ladder over GF(2^31 - 1) with the same control flow.
+
+    The ISA kernel implements exactly this computation (single-limb field
+    arithmetic, ``bits`` ladder iterations); its output is compared against
+    this model in the test-suite.
+    """
+    return montgomery_ladder(k, u, prime=REDUCED_PRIME, a24=REDUCED_A24, bits=bits)

@@ -1,0 +1,123 @@
+"""ECDSA-style signatures over a short Weierstrass curve.
+
+BearSSL's ``ECDSA_i31`` benchmark exercises constant-time scalar
+multiplication and modular inversion.  To keep the ISA kernel's field
+arithmetic single-limb we use a small curve over GF(65521) whose group order
+is prime; the signing and verification flow (per-bit double-and-add-always
+ladder, Fermat inversion) is identical in structure to the full-size
+implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Field prime (fits comfortably in single-limb 64-bit kernel arithmetic).
+FIELD_PRIME = 65521
+
+#: Curve y^2 = x^3 + a*x + b over GF(FIELD_PRIME).
+CURVE_A = 3
+CURVE_B = 53
+
+#: A generator point; the curve group has prime order, so any finite point generates it.
+GENERATOR = (0, 8058)
+
+#: Number of scalar bits processed by the ladder (constant trip count).
+SCALAR_BITS = 17
+
+Point = Optional[Tuple[int, int]]
+
+
+def _inv(value: int) -> int:
+    """Modular inverse by Fermat's little theorem (constant structure)."""
+    return pow(value % FIELD_PRIME, FIELD_PRIME - 2, FIELD_PRIME)
+
+
+def is_on_curve(point: Point) -> bool:
+    if point is None:
+        return True
+    x, y = point
+    return (y * y - (x * x * x + CURVE_A * x + CURVE_B)) % FIELD_PRIME == 0
+
+
+def point_add(p: Point, q: Point) -> Point:
+    """Add two points on the curve (affine coordinates)."""
+    if p is None:
+        return q
+    if q is None:
+        return p
+    x1, y1 = p
+    x2, y2 = q
+    if x1 == x2 and (y1 + y2) % FIELD_PRIME == 0:
+        return None
+    if p == q:
+        slope = (3 * x1 * x1 + CURVE_A) * _inv(2 * y1) % FIELD_PRIME
+    else:
+        slope = (y2 - y1) * _inv(x2 - x1) % FIELD_PRIME
+    x3 = (slope * slope - x1 - x2) % FIELD_PRIME
+    y3 = (slope * (x1 - x3) - y1) % FIELD_PRIME
+    return (x3, y3)
+
+
+def scalar_mult(k: int, point: Point, bits: int = SCALAR_BITS) -> Point:
+    """Double-and-add-always scalar multiplication (constant control flow)."""
+    result: Point = None
+    addend: Point = point
+    for t in range(bits - 1, -1, -1):
+        result = point_add(result, result)
+        candidate = point_add(result, addend)
+        if (k >> t) & 1:
+            result = candidate
+    return result
+
+
+@dataclass(frozen=True)
+class Signature:
+    r: int
+    s: int
+
+
+def _hash_to_int(message_digest: int) -> int:
+    return message_digest % GENERATOR_ORDER
+
+
+GENERATOR_ORDER = 65029  # the (prime) order of the curve group
+
+
+def sign(private_key: int, message_digest: int, nonce: int) -> Signature:
+    """Produce an ECDSA signature with an explicit (deterministic) nonce."""
+    z = _hash_to_int(message_digest)
+    k = (nonce % (GENERATOR_ORDER - 1)) + 1
+    point = scalar_mult(k, GENERATOR)
+    assert point is not None
+    r = point[0] % GENERATOR_ORDER
+    if r == 0:
+        return sign(private_key, message_digest, nonce + 1)
+    k_inv = pow(k, GENERATOR_ORDER - 2, GENERATOR_ORDER)
+    s = (k_inv * (z + r * private_key)) % GENERATOR_ORDER
+    if s == 0:
+        return sign(private_key, message_digest, nonce + 1)
+    return Signature(r=r, s=s)
+
+
+def verify(public_key: Point, message_digest: int, signature: Signature) -> bool:
+    """Verify an ECDSA signature."""
+    if public_key is None or not is_on_curve(public_key):
+        return False
+    r, s = signature.r, signature.s
+    if not (0 < r < GENERATOR_ORDER and 0 < s < GENERATOR_ORDER):
+        return False
+    z = _hash_to_int(message_digest)
+    w = pow(s, GENERATOR_ORDER - 2, GENERATOR_ORDER)
+    u1 = (z * w) % GENERATOR_ORDER
+    u2 = (r * w) % GENERATOR_ORDER
+    point = point_add(scalar_mult(u1, GENERATOR), scalar_mult(u2, public_key))
+    if point is None:
+        return False
+    return point[0] % GENERATOR_ORDER == r
+
+
+def derive_public_key(private_key: int) -> Point:
+    """The public key corresponding to ``private_key``."""
+    return scalar_mult(private_key, GENERATOR)

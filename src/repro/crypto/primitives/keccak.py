@@ -1,0 +1,130 @@
+"""Keccak-f[1600], SHA3-256, and SHAKE128 (FIPS 202)."""
+
+from __future__ import annotations
+
+from typing import List
+
+MASK64 = (1 << 64) - 1
+
+#: Rotation offsets, indexed [x][y].
+RHO_OFFSETS = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+]
+
+#: Round constants for the iota step.
+ROUND_CONSTANTS = [
+    0x0000000000000001, 0x0000000000008082, 0x800000000000808A, 0x8000000080008000,
+    0x000000000000808B, 0x0000000080000001, 0x8000000080008081, 0x8000000000008009,
+    0x000000000000008A, 0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+    0x000000008000808B, 0x800000000000008B, 0x8000000000008089, 0x8000000000008003,
+    0x8000000000008002, 0x8000000000000080, 0x000000000000800A, 0x800000008000000A,
+    0x8000000080008081, 0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+]
+
+
+def _rotl64(value: int, amount: int) -> int:
+    value &= MASK64
+    amount %= 64
+    if amount == 0:
+        return value
+    return ((value << amount) | (value >> (64 - amount))) & MASK64
+
+
+def keccak_f1600(lanes: List[List[int]]) -> List[List[int]]:
+    """Apply the 24-round Keccak-f[1600] permutation to a 5x5 lane matrix."""
+    a = [list(column) for column in lanes]
+    for round_constant in ROUND_CONSTANTS:
+        # theta
+        c = [a[x][0] ^ a[x][1] ^ a[x][2] ^ a[x][3] ^ a[x][4] for x in range(5)]
+        d = [c[(x - 1) % 5] ^ _rotl64(c[(x + 1) % 5], 1) for x in range(5)]
+        for x in range(5):
+            for y in range(5):
+                a[x][y] ^= d[x]
+        # rho and pi
+        b = [[0] * 5 for _ in range(5)]
+        for x in range(5):
+            for y in range(5):
+                b[y][(2 * x + 3 * y) % 5] = _rotl64(a[x][y], RHO_OFFSETS[x][y])
+        # chi
+        for x in range(5):
+            for y in range(5):
+                a[x][y] = b[x][y] ^ ((~b[(x + 1) % 5][y]) & b[(x + 2) % 5][y] & MASK64)
+        # iota
+        a[0][0] ^= round_constant
+    return a
+
+
+def _lanes_from_bytes(state: bytes) -> List[List[int]]:
+    lanes = [[0] * 5 for _ in range(5)]
+    for x in range(5):
+        for y in range(5):
+            offset = 8 * (x + 5 * y)
+            lanes[x][y] = int.from_bytes(state[offset : offset + 8], "little")
+    return lanes
+
+
+def _bytes_from_lanes(lanes: List[List[int]]) -> bytes:
+    state = bytearray(200)
+    for x in range(5):
+        for y in range(5):
+            offset = 8 * (x + 5 * y)
+            state[offset : offset + 8] = lanes[x][y].to_bytes(8, "little")
+    return bytes(state)
+
+
+def _keccak_sponge(rate: int, capacity: int, message: bytes, suffix: int, output_length: int) -> bytes:
+    """The Keccak sponge construction with byte-granular padding."""
+    if rate + capacity != 1600:
+        raise ValueError("rate + capacity must equal 1600 bits")
+    rate_bytes = rate // 8
+    state = bytearray(200)
+
+    # Absorb.
+    offset = 0
+    block_size = 0
+    remaining = bytearray(message)
+    while len(remaining) >= rate_bytes:
+        for i in range(rate_bytes):
+            state[i] ^= remaining[i]
+        lanes = keccak_f1600(_lanes_from_bytes(bytes(state)))
+        state = bytearray(_bytes_from_lanes(lanes))
+        remaining = remaining[rate_bytes:]
+
+    # Padding.
+    block = bytearray(remaining)
+    block.append(suffix)
+    while len(block) < rate_bytes:
+        block.append(0)
+    block[rate_bytes - 1] ^= 0x80
+    for i in range(rate_bytes):
+        state[i] ^= block[i]
+    lanes = keccak_f1600(_lanes_from_bytes(bytes(state)))
+    state = bytearray(_bytes_from_lanes(lanes))
+
+    # Squeeze.
+    output = bytearray()
+    while len(output) < output_length:
+        output.extend(state[:rate_bytes])
+        if len(output) < output_length:
+            lanes = keccak_f1600(_lanes_from_bytes(bytes(state)))
+            state = bytearray(_bytes_from_lanes(lanes))
+    return bytes(output[:output_length])
+
+
+def sha3_256(message: bytes) -> bytes:
+    """SHA3-256 digest."""
+    return _keccak_sponge(1088, 512, message, 0x06, 32)
+
+
+def shake128(message: bytes, output_length: int) -> bytes:
+    """SHAKE128 extendable-output function."""
+    return _keccak_sponge(1344, 256, message, 0x1F, output_length)
+
+
+def shake256(message: bytes, output_length: int) -> bytes:
+    """SHAKE256 extendable-output function."""
+    return _keccak_sponge(1088, 512, message, 0x1F, output_length)

@@ -1,0 +1,82 @@
+"""Modular arithmetic substrates: constant-structure modular exponentiation,
+big-number multiplication, and a toy RSA built on top of them.
+
+These back three BearSSL benchmark kernels: ``ModPow_i31``, ``RSA_i62``, and
+``mul`` (big-number multiplication).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def modpow_ct(base: int, exponent: int, modulus: int, bits: int) -> int:
+    """Square-and-multiply-always modular exponentiation.
+
+    Processes exactly ``bits`` exponent bits from most to least significant,
+    performing both the square and the multiply every iteration and selecting
+    the result — the constant-control-flow structure used by constant-time
+    big-number libraries (and by the ISA kernel).
+    """
+    if modulus <= 1:
+        raise ValueError("modulus must be > 1")
+    result = 1 % modulus
+    base %= modulus
+    for t in range(bits - 1, -1, -1):
+        squared = (result * result) % modulus
+        multiplied = (squared * base) % modulus
+        bit = (exponent >> t) & 1
+        result = multiplied if bit else squared
+    return result
+
+
+def limbs_from_int(value: int, limb_bits: int, count: int) -> List[int]:
+    """Split an integer into ``count`` little-endian limbs of ``limb_bits``."""
+    mask = (1 << limb_bits) - 1
+    return [(value >> (limb_bits * i)) & mask for i in range(count)]
+
+
+def int_from_limbs(limbs: Sequence[int], limb_bits: int) -> int:
+    """Recombine little-endian limbs into an integer."""
+    value = 0
+    for i, limb in enumerate(limbs):
+        value |= limb << (limb_bits * i)
+    return value
+
+
+def bignum_mul(a_limbs: Sequence[int], b_limbs: Sequence[int], limb_bits: int) -> List[int]:
+    """Schoolbook multiplication of little-endian limb vectors.
+
+    This mirrors BearSSL's ``mul`` benchmark: a doubly nested loop with a
+    carry chain, whose control flow depends only on the operand lengths.
+    """
+    mask = (1 << limb_bits) - 1
+    out = [0] * (len(a_limbs) + len(b_limbs))
+    for i, a in enumerate(a_limbs):
+        carry = 0
+        for j, b in enumerate(b_limbs):
+            acc = out[i + j] + a * b + carry
+            out[i + j] = acc & mask
+            carry = acc >> limb_bits
+        out[i + len(b_limbs)] += carry
+    return out
+
+
+def rsa_keygen_toy(p: int = 61, q: int = 53, e: int = 17) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+    """A toy RSA key pair from tiny primes (workload substrate, not security)."""
+    n = p * q
+    phi = (p - 1) * (q - 1)
+    d = pow(e, -1, phi)
+    return (n, e), (n, d)
+
+
+def rsa_encrypt(message: int, public_key: Tuple[int, int], bits: int = 16) -> int:
+    """RSA encryption via the constant-structure exponentiation."""
+    n, e = public_key
+    return modpow_ct(message, e, n, bits)
+
+
+def rsa_decrypt(ciphertext: int, private_key: Tuple[int, int], bits: int = 16) -> int:
+    """RSA decryption via the constant-structure exponentiation."""
+    n, d = private_key
+    return modpow_ct(ciphertext, d, n, bits)

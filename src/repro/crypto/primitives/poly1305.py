@@ -1,0 +1,37 @@
+"""Poly1305 one-time authenticator (RFC 8439)."""
+
+from __future__ import annotations
+
+P1305 = (1 << 130) - 5
+
+
+def clamp(r: int) -> int:
+    """Clamp the ``r`` part of the key as mandated by the spec."""
+    return r & 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
+
+
+def poly1305_mac(message: bytes, key: bytes) -> bytes:
+    """Compute the 16-byte Poly1305 tag of ``message`` under ``key``.
+
+    ``key`` is the 32-byte one-time key (``r || s``).
+    """
+    if len(key) != 32:
+        raise ValueError("Poly1305 key must be 32 bytes")
+    r = clamp(int.from_bytes(key[:16], "little"))
+    s = int.from_bytes(key[16:], "little")
+    accumulator = 0
+    for offset in range(0, len(message), 16):
+        block = message[offset : offset + 16]
+        n = int.from_bytes(block + b"\x01", "little")
+        accumulator = ((accumulator + n) * r) % P1305
+    tag = (accumulator + s) % (1 << 128)
+    return tag.to_bytes(16, "little")
+
+
+def poly1305_verify(message: bytes, key: bytes, tag: bytes) -> bool:
+    """Constant-structure tag comparison (value-equality for the reference)."""
+    computed = poly1305_mac(message, key)
+    diff = 0
+    for a, b in zip(computed, tag):
+        diff |= a ^ b
+    return diff == 0 and len(tag) == 16

@@ -1,0 +1,43 @@
+"""HMAC-SHA256 and the TLS 1.2 pseudo-random function (RFC 5246).
+
+Backs the BearSSL ``TLS PRF`` and ``MultiHash`` benchmark kernels.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.primitives.sha256 import sha256
+
+BLOCK_SIZE = 64
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """HMAC keyed hash using SHA-256."""
+    if len(key) > BLOCK_SIZE:
+        key = sha256(key)
+    key = key + b"\x00" * (BLOCK_SIZE - len(key))
+    o_key_pad = bytes(b ^ 0x5C for b in key)
+    i_key_pad = bytes(b ^ 0x36 for b in key)
+    return sha256(o_key_pad + sha256(i_key_pad + message))
+
+
+def p_hash(secret: bytes, seed: bytes, length: int) -> bytes:
+    """The TLS 1.2 P_hash expansion function."""
+    out = bytearray()
+    a = seed
+    while len(out) < length:
+        a = hmac_sha256(secret, a)
+        out.extend(hmac_sha256(secret, a + seed))
+    return bytes(out[:length])
+
+
+def tls12_prf(secret: bytes, label: bytes, seed: bytes, length: int) -> bytes:
+    """The TLS 1.2 PRF: P_SHA256(secret, label || seed)."""
+    return p_hash(secret, label + seed, length)
+
+
+def multihash(message: bytes, iterations: int = 4) -> bytes:
+    """Iterated hashing over several chunk sizes (the MultiHash workload)."""
+    digest = sha256(message)
+    for i in range(iterations):
+        digest = sha256(digest + message[: 16 * (i + 1)])
+    return digest

@@ -1,0 +1,14 @@
+"""ISA kernel programs for the paper's benchmark workloads.
+
+Each module exposes one or more ``build_*`` functions returning a
+:class:`~repro.crypto.programs.common.KernelProgram`: the ISA program, at
+least two confidential-input assignments (for Algorithm 2's input diff), and
+a verification callback that checks the kernel's architectural output against
+its ground-truth model (the full reference implementation where the kernel is
+full strength, or a reduced-parameter model documented in the module).
+
+The kernels are written so that their *control-flow structure* — loop nests,
+trip counts, call/return patterns — matches the real implementations; that
+structure is what the branch analysis, the BTU, and the timing evaluation
+measure.
+"""

@@ -1,0 +1,410 @@
+"""Constant-time AES-like block cipher kernels (``AES_CTR`` and ``CBC_ct``).
+
+BearSSL's constant-time AES avoids secret-indexed S-box lookups by computing
+SubBytes algebraically (bitsliced).  Full bitslicing is impractical on the
+toy ISA, so the kernel uses an *AES-structured* cipher: a 4x4 byte state, ten
+rounds of SubBytes / ShiftRows / MixColumns / AddRoundKey, where SubBytes is
+a branch-free affine byte transformation (rotate-and-XOR network plus a
+constant) instead of the Rijndael S-box.  Round keys are derived by the same
+rotate/substitute/rcon schedule shape as AES-128.  The per-byte, per-column,
+and per-round loop structure — which is what the branch analysis and the BTU
+see — matches a real table-free AES; the arithmetic strength does not, and
+the ground truth is the matching reduced model in this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.crypto.programs.common import KernelProgram
+from repro.isa.builder import ProgramBuilder
+
+ROUNDS = 10
+RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+# --------------------------------------------------------------------------- #
+# Reduced model (ground truth for the kernel)
+# --------------------------------------------------------------------------- #
+def _sub_byte_model(value: int) -> int:
+    rot1 = ((value << 1) | (value >> 7)) & 0xFF
+    rot2 = ((value << 2) | (value >> 6)) & 0xFF
+    rot4 = ((value << 4) | (value >> 4)) & 0xFF
+    return rot1 ^ rot2 ^ rot4 ^ 0x63
+
+
+def _shift_rows_model(state: List[int]) -> List[int]:
+    out = list(state)
+    for r in range(1, 4):
+        row = [state[4 * c + r] for c in range(4)]
+        row = row[r:] + row[:r]
+        for c in range(4):
+            out[4 * c + r] = row[c]
+    return out
+
+
+def _xtime_model(value: int) -> int:
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x1B
+    return value & 0xFF
+
+
+def _mix_columns_model(state: List[int]) -> List[int]:
+    out = [0] * 16
+    for c in range(4):
+        col = state[4 * c : 4 * c + 4]
+        for r in range(4):
+            out[4 * c + r] = (
+                _xtime_model(col[r])
+                ^ (_xtime_model(col[(r + 1) % 4]) ^ col[(r + 1) % 4])
+                ^ col[(r + 2) % 4]
+                ^ col[(r + 3) % 4]
+            )
+    return out
+
+
+def expand_key_model(key: Sequence[int]) -> List[List[int]]:
+    """Round-key schedule of the reduced cipher (11 keys of 16 bytes)."""
+    words = [list(key[4 * i : 4 * i + 4]) for i in range(4)]
+    for i in range(4, 44):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [_sub_byte_model(t) for t in temp]
+            temp[0] ^= RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+    return [sum(words[4 * r : 4 * r + 4], []) for r in range(11)]
+
+
+def encrypt_block_model(key: Sequence[int], block: Sequence[int]) -> List[int]:
+    """Encrypt one 16-byte block with the reduced AES-structured cipher."""
+    round_keys = expand_key_model(key)
+    state = [p ^ k for p, k in zip(block, round_keys[0])]
+    for round_index in range(1, ROUNDS):
+        state = [_sub_byte_model(s) for s in state]
+        state = _shift_rows_model(state)
+        state = _mix_columns_model(state)
+        state = [s ^ k for s, k in zip(state, round_keys[round_index])]
+    state = [_sub_byte_model(s) for s in state]
+    state = _shift_rows_model(state)
+    state = [s ^ k for s, k in zip(state, round_keys[ROUNDS])]
+    return state
+
+
+def ctr_model(key: Sequence[int], counters: Sequence[Sequence[int]], plaintext: Sequence[int]) -> List[int]:
+    out: List[int] = []
+    for block_index, counter_block in enumerate(counters):
+        keystream = encrypt_block_model(key, counter_block)
+        chunk = plaintext[16 * block_index : 16 * block_index + 16]
+        out.extend(p ^ k for p, k in zip(chunk, keystream))
+    return out
+
+
+def cbc_model(key: Sequence[int], iv: Sequence[int], plaintext: Sequence[int]) -> List[int]:
+    out: List[int] = []
+    previous = list(iv)
+    for block_index in range(len(plaintext) // 16):
+        chunk = plaintext[16 * block_index : 16 * block_index + 16]
+        block = [p ^ c for p, c in zip(chunk, previous)]
+        previous = encrypt_block_model(key, block)
+        out.extend(previous)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Kernel emission
+# --------------------------------------------------------------------------- #
+def _emit_cipher_functions(b: ProgramBuilder, rk_addr: int, state_addr: int, rcon_addr: int, key_addr: int):
+    """Emit sub_bytes / shift_rows / mix_columns / add_round_key / expand_key
+    / encrypt_block functions operating on the 16-byte state at ``state_addr``."""
+    addr, val, tmp, tmp2 = b.regs("aes_addr", "aes_val", "aes_tmp", "aes_tmp2")
+    i = b.reg("aes_i")
+
+    with b.function("sub_byte") as sub_byte:
+        # register sb_in -> sb_out ; affine rotate/XOR network.
+        b.and_("sb_in", "sb_in", 0xFF)
+        b.shl("sb_out", "sb_in", 1)
+        b.shr(tmp, "sb_in", 7)
+        b.or_("sb_out", "sb_out", tmp)
+        b.and_("sb_out", "sb_out", 0xFF)
+        b.shl(tmp, "sb_in", 2)
+        b.shr(tmp2, "sb_in", 6)
+        b.or_(tmp, tmp, tmp2)
+        b.and_(tmp, tmp, 0xFF)
+        b.xor("sb_out", "sb_out", tmp)
+        b.shl(tmp, "sb_in", 4)
+        b.shr(tmp2, "sb_in", 4)
+        b.or_(tmp, tmp, tmp2)
+        b.and_(tmp, tmp, 0xFF)
+        b.xor("sb_out", "sb_out", tmp)
+        b.xor("sb_out", "sb_out", 0x63)
+
+    with b.function("xtime") as xtime:
+        # register xt_in -> xt_out ; branch-free GF(2^8) doubling.
+        cond = b.reg("xt_cond")
+        b.shl("xt_out", "xt_in", 1)
+        b.and_(cond, "xt_out", 0x100)
+        b.shr(cond, cond, 8)
+        b.mul(cond, cond, 0x1B)
+        b.xor("xt_out", "xt_out", cond)
+        b.and_("xt_out", "xt_out", 0xFF)
+
+    with b.function("sub_bytes_state") as sub_bytes_state:
+        with b.for_range(i, 0, 16):
+            b.movi(addr, state_addr)
+            b.add(addr, addr, i)
+            b.load("sb_in", addr)
+            b.call(sub_byte)
+            b.store("sb_out", addr)
+
+    with b.function("shift_rows") as shift_rows:
+        # Gather each row, rotate it, and scatter it back (static addressing).
+        row_regs = b.regs("r0", "r1", "r2", "r3")
+        for r in range(1, 4):
+            for c in range(4):
+                b.movi(addr, state_addr + 4 * c + r)
+                b.load(row_regs[c], addr)
+            for c in range(4):
+                b.movi(addr, state_addr + 4 * c + r)
+                b.store(row_regs[(c + r) % 4], addr)
+
+    with b.function("mix_columns") as mix_columns:
+        col = b.regs("c0", "c1", "c2", "c3")
+        doubled = b.regs("d0", "d1", "d2", "d3")
+        c_i = b.reg("mc_c")
+        base = b.reg("mc_base")
+        with b.for_range(c_i, 0, 4):
+            b.movi(base, 4)
+            b.mul(base, base, c_i)
+            b.add(base, base, state_addr)
+            for r in range(4):
+                b.mov(addr, base)
+                b.add(addr, addr, r)
+                b.load(col[r], addr)
+                b.mov("xt_in", col[r])
+                b.call(xtime)
+                b.mov(doubled[r], "xt_out")
+            for r in range(4):
+                b.mov(val, doubled[r])
+                b.xor(val, val, doubled[(r + 1) % 4])
+                b.xor(val, val, col[(r + 1) % 4])
+                b.xor(val, val, col[(r + 2) % 4])
+                b.xor(val, val, col[(r + 3) % 4])
+                b.mov(addr, base)
+                b.add(addr, addr, r)
+                b.store(val, addr)
+
+    with b.function("add_round_key") as add_round_key:
+        # register ark_round selects the round key.
+        offset = b.reg("ark_off")
+        with b.for_range(i, 0, 16):
+            b.movi(offset, 16)
+            b.mul(offset, offset, "ark_round")
+            b.add(offset, offset, i)
+            b.add(offset, offset, rk_addr)
+            b.load(tmp, offset)
+            b.movi(addr, state_addr)
+            b.add(addr, addr, i)
+            b.load(val, addr)
+            b.xor(val, val, tmp)
+            b.store(val, addr)
+
+    with b.function("expand_key") as expand_key:
+        # Copy the 16 key bytes, then derive words 4..43.
+        with b.for_range(i, 0, 16):
+            b.movi(addr, key_addr)
+            b.add(addr, addr, i)
+            b.load(val, addr)
+            b.movi(addr, rk_addr)
+            b.add(addr, addr, i)
+            b.store(val, addr)
+        w_i = b.reg("ek_w")
+        byte_i = b.reg("ek_b")
+        prev = b.reg("ek_prev")
+        old = b.reg("ek_old")
+        is_rot = b.reg("ek_isrot")
+        rot_idx = b.reg("ek_rotidx")
+        rcon_val = b.reg("ek_rcon")
+        with b.for_range(w_i, 4, 44):
+            b.mod(is_rot, w_i, 4)
+            b.cmpeq(is_rot, is_rot, 0)
+            with b.for_range(byte_i, 0, 4):
+                # prev byte: rotated when w_i % 4 == 0 (constant-time select).
+                b.add(rot_idx, byte_i, 1)
+                b.mod(rot_idx, rot_idx, 4)
+                b.csel(tmp2, is_rot, rot_idx, byte_i)
+                b.movi(addr, rk_addr - 4)
+                b.movi(val, 4)
+                b.mul(val, val, w_i)
+                b.add(addr, addr, val)
+                b.add(addr, addr, tmp2)
+                b.load(prev, addr)
+                # SubByte applied only for the rotated case.
+                b.mov("sb_in", prev)
+                b.call(sub_byte)
+                b.csel(prev, is_rot, "sb_out", prev)
+                # rcon on byte 0 of rotated words.
+                b.movi(addr, rcon_addr - 1)
+                b.movi(val, 0)
+                b.div(val, w_i, 4)
+                b.add(addr, addr, val)
+                b.load(rcon_val, addr)
+                b.cmpeq(tmp2, byte_i, 0)
+                b.and_(tmp2, tmp2, is_rot)
+                b.mul(rcon_val, rcon_val, tmp2)
+                b.xor(prev, prev, rcon_val)
+                # out = w[i-4][byte] ^ prev
+                b.movi(addr, rk_addr - 16)
+                b.movi(val, 4)
+                b.mul(val, val, w_i)
+                b.add(addr, addr, val)
+                b.add(addr, addr, byte_i)
+                b.load(old, addr)
+                b.xor(old, old, prev)
+                b.movi(addr, rk_addr)
+                b.movi(val, 4)
+                b.mul(val, val, w_i)
+                b.add(addr, addr, val)
+                b.add(addr, addr, byte_i)
+                b.store(old, addr)
+
+    with b.function("encrypt_block") as encrypt_block:
+        b.movi("ark_round", 0)
+        b.call(add_round_key)
+        round_i = b.reg("enc_round")
+        with b.for_range(round_i, 1, ROUNDS):
+            b.call(sub_bytes_state)
+            b.call(shift_rows)
+            b.call(mix_columns)
+            b.mov("ark_round", round_i)
+            b.call(add_round_key)
+        b.call(sub_bytes_state)
+        b.call(shift_rows)
+        b.movi("ark_round", ROUNDS)
+        b.call(add_round_key)
+
+    return expand_key, encrypt_block
+
+
+def _build_aes_kernel(name: str, mode: str, blocks: int) -> KernelProgram:
+    b = ProgramBuilder(name)
+    key_a = [(i * 7 + 1) & 0xFF for i in range(16)]
+    key_b = [(i * 13 + 99) & 0xFF for i in range(16)]
+    plaintext_a = [(i * 11 + 5) & 0xFF for i in range(16 * blocks)]
+    plaintext_b = [(i * 3 + 200) & 0xFF for i in range(16 * blocks)]
+    iv = [(i * 17 + 3) & 0xFF for i in range(16)]
+    counters = [[(c + 1) & 0xFF] + iv[1:] for c in range(blocks)]
+
+    key_addr = b.alloc_secret("key", key_a)
+    pt_addr = b.alloc_secret("plaintext", plaintext_a)
+    iv_addr = b.alloc("iv", iv)
+    counter_addr = b.alloc("counters", [byte for block in counters for byte in block])
+    rk_addr = b.alloc("round_keys", 176)
+    state_addr = b.alloc("state", 16)
+    rcon_addr = b.alloc("rcon", RCON)
+    out_addr = b.alloc("output", 16 * blocks)
+
+    with b.crypto():
+        expand_key, encrypt_block = _emit_cipher_functions(b, rk_addr, state_addr, rcon_addr, key_addr)
+        b.call(expand_key)
+        i = b.reg("top_i")
+        addr = b.reg("top_addr")
+        val = b.reg("top_val")
+        tmp = b.reg("top_tmp")
+        block_i = b.reg("top_block")
+        offset = b.reg("top_off")
+        with b.for_range(block_i, 0, blocks):
+            b.movi(offset, 16)
+            b.mul(offset, offset, block_i)
+            if mode == "ctr":
+                # state = counter block
+                with b.for_range(i, 0, 16):
+                    b.movi(addr, counter_addr)
+                    b.add(addr, addr, offset)
+                    b.add(addr, addr, i)
+                    b.load(val, addr)
+                    b.movi(addr, state_addr)
+                    b.add(addr, addr, i)
+                    b.store(val, addr)
+                b.call(encrypt_block)
+                # output = keystream ^ plaintext
+                with b.for_range(i, 0, 16):
+                    b.movi(addr, pt_addr)
+                    b.add(addr, addr, offset)
+                    b.add(addr, addr, i)
+                    b.load(val, addr)
+                    b.movi(addr, state_addr)
+                    b.add(addr, addr, i)
+                    b.load(tmp, addr)
+                    b.xor(val, val, tmp)
+                    b.movi(addr, out_addr)
+                    b.add(addr, addr, offset)
+                    b.add(addr, addr, i)
+                    b.store(val, addr)
+            else:  # CBC
+                # state = plaintext ^ previous ciphertext (or IV for block 0)
+                prev_is_iv = b.reg("cbc_previsiv")
+                prev_addr = b.reg("cbc_prevaddr")
+                b.cmpeq(prev_is_iv, block_i, 0)
+                with b.for_range(i, 0, 16):
+                    b.movi(addr, pt_addr)
+                    b.add(addr, addr, offset)
+                    b.add(addr, addr, i)
+                    b.load(val, addr)
+                    # previous ciphertext byte address (out + offset - 16 + i) or iv + i
+                    b.movi(prev_addr, out_addr - 16)
+                    b.add(prev_addr, prev_addr, offset)
+                    b.add(prev_addr, prev_addr, i)
+                    b.movi(addr, iv_addr)
+                    b.add(addr, addr, i)
+                    b.csel(prev_addr, prev_is_iv, addr, prev_addr)
+                    b.load(tmp, prev_addr)
+                    b.xor(val, val, tmp)
+                    b.movi(addr, state_addr)
+                    b.add(addr, addr, i)
+                    b.store(val, addr)
+                b.call(encrypt_block)
+                with b.for_range(i, 0, 16):
+                    b.movi(addr, state_addr)
+                    b.add(addr, addr, i)
+                    b.load(val, addr)
+                    b.movi(addr, out_addr)
+                    b.add(addr, addr, offset)
+                    b.add(addr, addr, i)
+                    b.store(val, addr)
+        b.declassify(val)
+    b.halt()
+    program = b.build()
+
+    def overrides(key: List[int], plaintext: List[int]) -> Dict[int, int]:
+        mapping = {key_addr + i: value for i, value in enumerate(key)}
+        mapping.update({pt_addr + i: value for i, value in enumerate(plaintext)})
+        return mapping
+
+    if mode == "ctr":
+        expected = ctr_model(key_a, counters, plaintext_a)
+    else:
+        expected = cbc_model(key_a, iv, plaintext_a)
+
+    def verify(result) -> bool:
+        return result.memory_words(out_addr, 16 * blocks) == expected
+
+    return KernelProgram(
+        name=name,
+        suite="bearssl",
+        program=program,
+        inputs=[overrides(key_a, plaintext_a), overrides(key_b, plaintext_b)],
+        verify=verify,
+        description=f"AES-structured constant-time cipher, {mode.upper()} mode, {blocks} blocks",
+    )
+
+
+def build_aes_ctr(blocks: int = 3) -> KernelProgram:
+    """The ``AES_CTR`` BearSSL workload."""
+    return _build_aes_kernel("AES_CTR", "ctr", blocks)
+
+
+def build_cbc_ct(blocks: int = 3) -> KernelProgram:
+    """The ``CBC_ct`` BearSSL workload."""
+    return _build_aes_kernel("CBC_ct", "cbc", blocks)

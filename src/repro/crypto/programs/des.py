@@ -1,0 +1,159 @@
+"""``DES_ct`` kernel: a 16-round Feistel network with bit-permutation loops.
+
+BearSSL's constant-time DES replaces table lookups with bit-level logic.  The
+kernel reproduces that control-flow shape — a per-block loop, a 16-round
+Feistel loop, and inner 32-bit permutation/expansion loops that walk a public
+permutation table — using a simplified round function (expansion-XOR-rotate
+-permute) in place of the DES S-boxes.  The ground truth is the matching
+reduced model defined in this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.crypto.programs.common import KernelProgram
+from repro.isa.builder import ProgramBuilder
+
+ROUNDS = 16
+
+#: A fixed public 32-bit permutation (derived from the DES P-table pattern).
+PERMUTATION = [
+    15, 6, 19, 20, 28, 11, 27, 16, 0, 14, 22, 25, 4, 17, 30, 9,
+    1, 7, 23, 13, 31, 26, 2, 8, 18, 12, 29, 5, 21, 10, 3, 24,
+]
+
+MASK32 = 0xFFFFFFFF
+
+
+# --------------------------------------------------------------------------- #
+# Reduced model (ground truth)
+# --------------------------------------------------------------------------- #
+def _round_function_model(right: int, round_key: int) -> int:
+    mixed = (right ^ round_key) & MASK32
+    mixed = ((mixed << 3) | (mixed >> 29)) & MASK32
+    mixed = (mixed + 0x9E3779B9) & MASK32
+    out = 0
+    for position, source in enumerate(PERMUTATION):
+        out |= ((mixed >> source) & 1) << position
+    return out
+
+
+def key_schedule_model(key: int) -> List[int]:
+    round_keys = []
+    state = key & ((1 << 64) - 1)
+    for round_index in range(ROUNDS):
+        state = ((state << 5) | (state >> 59)) & ((1 << 64) - 1)
+        state ^= 0xA5A5A5A5A5A5A5A5
+        round_keys.append((state ^ (round_index * 0x01010101)) & MASK32)
+    return round_keys
+
+
+def encrypt_block_model(key: int, block: int) -> int:
+    round_keys = key_schedule_model(key)
+    left = (block >> 32) & MASK32
+    right = block & MASK32
+    for round_key in round_keys:
+        left, right = right, left ^ _round_function_model(right, round_key)
+    return (right << 32) | left
+
+
+# --------------------------------------------------------------------------- #
+# Kernel
+# --------------------------------------------------------------------------- #
+def build_des(blocks: int = 3) -> KernelProgram:
+    """Encrypt ``blocks`` 64-bit blocks with the Feistel kernel."""
+    b = ProgramBuilder("DES_ct")
+    key_a = 0x133457799BBCDFF1
+    key_b = 0x0F1571C947D9E859
+    blocks_a = [(0x0123456789ABCDEF * (i + 1)) & ((1 << 64) - 1) for i in range(blocks)]
+    blocks_b = [(0xFEDCBA9876543210 ^ (i * 0x1111111111111111)) & ((1 << 64) - 1) for i in range(blocks)]
+
+    key_addr = b.alloc_secret("key", [key_a])
+    msg_addr = b.alloc_secret("blocks", blocks_a)
+    perm_addr = b.alloc("permutation", PERMUTATION)
+    rk_addr = b.alloc("round_keys", ROUNDS)
+    out_addr = b.alloc("output", blocks)
+
+    with b.crypto():
+        addr, key, state, left, right = b.regs("addr", "key", "state", "left", "right")
+        mixed, out, bitv, tmp = b.regs("mixed", "out", "bitv", "tmp")
+        rk, newr = b.regs("rk", "newr")
+        i, r, p = b.regs("i", "r", "p")
+
+        # ---- Key schedule (16 rotate/XOR rounds). ----
+        b.movi(addr, key_addr)
+        b.load(key, addr)
+        b.mov(state, key)
+        with b.for_range(r, 0, ROUNDS):
+            b.rotl64(state, state, 5)
+            b.xor(state, state, 0xA5A5A5A5A5A5A5A5)
+            b.movi(tmp, 0x01010101)
+            b.mul(tmp, tmp, r)
+            b.xor(rk, state, tmp)
+            b.mask32(rk)
+            b.movi(addr, rk_addr)
+            b.add(addr, addr, r)
+            b.store(rk, addr)
+
+        # ---- Round function (register rf_right, rf_key -> rf_out). ----
+        with b.function("feistel_round") as feistel_round:
+            b.xor(mixed, "rf_right", "rf_key")
+            b.mask32(mixed)
+            b.rotl(mixed, mixed, 3)
+            b.add(mixed, mixed, 0x9E3779B9)
+            b.mask32(mixed)
+            b.movi(out, 0)
+            with b.for_range(p, 0, 32):
+                b.movi(addr, perm_addr)
+                b.add(addr, addr, p)
+                b.load(tmp, addr)
+                b.shr(bitv, mixed, tmp)
+                b.and_(bitv, bitv, 1)
+                b.shl(bitv, bitv, p)
+                b.or_(out, out, bitv)
+            b.mov("rf_out", out)
+
+        # ---- Per-block Feistel loop. ----
+        with b.for_range(i, 0, blocks):
+            b.movi(addr, msg_addr)
+            b.add(addr, addr, i)
+            b.load(state, addr)
+            b.shr(left, state, 32)
+            b.and_(right, state, MASK32)
+            with b.for_range(r, 0, ROUNDS):
+                b.movi(addr, rk_addr)
+                b.add(addr, addr, r)
+                b.load("rf_key", addr)
+                b.mov("rf_right", right)
+                b.call(feistel_round)
+                b.xor(newr, left, "rf_out")
+                b.mov(left, right)
+                b.mov(right, newr)
+            b.shl(state, right, 32)
+            b.or_(state, state, left)
+            b.movi(addr, out_addr)
+            b.add(addr, addr, i)
+            b.store(state, addr)
+        b.declassify(state)
+    b.halt()
+    program = b.build()
+
+    expected = [encrypt_block_model(key_a, block) for block in blocks_a]
+
+    def overrides(key: int, message_blocks: List[int]) -> Dict[int, int]:
+        mapping = {key_addr: key}
+        mapping.update({msg_addr + idx: block for idx, block in enumerate(message_blocks)})
+        return mapping
+
+    def verify(result) -> bool:
+        return result.memory_words(out_addr, blocks) == expected
+
+    return KernelProgram(
+        name="DES_ct",
+        suite="bearssl",
+        program=program,
+        inputs=[overrides(key_a, blocks_a), overrides(key_b, blocks_b)],
+        verify=verify,
+        description=f"16-round Feistel encryption of {blocks} blocks with bit-permutation loops",
+    )

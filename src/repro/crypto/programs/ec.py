@@ -1,0 +1,312 @@
+"""Elliptic-curve kernels: Montgomery ladder (curve25519-style) and ECDSA.
+
+* ``EC_c25519_i31`` / ``curve25519`` — the X25519 Montgomery ladder with its
+  constant-structure conditional swaps, over the reduced field GF(2^31 - 1)
+  (single-limb products fit the 64-bit ISA).  The BearSSL and OpenSSL
+  variants differ in the number of ladder iterations.  Ground truth:
+  :func:`repro.crypto.primitives.curve25519.reduced_ladder`.
+* ``ECDSA_i31`` — double-and-add-always scalar multiplication on the toy
+  prime-order curve of :mod:`repro.crypto.primitives.ecdsa`, producing the
+  signature ``r`` component.  Field inversions use Fermat exponentiation with
+  a fixed square-and-multiply-always schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.crypto.primitives import curve25519, ecdsa
+from repro.crypto.programs.common import (
+    KernelProgram,
+    emit_mersenne_addmod,
+    emit_mersenne_mulmod,
+    emit_mersenne_submod,
+)
+from repro.isa.builder import ProgramBuilder
+
+PRIME = curve25519.REDUCED_PRIME
+PRIME_BITS = 31
+A24 = curve25519.REDUCED_A24
+
+
+def build_montgomery_ladder(
+    name: str = "EC_c25519_i31",
+    suite: str = "bearssl",
+    bits: int = 64,
+) -> KernelProgram:
+    """X25519-style Montgomery ladder over GF(2^31 - 1) with ``bits`` steps."""
+    b = ProgramBuilder(name)
+    scalar_a = 0xA6C7F0123456789B & ((1 << bits) - 1)
+    scalar_b = 0x1D2E3F40F1E2D3C4 & ((1 << bits) - 1)
+    u_coord = 9
+
+    scalar_addr = b.alloc_secret("scalar", [scalar_a])
+    u_addr = b.alloc("u_coord", [u_coord])
+    out_addr = b.alloc("result", 1)
+
+    with b.crypto():
+        k, x1 = b.regs("k", "x1")
+        x2, z2, x3, z3 = b.regs("x2", "z2", "x3", "z3")
+        swap, kt, bit_t = b.regs("swap", "kt", "bit_t")
+        a, aa, bb, e, c, d, da, cb = b.regs("a", "aa", "bb", "e", "c", "d", "da", "cb")
+        t1, t2, mask, dummy = b.regs("t1", "t2", "mask", "dummy")
+        addr = b.reg("addr")
+        a24 = b.reg("a24")
+
+        b.movi(addr, scalar_addr)
+        b.load(k, addr)
+        b.movi(addr, u_addr)
+        b.load(x1, addr)
+        b.movi(x2, 1)
+        b.movi(z2, 0)
+        b.mov(x3, x1)
+        b.movi(z3, 1)
+        b.movi(swap, 0)
+        b.movi(a24, A24)
+
+        def cswap(r1: str, r2: str) -> None:
+            """Constant-time conditional swap controlled by ``swap``."""
+            b.movi(mask, 0)
+            b.sub(mask, mask, swap)  # 0 or all-ones
+            b.xor(dummy, r1, r2)
+            b.and_(dummy, dummy, mask)
+            b.xor(r1, r1, dummy)
+            b.xor(r2, r2, dummy)
+
+        def fmul(dst: str, lhs: str, rhs: str, prefix: str) -> None:
+            emit_mersenne_mulmod(b, dst, lhs, rhs, PRIME, PRIME_BITS, tmp_prefix=prefix)
+
+        bit_i = b.reg("bit_i")
+        with b.for_range(bit_i, 0, bits):
+            # t = bits - 1 - i (process from the most significant bit down).
+            b.movi(bit_t, bits - 1)
+            b.sub(bit_t, bit_t, bit_i)
+            b.shr(kt, k, bit_t)
+            b.and_(kt, kt, 1)
+            b.xor(swap, swap, kt)
+            cswap(x2, x3)
+            cswap(z2, z3)
+            b.mov(swap, kt)
+
+            emit_mersenne_addmod(b, a, x2, z2, PRIME, "la")
+            fmul(aa, a, a, "laa")
+            emit_mersenne_submod(b, bb, x2, z2, PRIME, "lb")  # b = x2 - z2
+            fmul(bb, bb, bb, "lbb")
+            emit_mersenne_submod(b, e, aa, bb, PRIME, "le")
+            emit_mersenne_addmod(b, c, x3, z3, PRIME, "lc")
+            emit_mersenne_submod(b, d, x3, z3, PRIME, "ld")
+            fmul(da, d, a, "lda")
+            # cb uses the *unsquared* (x2 - z2), which bb no longer holds.
+            emit_mersenne_submod(b, t1, x2, z2, PRIME, "lt1")
+            fmul(cb, c, t1, "lcb")
+            # x3 = (da + cb)^2
+            emit_mersenne_addmod(b, t2, da, cb, PRIME, "lt2")
+            fmul(x3, t2, t2, "lx3")
+            # z3 = x1 * (da - cb)^2
+            emit_mersenne_submod(b, t2, da, cb, PRIME, "lt3")
+            fmul(t2, t2, t2, "lz3a")
+            fmul(z3, x1, t2, "lz3b")
+            # x2 = aa * bb ; z2 = e * (aa + a24 * e)
+            fmul(x2, aa, bb, "lx2")
+            fmul(t2, a24, e, "lz2a")
+            emit_mersenne_addmod(b, t2, aa, t2, PRIME, "lz2b")
+            fmul(z2, e, t2, "lz2c")
+
+        cswap(x2, x3)
+        cswap(z2, z3)
+        # result = x2 * z2^(p-2) via square-and-multiply-always over the
+        # fixed (public) exponent p-2.
+        inv, base, sq = b.regs("inv", "base", "sq")
+        b.movi(inv, 1)
+        b.mov(base, z2)
+        exponent = PRIME - 2
+        for t in range(PRIME_BITS - 1, -1, -1):
+            fmul(inv, inv, inv, f"fi_sq")
+            fmul(sq, inv, base, f"fi_mul")
+            if (exponent >> t) & 1:
+                b.mov(inv, sq)
+        fmul(x2, x2, inv, "fin")
+        b.declassify(x2)
+        b.movi(addr, out_addr)
+        b.store(x2, addr)
+    b.halt()
+    program = b.build()
+
+    expected = curve25519.reduced_ladder(scalar_a, u_coord, bits=bits)
+
+    def verify(result) -> bool:
+        return result.state.read_mem(out_addr) == expected
+
+    return KernelProgram(
+        name=name,
+        suite=suite,
+        program=program,
+        inputs=[{scalar_addr: scalar_a}, {scalar_addr: scalar_b}],
+        verify=verify,
+        description=f"Montgomery ladder ({bits} steps) over GF(2^31 - 1)",
+    )
+
+
+def build_openssl_curve25519(bits: int = 96) -> KernelProgram:
+    """The OpenSSL-suite curve25519 workload (longer ladder)."""
+    return build_montgomery_ladder(name="curve25519", suite="openssl", bits=bits)
+
+
+# --------------------------------------------------------------------------- #
+# ECDSA
+# --------------------------------------------------------------------------- #
+def build_ecdsa(name: str = "ECDSA_i31") -> KernelProgram:
+    """ECDSA signing hot path: constant-flow scalar multiplication k·G.
+
+    The kernel computes the double-and-add-always ladder on the toy curve and
+    reduces the resulting x-coordinate modulo the group order (the signature
+    ``r``).  The per-bit loop performs a point doubling and a point addition,
+    each requiring a Fermat-inversion subroutine whose square-and-multiply
+    loop is itself constant-trip-count — the nested structure that dominates
+    BearSSL's ``ECDSA_i31``.
+    """
+    b = ProgramBuilder(name)
+    p = ecdsa.FIELD_PRIME
+    order = ecdsa.GENERATOR_ORDER
+    gx, gy = ecdsa.GENERATOR
+    bits = ecdsa.SCALAR_BITS - 1  # top bit handled by initialising result = G
+
+    nonce_a = 0x1A2B7 | (1 << (ecdsa.SCALAR_BITS - 1))
+    nonce_b = 0x0F4D3 | (1 << (ecdsa.SCALAR_BITS - 1))
+    nonce_a %= order
+    nonce_b %= order
+
+    k_addr = b.alloc_secret("nonce", [nonce_a])
+    out_addr = b.alloc("r_component", 1)
+
+    with b.crypto():
+        addr = b.reg("addr")
+        k = b.reg("k")
+        rx, ry = b.regs("rx", "ry")
+        qx, qy = b.regs("qx", "qy")
+        num, den, slope, inv, sq = b.regs("num", "den", "slope", "inv", "sq")
+        t1, t2, bit, bit_t = b.regs("t1", "t2", "bit", "bit_t")
+
+        b.movi(addr, k_addr)
+        b.load(k, addr)
+        b.movi(rx, gx)
+        b.movi(ry, gy)
+
+        def modmul(dst: str, x: str, y: str, prefix: str) -> None:
+            # Generic modular multiplication via MOD (p is not Mersenne here).
+            b.mul(dst, x, y)
+            b.mod(dst, dst, p)
+
+        with b.function("fermat_inverse") as fermat_inverse:
+            # register fi_in -> fi_out : in^(p-2) mod p, fixed schedule.
+            b.movi(inv, 1)
+            exponent = p - 2
+            for t in range(p.bit_length() - 1, -1, -1):
+                modmul(inv, inv, inv, "fe_sq")
+                modmul(sq, inv, "fi_in", "fe_mul")
+                if (exponent >> t) & 1:
+                    b.mov(inv, sq)
+            b.mov("fi_out", inv)
+
+        with b.function("point_double") as point_double:
+            # (rx, ry) <- 2 * (rx, ry)
+            modmul(num, rx, rx, "pd_xx")
+            b.mul(num, num, 3)
+            b.mod(num, num, p)
+            b.add(num, num, ecdsa.CURVE_A)
+            b.mod(num, num, p)
+            b.add(den, ry, ry)
+            b.mod(den, den, p)
+            b.mov("fi_in", den)
+            b.call(fermat_inverse)
+            modmul(slope, num, "fi_out", "pd_sl")
+            modmul(t1, slope, slope, "pd_s2")
+            b.add(t2, rx, rx)
+            b.mod(t2, t2, p)
+            b.add(t1, t1, p)
+            b.sub(t1, t1, t2)
+            b.mod(t1, t1, p)  # x3
+            b.add(t2, rx, p)
+            b.sub(t2, t2, t1)
+            b.mod(t2, t2, p)
+            modmul(t2, slope, t2, "pd_y3")
+            b.add(t2, t2, p)
+            b.sub(t2, t2, ry)
+            b.mod(t2, t2, p)
+            b.mov(rx, t1)
+            b.mov(ry, t2)
+
+        with b.function("point_add_g") as point_add_g:
+            # (qx, qy) <- (rx, ry) + G
+            b.movi(t1, gx)
+            b.add(t1, t1, p)
+            b.sub(t1, t1, rx)
+            b.mod(den, t1, p)
+            b.movi(t1, gy)
+            b.add(t1, t1, p)
+            b.sub(t1, t1, ry)
+            b.mod(num, t1, p)
+            b.mov("fi_in", den)
+            b.call(fermat_inverse)
+            modmul(slope, num, "fi_out", "pa_sl")
+            modmul(t1, slope, slope, "pa_s2")
+            b.add(t2, rx, gx)
+            b.mod(t2, t2, p)
+            b.add(t1, t1, p)
+            b.sub(t1, t1, t2)
+            b.mod(qx, t1, p)
+            b.add(t2, rx, p)
+            b.sub(t2, t2, qx)
+            b.mod(t2, t2, p)
+            modmul(t2, slope, t2, "pa_y3")
+            b.add(t2, t2, p)
+            b.sub(t2, t2, ry)
+            b.mod(qy, t2, p)
+
+        bit_i = b.reg("bit_i")
+        with b.for_range(bit_i, 0, bits):
+            b.call(point_double)
+            b.call(point_add_g)
+            b.movi(bit_t, bits - 1)
+            b.sub(bit_t, bit_t, bit_i)
+            b.shr(bit, k, bit_t)
+            b.and_(bit, bit, 1)
+            b.csel(rx, bit, qx, rx)
+            b.csel(ry, bit, qy, ry)
+
+        b.mod(rx, rx, order)
+        b.declassify(rx)
+        b.movi(addr, out_addr)
+        b.store(rx, addr)
+    b.halt()
+    program = b.build()
+
+    def expected_r(nonce: int) -> int:
+        # The kernel's ladder ignores the (set) top bit marker and processes
+        # the remaining bits with result initialised to G, which computes
+        # k' = 1 followed by the standard double-and-add recurrence.
+        point = ecdsa.scalar_mult(_ladder_equivalent_scalar(nonce, bits), ecdsa.GENERATOR, bits=ecdsa.SCALAR_BITS)
+        assert point is not None
+        return point[0] % order
+
+    def verify(result) -> bool:
+        return result.state.read_mem(out_addr) == expected_r(nonce_a)
+
+    return KernelProgram(
+        name=name,
+        suite="bearssl",
+        program=program,
+        inputs=[{k_addr: nonce_a}, {k_addr: nonce_b}],
+        verify=verify,
+        description="ECDSA signing hot path: double-and-add-always scalar multiplication",
+    )
+
+
+def _ladder_equivalent_scalar(nonce: int, bits: int) -> int:
+    """The scalar the kernel's ladder effectively multiplies by.
+
+    The kernel starts from ``result = G`` and then processes the low ``bits``
+    bits of the nonce most-significant first, so the computed multiple is
+    ``2^bits + (nonce mod 2^bits)``.
+    """
+    return (1 << bits) + (nonce & ((1 << bits) - 1))

@@ -1,0 +1,255 @@
+"""Kyber-style module-LWE key generation kernels (``kyber512``, ``kyber768``).
+
+The kernel follows the reference Kyber keygen structure with reduced
+parameters (``n = 32`` coefficients per polynomial, ``k`` = 2 or 3):
+
+* the public matrix ``A`` is expanded by **rejection sampling** 12-bit
+  candidates drawn from an xorshift64 stream seeded by the (varied) input
+  seed — the accept/reject branch is exactly the input-dependent branch the
+  paper singles out (its trace changes between runs, so Algorithm 2 refuses
+  to record it and the BTU stalls fetch for it);
+* the secret and error vectors come from a centred-binomial (CBD) sampler;
+* ``t = A·s + e`` is computed with schoolbook negacyclic polynomial
+  multiplication (the loop structure of the reference implementation without
+  the NTT optimisation).
+
+Ground truth is :func:`keygen_model`, which mirrors the kernel's reduced
+computation exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.crypto.programs.common import KernelProgram
+from repro.isa.builder import ProgramBuilder
+
+Q = 3329
+N = 32
+MASK64 = (1 << 64) - 1
+
+
+# --------------------------------------------------------------------------- #
+# Ground-truth model
+# --------------------------------------------------------------------------- #
+def xorshift64(state: int) -> int:
+    state &= MASK64
+    state ^= (state << 13) & MASK64
+    state ^= state >> 7
+    state ^= (state << 17) & MASK64
+    return state & MASK64
+
+
+def keygen_model(seed: int, k: int) -> Tuple[List[List[List[int]]], List[List[int]], List[List[int]]]:
+    """Reduced Kyber keygen: returns (A, s, t)."""
+    state = seed or 1
+
+    def next_value() -> int:
+        nonlocal state
+        state = xorshift64(state)
+        return state
+
+    # Matrix expansion by rejection sampling.
+    matrix: List[List[List[int]]] = []
+    for _i in range(k):
+        row = []
+        for _j in range(k):
+            poly: List[int] = []
+            while len(poly) < N:
+                candidate = next_value() & 0xFFF
+                if candidate < Q:
+                    poly.append(candidate)
+            row.append(poly)
+        matrix.append(row)
+
+    def cbd_poly() -> List[int]:
+        poly = []
+        for _ in range(N):
+            draw = next_value()
+            value = (draw & 1) + ((draw >> 1) & 1) - ((draw >> 2) & 1) - ((draw >> 3) & 1)
+            poly.append(value % Q)
+        return poly
+
+    s = [cbd_poly() for _ in range(k)]
+    e = [cbd_poly() for _ in range(k)]
+
+    def poly_mul(a: List[int], b: List[int]) -> List[int]:
+        out = [0] * N
+        for i in range(N):
+            for j in range(N):
+                index = i + j
+                product = (a[i] * b[j]) % Q
+                if index >= N:
+                    out[index - N] = (out[index - N] - product) % Q
+                else:
+                    out[index] = (out[index] + product) % Q
+        return out
+
+    t = []
+    for i in range(k):
+        acc = [0] * N
+        for j in range(k):
+            prod = poly_mul(matrix[i][j], s[j])
+            acc = [(x + y) % Q for x, y in zip(acc, prod)]
+        acc = [(x + y) % Q for x, y in zip(acc, e[i])]
+        t.append(acc)
+    return matrix, s, t
+
+
+# --------------------------------------------------------------------------- #
+# Kernel
+# --------------------------------------------------------------------------- #
+def _build_kyber(name: str, k: int, seed_a: int, seed_b: int) -> KernelProgram:
+    b = ProgramBuilder(name)
+    seed_addr = b.alloc_secret("seed", [seed_a])
+    a_addr = b.alloc("matrix_a", k * k * N)
+    s_addr = b.alloc_secret("secret_s", k * N)
+    e_addr = b.alloc_secret("error_e", k * N)
+    t_addr = b.alloc("public_t", k * N)
+    prod_addr = b.alloc("product", N)
+
+    with b.crypto():
+        addr, prng, draw, cand, accepted = b.regs("addr", "prng", "draw", "cand", "accepted")
+        val, tmp, cond = b.regs("val", "tmp", "cond")
+        i, j, ii, jj = b.regs("i", "j", "ii", "jj")
+
+        with b.function("prng_next") as prng_next:
+            # xorshift64 on the ``prng`` register; result also in ``draw``.
+            b.shl(tmp, prng, 13)
+            b.xor(prng, prng, tmp)
+            b.shr(tmp, prng, 7)
+            b.xor(prng, prng, tmp)
+            b.shl(tmp, prng, 17)
+            b.xor(prng, prng, tmp)
+            b.mov(draw, prng)
+
+        b.movi(addr, seed_addr)
+        b.load(prng, addr)
+
+        # ---- Matrix expansion by rejection sampling (input-dependent branch). ----
+        poly_base = b.reg("poly_base")
+        for row in range(k):
+            for col in range(k):
+                base = a_addr + (row * k + col) * N
+                b.movi(poly_base, base)
+                b.movi(accepted, 0)
+                more = b.reg(f"more_{row}_{col}")
+                b.movi(more, 1)
+                with b.while_loop(more):
+                    # One XOF draw per iteration; acceptance is branchless
+                    # (store unconditionally, bump the index only when the
+                    # candidate is below q), so the only input-dependent
+                    # branch is the while condition itself — the branch the
+                    # paper highlights as having a random trace.
+                    b.call(prng_next)
+                    b.and_(cand, draw, 0xFFF)
+                    b.cmplt(cond, cand, Q)
+                    b.mov(addr, poly_base)
+                    b.add(addr, addr, accepted)
+                    b.store(cand, addr)
+                    b.add(accepted, accepted, cond)
+                    b.cmplt(more, accepted, N)
+
+        # ---- CBD sampling of s and e. ----
+        def emit_cbd(base_addr: int, count: int) -> None:
+            idx = b.reg("cbd_idx")
+            with b.for_range(idx, 0, count):
+                b.call(prng_next)
+                b.and_(val, draw, 1)
+                b.shr(tmp, draw, 1)
+                b.and_(tmp, tmp, 1)
+                b.add(val, val, tmp)
+                b.shr(tmp, draw, 2)
+                b.and_(tmp, tmp, 1)
+                b.add(val, val, Q)
+                b.sub(val, val, tmp)
+                b.shr(tmp, draw, 3)
+                b.and_(tmp, tmp, 1)
+                b.sub(val, val, tmp)
+                b.mod(val, val, Q)
+                b.movi(addr, base_addr)
+                b.add(addr, addr, idx)
+                b.store(val, addr)
+
+        emit_cbd(s_addr, k * N)
+        emit_cbd(e_addr, k * N)
+
+        # ---- t = A * s + e  (schoolbook negacyclic polynomial products). ----
+        ai, sj, prod, out_idx, sign = b.regs("ai", "sj", "prod", "out_idx", "sign")
+        with b.function("poly_mul_acc") as poly_mul_acc:
+            # Multiplies the polynomials at ``pm_a`` and ``pm_s`` and
+            # accumulates the negacyclic product into ``pm_out``.
+            with b.for_range(ii, 0, N):
+                b.mov(addr, "pm_a")
+                b.add(addr, addr, ii)
+                b.load(ai, addr)
+                with b.for_range(jj, 0, N):
+                    b.mov(addr, "pm_s")
+                    b.add(addr, addr, jj)
+                    b.load(sj, addr)
+                    b.mul(prod, ai, sj)
+                    b.mod(prod, prod, Q)
+                    b.add(out_idx, ii, jj)
+                    b.cmpge(sign, out_idx, N)
+                    # wrapped index and (q - prod) for the negacyclic term.
+                    b.movi(tmp, N)
+                    b.mul(tmp, tmp, sign)
+                    b.sub(out_idx, out_idx, tmp)
+                    b.movi(tmp, Q)
+                    b.sub(tmp, tmp, prod)
+                    b.mod(tmp, tmp, Q)
+                    b.csel(prod, sign, tmp, prod)
+                    b.mov(addr, "pm_out")
+                    b.add(addr, addr, out_idx)
+                    b.load(val, addr)
+                    b.add(val, val, prod)
+                    b.mod(val, val, Q)
+                    b.store(val, addr)
+
+        row_i = b.reg("row_i")
+        for row in range(k):
+            # Accumulate the row's products directly into t[row] (starts at 0).
+            for col in range(k):
+                b.movi("pm_a", a_addr + (row * k + col) * N)
+                b.movi("pm_s", s_addr + col * N)
+                b.movi("pm_out", t_addr + row * N)
+                b.call(poly_mul_acc)
+            # Add the error polynomial.
+            with b.for_range(row_i, 0, N):
+                b.movi(addr, e_addr + row * N)
+                b.add(addr, addr, row_i)
+                b.load(tmp, addr)
+                b.movi(addr, t_addr + row * N)
+                b.add(addr, addr, row_i)
+                b.load(val, addr)
+                b.add(val, val, tmp)
+                b.mod(val, val, Q)
+                b.store(val, addr)
+        b.declassify(val)
+    b.halt()
+    program = b.build()
+
+    _matrix, _s, t_expected = keygen_model(seed_a, k)
+    flat_expected = [coefficient for poly in t_expected for coefficient in poly]
+
+    def verify(result) -> bool:
+        return result.memory_words(t_addr, k * N) == flat_expected
+
+    return KernelProgram(
+        name=name,
+        suite="pqc",
+        program=program,
+        inputs=[{seed_addr: seed_a}, {seed_addr: seed_b}],
+        verify=verify,
+        description=f"Reduced Kyber keygen (k={k}, n={N}) with rejection sampling and CBD noise",
+    )
+
+
+def build_kyber512() -> KernelProgram:
+    """The ``kyber512`` workload (k = 2)."""
+    return _build_kyber("kyber512", k=2, seed_a=0x1234_5678_9ABC_DEF1, seed_b=0x0FED_CBA9_8765_4321)
+
+
+def build_kyber768() -> KernelProgram:
+    """The ``kyber768`` workload (k = 3)."""
+    return _build_kyber("kyber768", k=3, seed_a=0xA1B2_C3D4_E5F6_0718, seed_b=0x1122_3344_5566_7788)

@@ -1,0 +1,192 @@
+"""Big-number kernels: ``ModPow_i31``, ``RSA_i62``, and ``mul``.
+
+* ``ModPow_i31`` — square-and-multiply-always modular exponentiation over a
+  31-bit modulus, processing a fixed (public) number of exponent bits with a
+  constant-time select per bit.  Ground truth:
+  :func:`repro.crypto.primitives.modmath.modpow_ct`.
+* ``RSA_i62`` — a toy RSA private-key operation: one long exponentiation with
+  a larger bit count (the dominant loop of an RSA decryption).
+* ``mul`` — schoolbook big-number multiplication over 16-bit limbs with the
+  classic doubly nested carry-propagating loop.  Ground truth:
+  :func:`repro.crypto.primitives.modmath.bignum_mul`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.crypto.primitives import modmath
+from repro.crypto.programs.common import KernelProgram
+from repro.isa.builder import ProgramBuilder
+
+
+def _exponent_words(exponent: int, bits: int) -> List[int]:
+    """Split an exponent into little-endian 64-bit words covering ``bits``."""
+    count = (bits + 63) // 64
+    return [(exponent >> (64 * i)) & ((1 << 64) - 1) for i in range(count)]
+
+
+def _build_modpow(name: str, suite: str, modulus: int, bits: int, base_a: int, base_b: int, exp_a: int, exp_b: int) -> KernelProgram:
+    b = ProgramBuilder(name)
+    exp_words_a = _exponent_words(exp_a, bits)
+    exp_words_b = _exponent_words(exp_b, bits)
+    base_addr = b.alloc_secret("base", [base_a])
+    exp_addr = b.alloc_secret("exponent", exp_words_a)
+    out_addr = b.alloc("result", 1)
+
+    with b.crypto():
+        base, exp_word, result, squared, multiplied, bit, bit_t = b.regs(
+            "base", "exp_word", "result", "squared", "multiplied", "bit", "bit_t"
+        )
+        word_idx = b.reg("word_idx")
+        addr = b.reg("addr")
+        b.movi(addr, base_addr)
+        b.load(base, addr)
+        b.mod(base, base, modulus)
+        b.movi(result, 1 % modulus)
+
+        t = b.reg("t")
+        with b.for_range(t, 0, bits):
+            # squared = result^2 mod m ; multiplied = squared * base mod m.
+            b.mul(squared, result, result)
+            b.mod(squared, squared, modulus)
+            b.mul(multiplied, squared, base)
+            b.mod(multiplied, multiplied, modulus)
+            # bit (bits - 1 - t) of the multi-word exponent, constant-time.
+            b.movi(bit_t, bits - 1)
+            b.sub(bit_t, bit_t, t)
+            b.shr(word_idx, bit_t, 6)
+            b.and_(bit_t, bit_t, 63)
+            b.movi(addr, exp_addr)
+            b.add(addr, addr, word_idx)
+            b.load(exp_word, addr)
+            b.shr(bit, exp_word, bit_t)
+            b.and_(bit, bit, 1)
+            b.csel(result, bit, multiplied, squared)
+        b.declassify(result)
+        b.movi(addr, out_addr)
+        b.store(result, addr)
+    b.halt()
+    program = b.build()
+
+    expected = modmath.modpow_ct(base_a, exp_a, modulus, bits)
+
+    def overrides(base: int, exp_words: List[int]) -> Dict[int, int]:
+        mapping = {base_addr: base}
+        mapping.update({exp_addr + i: word for i, word in enumerate(exp_words)})
+        return mapping
+
+    def verify(result_) -> bool:
+        return result_.state.read_mem(out_addr) == expected
+
+    return KernelProgram(
+        name=name,
+        suite=suite,
+        program=program,
+        inputs=[overrides(base_a, exp_words_a), overrides(base_b, exp_words_b)],
+        verify=verify,
+        description=f"Square-and-multiply-always exponentiation, {bits} exponent bits",
+    )
+
+
+def build_modpow_i31(bits: int = 96) -> KernelProgram:
+    """The BearSSL ``ModPow_i31`` workload."""
+    modulus = (1 << 31) - 99  # a 31-bit odd modulus
+    return _build_modpow(
+        "ModPow_i31",
+        "bearssl",
+        modulus,
+        bits,
+        base_a=0x12345677,
+        base_b=0x0FEDCBA9,
+        exp_a=0xA5A5F0F0C3C3B4B4 & ((1 << bits) - 1),
+        exp_b=0x123456789ABCDEF0 & ((1 << bits) - 1),
+    )
+
+
+def build_rsa_i62(bits: int = 192) -> KernelProgram:
+    """The BearSSL ``RSA_i62`` workload (one long private exponentiation)."""
+    # A 31-bit modulus keeps 64-bit register products exact; the workload's
+    # distinguishing feature versus ModPow_i31 is the longer exponent loop.
+    modulus = 0x7FFFFFC3
+    return _build_modpow(
+        "RSA_i62",
+        "bearssl",
+        modulus,
+        bits,
+        base_a=0x1122334455667788,
+        base_b=0x99AABBCCDDEEFF00,
+        exp_a=(0xDEADBEEFCAFEBABE1234567890ABCDEF1122334455667788 & ((1 << bits) - 1)) | 1,
+        exp_b=(0x0F1E2D3C4B5A69788796A5B4C3D2E1F0FFEEDDCCBBAA9988 & ((1 << bits) - 1)) | 1,
+    )
+
+
+def build_mul(limbs: int = 16, limb_bits: int = 16) -> KernelProgram:
+    """The BearSSL ``mul`` workload: schoolbook big-number multiplication."""
+    b = ProgramBuilder("mul")
+    mask = (1 << limb_bits) - 1
+    value_a1 = 0x1234_5678_9ABC_DEF0_1122_3344_5566_7788_99AA_BBCC_DDEE_FF00_1357_9BDF_0246_8ACE
+    value_a2 = 0xFEDC_BA98_7654_3210_0102_0304_0506_0708_090A_0B0C_0D0E_0F10_1112_1314_1516_1718
+    value_b1 = 0x0F0E_0D0C_0B0A_0908_0706_0504_0302_0100_FFEE_DDCC_BBAA_9988_7766_5544_3322_1100
+    value_b2 = 0xAAAA_BBBB_CCCC_DDDD_EEEE_FFFF_0000_1111_2222_3333_4444_5555_6666_7777_8888_9999
+
+    a_limbs_1 = modmath.limbs_from_int(value_a1, limb_bits, limbs)
+    b_limbs_1 = modmath.limbs_from_int(value_b1, limb_bits, limbs)
+    a_limbs_2 = modmath.limbs_from_int(value_a2, limb_bits, limbs)
+    b_limbs_2 = modmath.limbs_from_int(value_b2, limb_bits, limbs)
+
+    a_addr = b.alloc_secret("a_limbs", a_limbs_1)
+    b_addr = b.alloc_secret("b_limbs", b_limbs_1)
+    out_addr = b.alloc("product", 2 * limbs)
+
+    with b.crypto():
+        i, j, addr = b.regs("i", "j", "addr")
+        ai, bj, acc, carry, outv = b.regs("ai", "bj", "acc", "carry", "outv")
+        with b.for_range(i, 0, limbs):
+            b.movi(carry, 0)
+            b.movi(addr, a_addr)
+            b.add(addr, addr, i)
+            b.load(ai, addr)
+            with b.for_range(j, 0, limbs):
+                b.movi(addr, b_addr)
+                b.add(addr, addr, j)
+                b.load(bj, addr)
+                # acc = out[i+j] + ai*bj + carry
+                b.movi(addr, out_addr)
+                b.add(addr, addr, i)
+                b.add(addr, addr, j)
+                b.load(outv, addr)
+                b.mul(acc, ai, bj)
+                b.add(acc, acc, outv)
+                b.add(acc, acc, carry)
+                b.and_(outv, acc, mask)
+                b.store(outv, addr)
+                b.shr(carry, acc, limb_bits)
+            # out[i + limbs] += carry
+            b.movi(addr, out_addr + limbs)
+            b.add(addr, addr, i)
+            b.load(outv, addr)
+            b.add(outv, outv, carry)
+            b.store(outv, addr)
+        b.declassify(outv)
+    b.halt()
+    program = b.build()
+
+    expected = modmath.bignum_mul(a_limbs_1, b_limbs_1, limb_bits)
+
+    def overrides(a_limbs: List[int], b_limbs: List[int]) -> Dict[int, int]:
+        mapping = {a_addr + idx: limb for idx, limb in enumerate(a_limbs)}
+        mapping.update({b_addr + idx: limb for idx, limb in enumerate(b_limbs)})
+        return mapping
+
+    def verify(result) -> bool:
+        return result.memory_words(out_addr, 2 * limbs) == expected
+
+    return KernelProgram(
+        name="mul",
+        suite="bearssl",
+        program=program,
+        inputs=[overrides(a_limbs_1, b_limbs_1), overrides(a_limbs_2, b_limbs_2)],
+        verify=verify,
+        description=f"Schoolbook multiplication of two {limbs}-limb big numbers",
+    )

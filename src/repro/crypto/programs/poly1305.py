@@ -1,0 +1,84 @@
+"""Poly1305-style one-time MAC kernel (reduced modulus).
+
+The real Poly1305 evaluates a polynomial over GF(2^130 - 5) with multi-limb
+arithmetic; the 64-bit toy ISA cannot hold 130-bit limb products, so the
+kernel evaluates the same Horner recurrence ``acc = (acc + block) * r mod p``
+over the Mersenne prime ``2^31 - 1`` with one 32-bit block per iteration.
+The per-block loop structure (the part the branch analysis sees) matches the
+reference implementation; the ground truth is the matching reduced model
+defined in this module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.crypto.programs.common import KernelProgram, emit_mersenne_addmod, emit_mersenne_mulmod
+from repro.isa.builder import ProgramBuilder
+
+PRIME = (1 << 31) - 1
+PRIME_BITS = 31
+
+
+def poly1305_reduced_model(blocks: Sequence[int], r: int, s: int) -> int:
+    """The reduced Poly1305 the kernel computes (ground truth)."""
+    accumulator = 0
+    r %= PRIME
+    for block in blocks:
+        accumulator = ((accumulator + (block % PRIME)) * r) % PRIME
+    return (accumulator + s) % (1 << 32)
+
+
+def build_poly1305(name: str = "Poly1305_ctmul", suite: str = "bearssl", num_blocks: int = 32) -> KernelProgram:
+    """MAC ``num_blocks`` 32-bit message blocks under a secret (r, s) key."""
+    b = ProgramBuilder(name)
+
+    blocks_a = [((i * 2654435761) ^ 0x9E3779B9) & 0xFFFFFFFF for i in range(num_blocks)]
+    blocks_b = [((i * 40503) + 0x7F4A7C15) & 0xFFFFFFFF for i in range(num_blocks)]
+    r_a, s_a = 0x3FFFF03, 0x11223344
+    r_b, s_b = 0x0754AB1, 0x55667788
+
+    key_addr = b.alloc_secret("key_rs", [r_a, s_a])
+    msg_addr = b.alloc_secret("message", blocks_a)
+    out_addr = b.alloc("tag", 1)
+
+    with b.crypto():
+        acc, r, s, block = b.regs("acc", "r", "s", "block")
+        i, addr = b.regs("i", "addr")
+        b.movi(addr, key_addr)
+        b.load(r, addr, 0)
+        b.load(s, addr, 1)
+        b.movi(acc, 0)
+        with b.for_range(i, 0, num_blocks):
+            b.movi(addr, msg_addr)
+            b.add(addr, addr, i)
+            b.load(block, addr)
+            emit_mersenne_addmod(b, acc, acc, block, PRIME, tmp_prefix=f"pa")
+            emit_mersenne_mulmod(b, acc, acc, r, PRIME, PRIME_BITS, tmp_prefix=f"pm")
+        b.add(acc, acc, s)
+        b.mask32(acc)
+        b.declassify(acc)
+        b.movi(addr, out_addr)
+        b.store(acc, addr)
+    b.halt()
+    program = b.build()
+
+    def overrides(blocks: List[int], r_val: int, s_val: int) -> Dict[int, int]:
+        mapping = {key_addr: r_val, key_addr + 1: s_val}
+        for offset, word in enumerate(blocks):
+            mapping[msg_addr + offset] = word
+        return mapping
+
+    expected = poly1305_reduced_model(blocks_a, r_a, s_a)
+
+    def verify(result) -> bool:
+        return result.state.read_mem(out_addr) == expected
+
+    return KernelProgram(
+        name=name,
+        suite=suite,
+        program=program,
+        inputs=[overrides(blocks_a, r_a, s_a), overrides(blocks_b, r_b, s_b)],
+        verify=verify,
+        description=f"Reduced Poly1305 MAC over {num_blocks} blocks (Horner loop structure)",
+    )

@@ -1,0 +1,471 @@
+"""SHA-256 ISA kernels (full-strength, verified against FIPS 180-4).
+
+Three workloads are built from the same compression-function kernel:
+
+* ``SHA-256`` / ``sha256`` — hash a multi-block message;
+* ``MultiHash`` — iterated hashing over several inputs;
+* ``TLS PRF`` — the TLS 1.2 P_SHA256 expansion, whose inner HMAC invocations
+  drive many compression calls.
+
+The message schedule expansion (48 iterations), the 64-round compression
+loop, and the per-block outer loop match the reference implementation's
+control flow exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.crypto.primitives.sha256 import H0, K, pad_message, sha256
+from repro.crypto.primitives.tls_prf import hmac_sha256, multihash, tls12_prf
+from repro.crypto.programs.common import (
+    KernelProgram,
+    bytes_to_words_be,
+    words_to_bytes_be,
+)
+from repro.isa.builder import ProgramBuilder
+
+
+def _emit_sha256_kernel(
+    b: ProgramBuilder,
+    k_addr: int,
+    h_addr: int,
+    w_addr: int,
+):
+    """Emit the ``sha256_compress`` function.
+
+    The function consumes the message block whose base address is in register
+    ``cmp_block`` and updates the hash state at ``h_addr`` in place.
+    """
+    with b.function("sha256_compress") as compress_fn:
+        i = b.reg("sc_i")
+        addr = b.reg("sc_addr")
+        val = b.reg("sc_val")
+        # W[0..15] = message words.
+        with b.for_range(i, 0, 16):
+            b.mov(addr, "cmp_block")
+            b.add(addr, addr, i)
+            b.load(val, addr)
+            b.movi(addr, w_addr)
+            b.add(addr, addr, i)
+            b.store(val, addr)
+        # Message schedule expansion.
+        w15, w2, w16, w7, s0, s1, tmp = b.regs("w15", "w2", "w16", "w7", "s0", "s1", "tmp")
+        with b.for_range(i, 16, 64):
+            b.movi(addr, w_addr - 15)
+            b.add(addr, addr, i)
+            b.load(w15, addr)
+            b.movi(addr, w_addr - 2)
+            b.add(addr, addr, i)
+            b.load(w2, addr)
+            b.movi(addr, w_addr - 16)
+            b.add(addr, addr, i)
+            b.load(w16, addr)
+            b.movi(addr, w_addr - 7)
+            b.add(addr, addr, i)
+            b.load(w7, addr)
+            # s0 = rotr(w15,7) ^ rotr(w15,18) ^ (w15 >> 3)
+            b.rotr(s0, w15, 7)
+            b.rotr(tmp, w15, 18)
+            b.xor(s0, s0, tmp)
+            b.shr(tmp, w15, 3)
+            b.xor(s0, s0, tmp)
+            # s1 = rotr(w2,17) ^ rotr(w2,19) ^ (w2 >> 10)
+            b.rotr(s1, w2, 17)
+            b.rotr(tmp, w2, 19)
+            b.xor(s1, s1, tmp)
+            b.shr(tmp, w2, 10)
+            b.xor(s1, s1, tmp)
+            b.add(val, w16, s0)
+            b.add(val, val, w7)
+            b.add(val, val, s1)
+            b.mask32(val)
+            b.movi(addr, w_addr)
+            b.add(addr, addr, i)
+            b.store(val, addr)
+        # Load the working variables a..h.
+        work = [b.reg(f"v{name}") for name in "abcdefgh"]
+        for index, reg in enumerate(work):
+            b.movi(addr, h_addr + index)
+            b.load(reg, addr)
+        a, aa, c, d, e, f, g, h = work
+        ch, maj, t1, t2 = b.regs("ch", "maj", "t1", "t2")
+        kt, wt = b.regs("kt", "wt")
+        t = b.reg("sc_t")
+        with b.for_range(t, 0, 64):
+            # S1 = rotr(e,6) ^ rotr(e,11) ^ rotr(e,25)
+            b.rotr(s1, e, 6)
+            b.rotr(tmp, e, 11)
+            b.xor(s1, s1, tmp)
+            b.rotr(tmp, e, 25)
+            b.xor(s1, s1, tmp)
+            # ch = (e & f) ^ (~e & g)
+            b.and_(ch, e, f)
+            b.not_(tmp, e)
+            b.and_(tmp, tmp, g)
+            b.xor(ch, ch, tmp)
+            b.mask32(ch)
+            # t1 = h + S1 + ch + K[t] + W[t]
+            b.movi(addr, k_addr)
+            b.add(addr, addr, t)
+            b.load(kt, addr)
+            b.movi(addr, w_addr)
+            b.add(addr, addr, t)
+            b.load(wt, addr)
+            b.add(t1, h, s1)
+            b.add(t1, t1, ch)
+            b.add(t1, t1, kt)
+            b.add(t1, t1, wt)
+            b.mask32(t1)
+            # S0 = rotr(a,2) ^ rotr(a,13) ^ rotr(a,22)
+            b.rotr(s0, a, 2)
+            b.rotr(tmp, a, 13)
+            b.xor(s0, s0, tmp)
+            b.rotr(tmp, a, 22)
+            b.xor(s0, s0, tmp)
+            # maj = (a & b) ^ (a & c) ^ (b & c)
+            b.and_(maj, a, aa)
+            b.and_(tmp, a, c)
+            b.xor(maj, maj, tmp)
+            b.and_(tmp, aa, c)
+            b.xor(maj, maj, tmp)
+            b.add(t2, s0, maj)
+            b.mask32(t2)
+            # Rotate the working variables.
+            b.mov(h, g)
+            b.mov(g, f)
+            b.mov(f, e)
+            b.add(e, d, t1)
+            b.mask32(e)
+            b.mov(d, c)
+            b.mov(c, aa)
+            b.mov(aa, a)
+            b.add(a, t1, t2)
+            b.mask32(a)
+        # Fold back into the hash state.
+        for index, reg in enumerate(work):
+            b.movi(addr, h_addr + index)
+            b.load(val, addr)
+            b.add(val, val, reg)
+            b.mask32(val)
+            b.store(val, addr)
+    return compress_fn
+
+
+def _emit_hash_message(
+    b: ProgramBuilder, compress_fn, msg_addr: int, num_blocks: int
+) -> None:
+    """Emit the per-block outer loop calling ``sha256_compress``."""
+    blk = b.reg("hm_blk")
+    with b.for_range(blk, 0, num_blocks):
+        b.movi("cmp_block", 16)
+        b.mul("cmp_block", "cmp_block", blk)
+        b.add("cmp_block", "cmp_block", msg_addr)
+        b.call(compress_fn)
+
+
+def build_sha256(
+    name: str = "SHA-256",
+    suite: str = "bearssl",
+    message_bytes: int = 128,
+) -> KernelProgram:
+    """Hash a ``message_bytes``-byte secret message with SHA-256."""
+    b = ProgramBuilder(name)
+    message_a = bytes((i * 31 + 7) & 0xFF for i in range(message_bytes))
+    message_b = bytes((i * 5 + 1) & 0xFF for i in range(message_bytes))
+    padded_a = pad_message(message_a)
+    padded_b = pad_message(message_b)
+    num_blocks = len(padded_a) // 64
+
+    k_addr = b.alloc("k_table", list(K))
+    h_addr = b.alloc("h_state", list(H0))
+    msg_addr = b.alloc_secret("message", bytes_to_words_be(padded_a))
+    w_addr = b.alloc("w_schedule", 64)
+    out_addr = b.alloc("digest", 8)
+
+    with b.crypto():
+        compress_fn = _emit_sha256_kernel(b, k_addr, h_addr, w_addr)
+        _emit_hash_message(b, compress_fn, msg_addr, num_blocks)
+        # Copy the final state to the output buffer.
+        i = b.reg("out_i")
+        addr = b.reg("out_addr")
+        val = b.reg("out_val")
+        with b.for_range(i, 0, 8):
+            b.movi(addr, h_addr)
+            b.add(addr, addr, i)
+            b.load(val, addr)
+            b.declassify(val)
+            b.movi(addr, out_addr)
+            b.add(addr, addr, i)
+            b.store(val, addr)
+    b.halt()
+    program = b.build()
+
+    def overrides(padded: bytes) -> Dict[int, int]:
+        return {
+            msg_addr + offset: word
+            for offset, word in enumerate(bytes_to_words_be(padded))
+        }
+
+    expected = sha256(message_a)
+
+    def verify(result) -> bool:
+        digest_words = result.memory_words(out_addr, 8)
+        return words_to_bytes_be(digest_words) == expected
+
+    return KernelProgram(
+        name=name,
+        suite=suite,
+        program=program,
+        inputs=[overrides(padded_a), overrides(padded_b)],
+        verify=verify,
+        description=f"SHA-256 of a {message_bytes}-byte message",
+    )
+
+
+def build_openssl_sha256(message_bytes: int = 192) -> KernelProgram:
+    """The OpenSSL-suite sha256 workload (larger message)."""
+    return build_sha256(name="sha256", suite="openssl", message_bytes=message_bytes)
+
+
+def build_multihash(chunks: int = 3, chunk_bytes: int = 64) -> KernelProgram:
+    """MultiHash: hash ``chunks`` independent messages with one kernel.
+
+    Each chunk is padded to a whole number of blocks and hashed from a fresh
+    initial state; the digests are written to consecutive output slots.  The
+    ground truth is the reference SHA-256 of each chunk.
+    """
+    b = ProgramBuilder("MultiHash")
+    messages_a = [bytes(((i + 3 * c) * 11 + c) & 0xFF for i in range(chunk_bytes)) for c in range(chunks)]
+    messages_b = [bytes(((i + 5 * c) * 17 + 2 * c) & 0xFF for i in range(chunk_bytes)) for c in range(chunks)]
+    padded_a = [pad_message(m) for m in messages_a]
+    padded_b = [pad_message(m) for m in messages_b]
+    blocks_per_chunk = len(padded_a[0]) // 64
+
+    k_addr = b.alloc("k_table", list(K))
+    h_addr = b.alloc("h_state", list(H0))
+    h0_addr = b.alloc("h_initial", list(H0))
+    msg_addrs = [
+        b.alloc_secret(f"message_{c}", bytes_to_words_be(padded_a[c])) for c in range(chunks)
+    ]
+    w_addr = b.alloc("w_schedule", 64)
+    out_addr = b.alloc("digests", 8 * chunks)
+
+    with b.crypto():
+        compress_fn = _emit_sha256_kernel(b, k_addr, h_addr, w_addr)
+        i = b.reg("mh_i")
+        addr = b.reg("mh_addr")
+        val = b.reg("mh_val")
+        for chunk_index in range(chunks):
+            # Reset the hash state to H0.
+            with b.for_range(i, 0, 8):
+                b.movi(addr, h0_addr)
+                b.add(addr, addr, i)
+                b.load(val, addr)
+                b.movi(addr, h_addr)
+                b.add(addr, addr, i)
+                b.store(val, addr)
+            _emit_hash_message(b, compress_fn, msg_addrs[chunk_index], blocks_per_chunk)
+            with b.for_range(i, 0, 8):
+                b.movi(addr, h_addr)
+                b.add(addr, addr, i)
+                b.load(val, addr)
+                b.declassify(val)
+                b.movi(addr, out_addr + 8 * chunk_index)
+                b.add(addr, addr, i)
+                b.store(val, addr)
+    b.halt()
+    program = b.build()
+
+    def overrides(padded: List[bytes]) -> Dict[int, int]:
+        mapping: Dict[int, int] = {}
+        for chunk_index, chunk in enumerate(padded):
+            for offset, word in enumerate(bytes_to_words_be(chunk)):
+                mapping[msg_addrs[chunk_index] + offset] = word
+        return mapping
+
+    expected = [sha256(m) for m in messages_a]
+
+    def verify(result) -> bool:
+        for chunk_index, digest in enumerate(expected):
+            words = result.memory_words(out_addr + 8 * chunk_index, 8)
+            if words_to_bytes_be(words) != digest:
+                return False
+        return True
+
+    return KernelProgram(
+        name="MultiHash",
+        suite="bearssl",
+        program=program,
+        inputs=[overrides(padded_a), overrides(padded_b)],
+        verify=verify,
+        description=f"SHA-256 of {chunks} independent {chunk_bytes}-byte messages",
+    )
+
+
+def build_tls_prf(output_bytes: int = 32) -> KernelProgram:
+    """TLS 1.2 PRF kernel.
+
+    The kernel computes ``P_SHA256(secret, label || seed)`` for one output
+    block using the HMAC structure: four compression-function invocations per
+    HMAC, two HMACs per P_hash iteration.  Inner/outer padded keys and the
+    fixed-size messages are laid out in memory by the (public) builder; the
+    secret key material is tagged secret and varied across inputs.
+    """
+    b = ProgramBuilder("TLS PRF")
+    secret_a = bytes((i * 29 + 5) & 0xFF for i in range(32))
+    secret_b = bytes((i * 3 + 77) & 0xFF for i in range(32))
+    label = b"key expansion"
+    seed = bytes(range(16))
+
+    expected = tls12_prf(secret_a, label, seed, output_bytes)
+
+    # The PRF is computed as HMAC(secret, A1 || label || seed) with
+    # A1 = HMAC(secret, label || seed).  Each HMAC is two SHA-256 passes:
+    # inner over (ipad || msg), outer over (opad || inner_digest).
+    # The kernel performs the four passes with explicit block loops; the
+    # ipad/opad-xored key blocks are produced by in-kernel XOR loops from the
+    # secret key so the secret never appears pre-mixed in public memory.
+    k_addr = b.alloc("k_table", list(K))
+    h_addr = b.alloc("h_state", 8)
+    h0_addr = b.alloc("h_initial", list(H0))
+    key_addr = b.alloc_secret("secret", bytes_to_words_be(secret_a + b"\x00" * 32))
+    pad_addr = b.alloc("pad_words", 16)  # scratch: ipad/opad-xored key block
+    a1_addr = b.alloc("a1_digest", 8)
+    inner_addr = b.alloc("inner_digest", 8)
+    out_addr = b.alloc("prf_output", 8)
+
+    label_seed = label + seed
+    # Pre-padded message tails (public): [label||seed padding] for the inner
+    # hash of A1, [A(1)||label||seed padding] template, and the outer tails.
+    inner1_tail = pad_message(b"\x00" * 64 + label_seed)[64:]
+    inner2_tail = pad_message(b"\x00" * 64 + b"\x00" * 32 + label_seed)[64 + 32 :]
+    outer_tail = pad_message(b"\x00" * 64 + b"\x00" * 32)[64 + 32 :]
+    inner1_addr = b.alloc("inner1_tail", bytes_to_words_be(inner1_tail))
+    inner2_addr = b.alloc("inner2_tail", bytes_to_words_be(inner2_tail))
+    outer_addr = b.alloc("outer_tail", bytes_to_words_be(outer_tail))
+    msg_addr = b.alloc("msg_block", 32)  # up to two blocks of working message
+
+    with b.crypto():
+        compress_fn = _emit_sha256_kernel(b, k_addr, h_addr, w_addr=b.alloc("w_schedule", 64))
+
+        i = b.reg("prf_i")
+        addr = b.reg("prf_addr")
+        val = b.reg("prf_val")
+        tmp = b.reg("prf_tmp")
+
+        with b.function("reset_state") as reset_state:
+            with b.for_range(i, 0, 8):
+                b.movi(addr, h0_addr)
+                b.add(addr, addr, i)
+                b.load(val, addr)
+                b.movi(addr, h_addr)
+                b.add(addr, addr, i)
+                b.store(val, addr)
+
+        with b.function("xor_key_pad") as xor_key_pad:
+            # pad_words[i] = key[i] ^ pad_byte_word  (pad word in register prf_padw)
+            with b.for_range(i, 0, 16):
+                b.movi(addr, key_addr)
+                b.add(addr, addr, i)
+                b.load(val, addr)
+                b.xor(val, val, "prf_padw")
+                b.mask32(val)
+                b.movi(addr, pad_addr)
+                b.add(addr, addr, i)
+                b.store(val, addr)
+
+        def hmac(msg_tail_addr: int, tail_words: int, digest_addr: int, a_digest_addr: int | None) -> None:
+            """Emit one HMAC-SHA256 over (A || label_seed) style messages."""
+            # Inner hash: ipad block, then the message block(s).
+            b.movi("prf_padw", 0x36363636)
+            b.call(xor_key_pad)
+            b.call(reset_state)
+            b.movi("cmp_block", pad_addr)
+            b.call(compress_fn)
+            # Build the message block: optional A-digest followed by the tail.
+            cursor = 0
+            if a_digest_addr is not None:
+                with b.for_range(i, 0, 8):
+                    b.movi(addr, a_digest_addr)
+                    b.add(addr, addr, i)
+                    b.load(val, addr)
+                    b.movi(addr, msg_addr)
+                    b.add(addr, addr, i)
+                    b.store(val, addr)
+                cursor = 8
+            with b.for_range(i, 0, tail_words):
+                b.movi(addr, msg_tail_addr)
+                b.add(addr, addr, i)
+                b.load(val, addr)
+                b.movi(addr, msg_addr + cursor)
+                b.add(addr, addr, i)
+                b.store(val, addr)
+            total_words = cursor + tail_words
+            for block_index in range(total_words // 16):
+                b.movi("cmp_block", msg_addr + 16 * block_index)
+                b.call(compress_fn)
+            # Save the inner digest.
+            with b.for_range(i, 0, 8):
+                b.movi(addr, h_addr)
+                b.add(addr, addr, i)
+                b.load(val, addr)
+                b.movi(addr, inner_addr)
+                b.add(addr, addr, i)
+                b.store(val, addr)
+            # Outer hash: opad block, then inner digest + outer tail.
+            b.movi("prf_padw", 0x5C5C5C5C)
+            b.call(xor_key_pad)
+            b.call(reset_state)
+            b.movi("cmp_block", pad_addr)
+            b.call(compress_fn)
+            with b.for_range(i, 0, 8):
+                b.movi(addr, inner_addr)
+                b.add(addr, addr, i)
+                b.load(val, addr)
+                b.movi(addr, msg_addr)
+                b.add(addr, addr, i)
+                b.store(val, addr)
+            with b.for_range(i, 0, 8):
+                b.movi(addr, outer_addr)
+                b.add(addr, addr, i)
+                b.load(val, addr)
+                b.movi(addr, msg_addr + 8)
+                b.add(addr, addr, i)
+                b.store(val, addr)
+            b.movi("cmp_block", msg_addr)
+            b.call(compress_fn)
+            with b.for_range(i, 0, 8):
+                b.movi(addr, h_addr)
+                b.add(addr, addr, i)
+                b.load(val, addr)
+                b.movi(addr, digest_addr)
+                b.add(addr, addr, i)
+                b.store(val, addr)
+
+        # A(1) = HMAC(secret, label || seed)
+        hmac(inner1_addr, len(inner1_tail) // 4, a1_addr, a_digest_addr=None)
+        # output = HMAC(secret, A(1) || label || seed)
+        hmac(inner2_addr, len(inner2_tail) // 4, out_addr, a_digest_addr=a1_addr)
+        b.declassify(val)
+    b.halt()
+    program = b.build()
+
+    def overrides(secret: bytes) -> Dict[int, int]:
+        return {
+            key_addr + offset: word
+            for offset, word in enumerate(bytes_to_words_be(secret + b"\x00" * 32))
+        }
+
+    def verify(result) -> bool:
+        words = result.memory_words(out_addr, 8)
+        return words_to_bytes_be(words)[:output_bytes] == expected[:32]
+
+    return KernelProgram(
+        name="TLS PRF",
+        suite="bearssl",
+        program=program,
+        inputs=[overrides(secret_a), overrides(secret_b)],
+        verify=verify,
+        description="TLS 1.2 PRF (P_SHA256) producing one 32-byte output block",
+    )

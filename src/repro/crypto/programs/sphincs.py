@@ -1,0 +1,257 @@
+"""SPHINCS+-style hash-based signature kernels (three hash variants).
+
+The kernels reproduce the dominant control-flow of SPHINCS+ signing: WOTS
+chain generation (nested "for each chain, apply the tweakable hash up to
+``w - 1`` times" loops), message-dependent chain advancement for the
+signature, chain completion for verification, and a public-key fold.  The
+three benchmark variants differ only in the tweakable hash: a SHA-2-style
+add-rotate-xor compression (``sphincs-sha2-128s``), a Keccak-style
+rotate-xor-and permutation (``sphincs-shake-128s``), and a Haraka-style short
+ARX permutation (``sphincs-haraka-128s``).
+
+The chain state is two 64-bit words; the message is fixed (public) and the
+secret seed is the varied input, so control flow is identical across runs —
+matching real SPHINCS+, whose signing control flow depends only on the
+(public) message digest length and Winternitz parameters.  Ground truth is
+:func:`sign_and_verify_model`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.crypto.programs.common import KernelProgram
+from repro.isa.builder import ProgramBuilder
+
+MASK64 = (1 << 64) - 1
+CHAINS = 8
+W = 8  # Winternitz parameter: digits in [0, W-1]
+
+
+# --------------------------------------------------------------------------- #
+# Ground-truth model
+# --------------------------------------------------------------------------- #
+def _hash_model(variant: str, s0: int, s1: int, tweak: int) -> Tuple[int, int]:
+    s0 = (s0 ^ tweak) & MASK64
+    if variant == "sha2":
+        for round_index in range(8):
+            s0 = (s0 + ((s1 >> 6) | (s1 << 58) & MASK64) + 0x428A2F98D728AE22 + round_index) & MASK64
+            s1 = (s1 ^ ((s0 >> 11) | (s0 << 53) & MASK64)) & MASK64
+            s1 = (s1 + (s0 & ~s1 & MASK64)) & MASK64
+    elif variant == "shake":
+        for round_index in range(6):
+            s0 = (s0 ^ ((s1 << 1) | (s1 >> 63)) & MASK64) & MASK64
+            s1 = (s1 ^ ((s0 << 44) | (s0 >> 20)) & MASK64) & MASK64
+            s0 = (s0 ^ (~s1 & ((s1 << 7 | s1 >> 57) & MASK64)) & MASK64) & MASK64
+            s1 = (s1 ^ (0x0000000000008082 + round_index)) & MASK64
+    elif variant == "haraka":
+        for round_index in range(5):
+            s0 = (s0 + s1) & MASK64
+            s1 = (s1 ^ ((s0 << 7 | s0 >> 57) & MASK64)) & MASK64
+            s1 = (s1 + 0x9E3779B97F4A7C15 + round_index) & MASK64
+            s0 = (s0 ^ ((s1 << 13 | s1 >> 51) & MASK64)) & MASK64
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown variant {variant!r}")
+    return s0, s1
+
+
+def _chain_model(variant: str, s0: int, s1: int, start: int, steps: int) -> Tuple[int, int]:
+    for step in range(start, start + steps):
+        s0, s1 = _hash_model(variant, s0, s1, step + 1)
+    return s0, s1
+
+
+def _digits_model(message_words: List[int]) -> List[int]:
+    digits = []
+    for chain_index in range(CHAINS):
+        word = message_words[chain_index % len(message_words)]
+        digits.append((word >> (3 * chain_index)) & (W - 1))
+    return digits
+
+
+def sign_and_verify_model(variant: str, seed: int, message_words: List[int]) -> Tuple[List[int], int]:
+    """Returns (public key fold words, verification flag) for the kernel."""
+    digits = _digits_model(message_words)
+    pk_fold0, pk_fold1 = 0, 0
+    completed_fold0, completed_fold1 = 0, 0
+    for chain_index in range(CHAINS):
+        sk0, sk1 = _hash_model(variant, seed, chain_index, 0x5EED)
+        # Public key: full chain.
+        pk0, pk1 = _chain_model(variant, sk0, sk1, 0, W - 1)
+        pk_fold0 ^= pk0
+        pk_fold1 ^= pk1
+        # Signature: advance by the message digit; verification completes it.
+        sig0, sig1 = _chain_model(variant, sk0, sk1, 0, digits[chain_index])
+        done0, done1 = _chain_model(variant, sig0, sig1, digits[chain_index], W - 1 - digits[chain_index])
+        completed_fold0 ^= done0
+        completed_fold1 ^= done1
+    valid = int(completed_fold0 == pk_fold0 and completed_fold1 == pk_fold1)
+    return [pk_fold0, pk_fold1], valid
+
+
+# --------------------------------------------------------------------------- #
+# Kernel
+# --------------------------------------------------------------------------- #
+def _emit_hash_function(b: ProgramBuilder, variant: str):
+    """Emit the tweakable hash as a function over registers h0/h1/h_tweak."""
+    tmp, tmp2 = b.regs("hh_tmp", "hh_tmp2")
+    with b.function(f"hash_{variant}") as hash_fn:
+        b.xor("h0", "h0", "h_tweak")
+        if variant == "sha2":
+            for round_index in range(8):
+                b.rotr64(tmp, "h1", 6)
+                b.add("h0", "h0", tmp)
+                b.add("h0", "h0", (0x428A2F98D728AE22 + round_index) & MASK64)
+                b.rotr64(tmp, "h0", 11)
+                b.xor("h1", "h1", tmp)
+                b.not_(tmp2, "h1")
+                b.and_(tmp2, "h0", tmp2)
+                b.add("h1", "h1", tmp2)
+        elif variant == "shake":
+            for round_index in range(6):
+                b.rotl64(tmp, "h1", 1)
+                b.xor("h0", "h0", tmp)
+                b.rotl64(tmp, "h0", 44)
+                b.xor("h1", "h1", tmp)
+                b.rotl64(tmp, "h1", 7)
+                b.not_(tmp2, "h1")
+                b.and_(tmp, tmp, tmp2)
+                b.xor("h0", "h0", tmp)
+                b.xor("h1", "h1", 0x0000000000008082 + round_index)
+        else:  # haraka
+            for round_index in range(5):
+                b.add("h0", "h0", "h1")
+                b.rotl64(tmp, "h0", 7)
+                b.xor("h1", "h1", tmp)
+                b.add("h1", "h1", (0x9E3779B97F4A7C15 + round_index) & MASK64)
+                b.rotl64(tmp, "h1", 13)
+                b.xor("h0", "h0", tmp)
+    return hash_fn
+
+
+def _build_sphincs(variant: str) -> KernelProgram:
+    name = f"sphincs-{variant}-128s"
+    b = ProgramBuilder(name)
+    variant_salt = {"sha2": 0x2222, "shake": 0x3333, "haraka": 0x4444}[variant]
+    seed_a = 0x5EED_0123_4567_89AB ^ variant_salt
+    seed_b = 0xFACE_CAFE_F00D_BEEF ^ variant_salt
+    message_words = [0x1122334455667788, 0x99AABBCCDDEEFF00]
+
+    seed_addr = b.alloc_secret("seed", [seed_a])
+    msg_addr = b.alloc("message", message_words)
+    digits_addr = b.alloc("digits", CHAINS)
+    pk_addr = b.alloc("pk_fold", 2)
+    done_addr = b.alloc("completed_fold", 2)
+    out_addr = b.alloc("valid", 1)
+
+    with b.crypto():
+        hash_fn = _emit_hash_function(b, variant)
+        addr, val, tmp = b.regs("addr", "val", "tmp")
+        seed, chain_i, step_i, digit = b.regs("seed", "chain_i", "step_i", "digit")
+        sk0, sk1 = b.regs("sk0", "sk1")
+        start_reg, steps_reg = b.regs("start", "steps")
+
+        with b.function("chain") as chain_fn:
+            # Applies the hash ``steps`` times starting at index ``start``
+            # to the chain state in h0/h1.
+            with b.for_range(step_i, 0, "steps"):
+                b.add("h_tweak", "start", step_i)
+                b.add("h_tweak", "h_tweak", 1)
+                b.call(hash_fn)
+
+        b.movi(addr, seed_addr)
+        b.load(seed, addr)
+
+        # Message digits (public).
+        word = b.reg("word")
+        with b.for_range(chain_i, 0, CHAINS):
+            b.mod(tmp, chain_i, len(message_words))
+            b.movi(addr, msg_addr)
+            b.add(addr, addr, tmp)
+            b.load(word, addr)
+            b.movi(tmp, 3)
+            b.mul(tmp, tmp, chain_i)
+            b.shr(word, word, tmp)
+            b.and_(word, word, W - 1)
+            b.movi(addr, digits_addr)
+            b.add(addr, addr, chain_i)
+            b.store(word, addr)
+
+        # WOTS chains: public key, signature, and verification completion.
+        pk0, pk1, done0, done1 = b.regs("pk0", "pk1", "done0", "done1")
+        b.movi(pk0, 0)
+        b.movi(pk1, 0)
+        b.movi(done0, 0)
+        b.movi(done1, 0)
+        with b.for_range(chain_i, 0, CHAINS):
+            # Chain secret: H(seed, chain_index) with tweak 0x5EED.
+            b.mov("h0", seed)
+            b.mov("h1", chain_i)
+            b.movi("h_tweak", 0x5EED)
+            b.call(hash_fn)
+            b.mov(sk0, "h0")
+            b.mov(sk1, "h1")
+            # Public key chain: full length.
+            b.movi("start", 0)
+            b.movi("steps", W - 1)
+            b.call(chain_fn)
+            b.xor(pk0, pk0, "h0")
+            b.xor(pk1, pk1, "h1")
+            # Signature chain: advance by the message digit.
+            b.movi(addr, digits_addr)
+            b.add(addr, addr, chain_i)
+            b.load(digit, addr)
+            b.mov("h0", sk0)
+            b.mov("h1", sk1)
+            b.movi("start", 0)
+            b.mov("steps", digit)
+            b.call(chain_fn)
+            # Verification: complete the chain.
+            b.mov("start", digit)
+            b.movi("steps", W - 1)
+            b.sub("steps", "steps", digit)
+            b.call(chain_fn)
+            b.xor(done0, done0, "h0")
+            b.xor(done1, done1, "h1")
+
+        b.movi(addr, pk_addr)
+        b.store(pk0, addr, 0)
+        b.store(pk1, addr, 1)
+        b.movi(addr, done_addr)
+        b.store(done0, addr, 0)
+        b.store(done1, addr, 1)
+        b.cmpeq(val, pk0, done0)
+        b.cmpeq(tmp, pk1, done1)
+        b.and_(val, val, tmp)
+        b.declassify(val)
+        b.movi(addr, out_addr)
+        b.store(val, addr)
+    b.halt()
+    program = b.build()
+
+    expected_pk, expected_valid = sign_and_verify_model(variant, seed_a, message_words)
+
+    def verify(result) -> bool:
+        pk_ok = result.memory_words(pk_addr, 2) == expected_pk
+        return pk_ok and result.state.read_mem(out_addr) == expected_valid == 1
+
+    return KernelProgram(
+        name=name,
+        suite="pqc",
+        program=program,
+        inputs=[{seed_addr: seed_a}, {seed_addr: seed_b}],
+        verify=verify,
+        description=f"WOTS sign+verify chains with a {variant}-style tweakable hash",
+    )
+
+
+def build_sphincs_sha2() -> KernelProgram:
+    return _build_sphincs("sha2")
+
+
+def build_sphincs_shake() -> KernelProgram:
+    return _build_sphincs("shake")
+
+
+def build_sphincs_haraka() -> KernelProgram:
+    return _build_sphincs("haraka")

@@ -1,0 +1,213 @@
+"""SpectreGuard-style synthetic benchmarks (Figure 8).
+
+Each benchmark mixes a *sandboxed* (non-crypto) component with a *crypto*
+component; the ``s/c`` label gives the approximate fraction of dynamic work
+spent in each.  Two crypto components are provided, mirroring the paper's
+choice of primitives:
+
+* ``chacha20`` — an ARX keystream kernel whose secret state lives entirely in
+  registers (the "public stack" case: ProSpeCT has almost nothing to delay);
+* ``curve25519`` — a Montgomery-ladder kernel that spills secret intermediate
+  field elements to a scratch (stack-like) buffer tagged secret, so loads of
+  spilled values are tainted and ProSpeCT must delay them whenever older
+  speculation is unresolved (the "secret stack" case).
+
+The sandboxed component walks a public array with data-dependent branches,
+providing the branch mispredictions and speculation windows under which the
+defenses differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.crypto.programs.common import (
+    KernelProgram,
+    emit_mersenne_addmod,
+    emit_mersenne_mulmod,
+    emit_mersenne_submod,
+)
+from repro.isa.builder import ProgramBuilder
+
+PRIME = (1 << 31) - 1
+PRIME_BITS = 31
+
+#: The mix points evaluated in Figure 8: (label, sandbox iterations, crypto iterations).
+MIX_POINTS: Tuple[Tuple[str, int, int], ...] = (
+    ("90s/10c", 36, 4),
+    ("75s/25c", 30, 10),
+    ("50s/50c", 20, 20),
+    ("25s/75c", 10, 30),
+    ("all-crypto", 0, 40),
+)
+
+
+def _emit_sandbox_phase(b: ProgramBuilder, data_addr: int, data_len: int, iterations: int) -> None:
+    """Non-crypto phase: array walks with data-dependent branches."""
+    if iterations == 0:
+        return
+    i, j, addr, val, acc, cond = b.regs("sb_i", "sb_j", "sb_addr", "sb_val", "sb_acc", "sb_cond")
+    b.movi(acc, 0)
+    with b.for_range(i, 0, iterations):
+        with b.for_range(j, 0, data_len):
+            b.movi(addr, data_addr)
+            b.add(addr, addr, j)
+            b.load(val, addr)
+            # A value-dependent branch: hard to predict, creates speculation.
+            b.and_(cond, val, 1)
+            with b.if_then(cond):
+                b.add(acc, acc, val)
+                b.movi(addr, data_addr)
+                b.add(addr, addr, j)
+                b.store(acc, addr)
+            b.xor(val, val, acc)
+            b.add(acc, acc, 1)
+
+
+def _emit_chacha_phase(b: ProgramBuilder, key_addr: int, out_addr: int, iterations: int) -> None:
+    """Crypto phase A: ARX keystream rounds, secrets kept in registers."""
+    s0, s1, s2, s3 = b.regs("cc_s0", "cc_s1", "cc_s2", "cc_s3")
+    i, r, addr = b.regs("cc_i", "cc_r", "cc_addr")
+    b.movi(addr, key_addr)
+    b.load(s0, addr, 0)
+    b.load(s1, addr, 1)
+    b.load(s2, addr, 2)
+    b.load(s3, addr, 3)
+    with b.for_range(i, 0, iterations):
+        with b.for_range(r, 0, 10):
+            b.add(s0, s0, s1)
+            b.mask32(s0)
+            b.xor(s3, s3, s0)
+            b.rotl(s3, s3, 16)
+            b.add(s2, s2, s3)
+            b.mask32(s2)
+            b.xor(s1, s1, s2)
+            b.rotl(s1, s1, 12)
+        b.xor(s0, s0, i)
+        b.declassify(s0)
+        b.movi(addr, out_addr)
+        b.add(addr, addr, i)
+        b.store(s0, addr)
+
+
+def _emit_curve_phase(
+    b: ProgramBuilder, key_addr: int, stack_addr: int, out_addr: int, iterations: int
+) -> None:
+    """Crypto phase B: ladder steps with a *secret stack*.
+
+    Mirrors curve25519-donna compiled with everything spilled: both the
+    secret field elements and the (public) loop counter live in a scratch
+    buffer that has to be annotated secret, so every reload is tainted.
+    Under ProSpeCT those reloads may not execute speculatively, and because
+    the loop condition itself is computed from a reloaded value, each
+    iteration's control flow waits on the previous iteration's gated loads —
+    the compounding slowdown the paper observes for complex primitives.
+    """
+    x2, z2, x3, z3, t1, t2, addr, k = b.regs(
+        "cv_x2", "cv_z2", "cv_x3", "cv_z3", "cv_t1", "cv_t2", "cv_addr", "cv_k"
+    )
+    counter, cond = b.regs("cv_counter", "cv_cond")
+    lanes = [b.reg(f"cv_lane{i}") for i in range(4)]
+    b.movi(addr, key_addr)
+    b.load(k, addr)
+    for index, lane in enumerate(lanes):
+        b.add(lane, k, index + 1)
+    b.movi(counter, 0)
+    b.movi(cond, 1)
+    with b.while_loop(cond):
+        # Spill the working lanes and the loop counter to the secret stack,
+        # then reload them — every reload is tainted by the secret-stack
+        # annotation even though some of the values (the counter) are public.
+        b.movi(addr, stack_addr)
+        for index, lane in enumerate(lanes):
+            b.store(lane, addr, index)
+        b.store(counter, addr, 4)
+        # Four independent ladder-style lane updates: an out-of-order baseline
+        # overlaps them across iterations, which is exactly the parallelism
+        # ProSpeCT forfeits when every reload must wait to be non-speculative.
+        for index, lane in enumerate(lanes):
+            b.load(t1, addr, index)
+            emit_mersenne_addmod(b, t1, t1, k, PRIME, f"cva{index}")
+            emit_mersenne_mulmod(b, t1, t1, t1, PRIME, PRIME_BITS, f"cvm{index}")
+            b.mov(lane, t1)
+        # The loop control is recomputed from the spilled (tainted) counter.
+        b.load(counter, addr, 4)
+        b.add(counter, counter, 1)
+        b.cmplt(cond, counter, iterations)
+    x_out = lanes[0]
+    b.declassify(x_out)
+    b.movi(addr, out_addr)
+    b.store(x_out, addr)
+
+
+def build_synthetic(primitive: str, mix_label: str) -> KernelProgram:
+    """Build one synthetic benchmark point.
+
+    Parameters
+    ----------
+    primitive:
+        ``"chacha20"`` (secrets stay in registers) or ``"curve25519"``
+        (secret stack spills).
+    mix_label:
+        One of the labels in :data:`MIX_POINTS`.
+    """
+    mix = {label: (sandbox, crypto) for label, sandbox, crypto in MIX_POINTS}
+    if mix_label not in mix:
+        raise KeyError(f"unknown mix {mix_label!r}; choose from {sorted(mix)}")
+    if primitive not in ("chacha20", "curve25519"):
+        raise ValueError("primitive must be 'chacha20' or 'curve25519'")
+    sandbox_iters, crypto_iters = mix[mix_label]
+
+    b = ProgramBuilder(f"synthetic-{primitive}-{mix_label}")
+    data_len = 32
+    data_a = [(i * 37 + 11) & 0xFF for i in range(data_len)]
+    data_b = [(i * 53 + 29) & 0xFF for i in range(data_len)]
+    key_a = [0x1234ABCD, 0x55AA55AA, 0x0BADBEEF, 0x13579BDF]
+    key_b = [0x0F0F0F0F, 0x12344321, 0x77665544, 0x01020304]
+
+    data_addr = b.alloc("sandbox_data", data_a)
+    key_addr = b.alloc_secret("crypto_key", key_a)
+    stack_addr = b.alloc_secret("crypto_stack", 8) if primitive == "curve25519" else b.alloc("scratch", 8)
+    out_addr = b.alloc("output", max(crypto_iters, 1))
+
+    # The SpectreGuard benchmark interleaves sandboxed and crypto work: each
+    # outer iteration runs a chunk of each, so crypto instructions execute
+    # under the speculation windows the sandbox branches open.
+    phases = 4
+    sandbox_per_phase = max(sandbox_iters // phases, 1) if sandbox_iters else 0
+    crypto_per_phase = max(crypto_iters // phases, 1)
+    outer = b.reg("phase")
+    with b.for_range(outer, 0, phases):
+        _emit_sandbox_phase(b, data_addr, data_len, sandbox_per_phase)
+        with b.crypto():
+            if primitive == "chacha20":
+                _emit_chacha_phase(b, key_addr, out_addr, crypto_per_phase)
+            else:
+                _emit_curve_phase(b, key_addr, stack_addr, out_addr, crypto_per_phase)
+    b.halt()
+    program = b.build()
+
+    def overrides(data: List[int], key: List[int]) -> Dict[int, int]:
+        mapping = {data_addr + i: v for i, v in enumerate(data)}
+        mapping.update({key_addr + i: v for i, v in enumerate(key)})
+        return mapping
+
+    def verify(result) -> bool:
+        # The synthetic benchmarks are timing workloads; correctness here
+        # just means the program ran to completion and produced output.
+        return result.instruction_count > 0
+
+    return KernelProgram(
+        name=program.name,
+        suite="synthetic",
+        program=program,
+        inputs=[overrides(data_a, key_a), overrides(data_b, key_b)],
+        verify=verify,
+        description=f"SpectreGuard-style mix {mix_label} with a {primitive} crypto phase",
+    )
+
+
+def mix_labels() -> List[str]:
+    """The Figure 8 x-axis labels, in order."""
+    return [label for label, _s, _c in MIX_POINTS]

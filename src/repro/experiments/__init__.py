@@ -1,0 +1,21 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module exposes a ``run_*`` function returning plain data structures and
+a ``format_*`` helper producing the printed table; the benchmarks under
+``benchmarks/`` and the examples under ``examples/`` drive these functions.
+
+| Paper artefact | Module |
+| -------------- | ------ |
+| Table 1 (branch analysis / compression) | :mod:`repro.experiments.table1` |
+| Table 2 (security scenarios)            | :mod:`repro.experiments.table2` |
+| Figure 7 (performance vs defenses)      | :mod:`repro.experiments.figure7` |
+| Figure 8 (ProSpeCT synthetic mixes)     | :mod:`repro.experiments.figure8` |
+| Figure 9 (power / area)                 | :mod:`repro.experiments.figure9` |
+| Section 7.5 (trace-generation runtime)  | :mod:`repro.experiments.trace_runtime` |
+| Section 8 Q3 (Cassandra-lite)           | :mod:`repro.experiments.cassandra_lite` |
+| Section 8 Q4 (BTU flush on interrupts)  | :mod:`repro.experiments.interrupts` |
+"""
+
+from repro.experiments.runner import WorkloadArtifacts, prepare_workloads, DESIGN_BUILDERS
+
+__all__ = ["WorkloadArtifacts", "prepare_workloads", "DESIGN_BUILDERS"]

@@ -1,0 +1,59 @@
+"""Section 8, Q3: Cassandra-lite versus full Cassandra."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import (
+    WorkloadArtifacts,
+    format_table,
+    geometric_mean,
+    prepare_workloads,
+)
+
+
+def run_cassandra_lite(
+    names: Optional[Sequence[str]] = None,
+    artifacts: Optional[Sequence[WorkloadArtifacts]] = None,
+) -> List[Dict[str, object]]:
+    """Per-workload slowdown of Cassandra-lite over full Cassandra, plus the
+    per-suite geomean slowdowns the paper quotes (BearSSL / OpenSSL / PQC)."""
+    artifacts = list(artifacts) if artifacts is not None else prepare_workloads(names)
+    rows: List[Dict[str, object]] = []
+    per_suite: Dict[str, List[float]] = {}
+    for artifact in artifacts:
+        cassandra = artifact.simulate("cassandra").cycles
+        lite = artifact.simulate("cassandra-lite").cycles
+        baseline = artifact.simulate("unsafe-baseline").cycles
+        ratio = lite / cassandra
+        per_suite.setdefault(artifact.suite, []).append(ratio)
+        rows.append(
+            {
+                "workload": artifact.name,
+                "suite": artifact.suite,
+                "cassandra": cassandra / baseline,
+                "cassandra-lite": lite / baseline,
+                "lite_over_cassandra": ratio,
+            }
+        )
+    for suite, ratios in sorted(per_suite.items()):
+        rows.append(
+            {
+                "workload": f"geomean-{suite}",
+                "suite": suite,
+                "cassandra": "",
+                "cassandra-lite": "",
+                "lite_over_cassandra": geometric_mean(ratios),
+            }
+        )
+    return rows
+
+
+def format_cassandra_lite(rows: Sequence[Dict[str, object]]) -> str:
+    return format_table(
+        rows, ["workload", "suite", "cassandra", "cassandra-lite", "lite_over_cassandra"]
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(format_cassandra_lite(run_cassandra_lite()))

@@ -1,0 +1,64 @@
+"""Figure 7: normalized execution time of the four design points."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import (
+    WorkloadArtifacts,
+    format_table,
+    geometric_mean,
+    prepare_workloads,
+)
+
+#: The four designs of Figure 7, in plotting order.
+FIGURE7_DESIGNS = ("unsafe-baseline", "cassandra", "cassandra+stl", "spt")
+
+
+def run_figure7(
+    names: Optional[Sequence[str]] = None,
+    artifacts: Optional[Sequence[WorkloadArtifacts]] = None,
+    designs: Sequence[str] = FIGURE7_DESIGNS,
+) -> List[Dict[str, object]]:
+    """Normalized execution time per workload and design, plus the geomean."""
+    artifacts = list(artifacts) if artifacts is not None else prepare_workloads(names)
+    rows: List[Dict[str, object]] = []
+    for artifact in artifacts:
+        baseline = artifact.simulate("unsafe-baseline")
+        row: Dict[str, object] = {
+            "workload": artifact.name,
+            "suite": artifact.suite,
+            "baseline_cycles": baseline.cycles,
+        }
+        for design in designs:
+            row[design] = artifact.simulate(design).cycles / baseline.cycles
+        rows.append(row)
+    geomean_row: Dict[str, object] = {
+        "workload": "geomean",
+        "suite": "all",
+        "baseline_cycles": "",
+    }
+    for design in designs:
+        geomean_row[design] = geometric_mean(
+            float(row[design]) for row in rows if isinstance(row[design], float)
+        )
+    rows.append(geomean_row)
+    return rows
+
+
+def format_figure7(rows: Sequence[Dict[str, object]], designs: Sequence[str] = FIGURE7_DESIGNS) -> str:
+    columns = ["workload", "suite", "baseline_cycles", *designs]
+    return format_table(rows, columns)
+
+
+def summarize_speedup(rows: Sequence[Dict[str, object]], design: str = "cassandra") -> float:
+    """The headline number: geomean speedup of ``design`` over the baseline."""
+    geomean_row = rows[-1]
+    normalized = float(geomean_row[design])
+    return (1.0 - normalized) * 100.0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    table = run_figure7()
+    print(format_figure7(table))
+    print(f"\nCassandra speedup over the unsafe baseline: {summarize_speedup(table):.2f}%")

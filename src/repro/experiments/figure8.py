@@ -1,0 +1,54 @@
+"""Figure 8: ProSpeCT vs Cassandra+ProSpeCT on the synthetic mixes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tracegen import generate_trace_bundle
+from repro.crypto.synthetic import build_synthetic, mix_labels
+from repro.experiments.runner import DESIGN_BUILDERS, format_table
+from repro.uarch.core import simulate
+
+#: The two crypto primitives of Figure 8 and their stack secrecy.
+FIGURE8_PRIMITIVES = ("chacha20", "curve25519")
+FIGURE8_DESIGNS = ("prospect", "cassandra+prospect")
+
+
+def run_figure8(
+    primitives: Sequence[str] = FIGURE8_PRIMITIVES,
+    mixes: Optional[Sequence[str]] = None,
+) -> List[Dict[str, object]]:
+    """Execution-time overhead (%) of each design over the unsafe baseline."""
+    mixes = list(mixes) if mixes is not None else mix_labels()
+    rows: List[Dict[str, object]] = []
+    for primitive in primitives:
+        for mix in mixes:
+            kernel = build_synthetic(primitive, mix)
+            result = kernel.run(0)
+            bundle = generate_trace_bundle(kernel.program, kernel.inputs)
+            baseline = simulate(
+                kernel.program,
+                policy=DESIGN_BUILDERS["unsafe-baseline"](bundle),
+                bundle=bundle,
+                result=result,
+            )
+            row: Dict[str, object] = {"primitive": primitive, "mix": mix}
+            for design in FIGURE8_DESIGNS:
+                sim = simulate(
+                    kernel.program,
+                    policy=DESIGN_BUILDERS[design](bundle),
+                    bundle=bundle,
+                    result=result,
+                )
+                row[design] = (sim.cycles / baseline.cycles - 1.0) * 100.0
+            rows.append(row)
+    return rows
+
+
+def format_figure8(rows: Sequence[Dict[str, object]]) -> str:
+    columns = ["primitive", "mix", *FIGURE8_DESIGNS]
+    return format_table(rows, columns)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(format_figure8(run_figure8()))

@@ -1,0 +1,91 @@
+"""Figure 9: power and area of Cassandra relative to the unsafe baseline."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import WorkloadArtifacts, format_table, prepare_workloads
+from repro.power.model import PowerAreaModel
+
+
+def run_figure9(
+    names: Optional[Sequence[str]] = None,
+    artifacts: Optional[Sequence[WorkloadArtifacts]] = None,
+) -> Dict[str, Dict[str, float]]:
+    """Aggregate per-unit power (averaged over workloads) and area."""
+    artifacts = list(artifacts) if artifacts is not None else prepare_workloads(names)
+    model = PowerAreaModel()
+
+    unit_names = [
+        "instruction_fetch_unit",
+        "renaming_unit",
+        "load_store_unit",
+        "execution_unit",
+        "branch_trace_unit",
+    ]
+    power_sums = {
+        "unsafe-baseline": {unit: 0.0 for unit in unit_names},
+        "cassandra": {unit: 0.0 for unit in unit_names},
+    }
+    totals = {"unsafe-baseline": 0.0, "cassandra": 0.0}
+
+    for artifact in artifacts:
+        baseline_power = model.power(artifact.simulate("unsafe-baseline").stats, with_btu=False)
+        cassandra_power = model.power(artifact.simulate("cassandra").stats, with_btu=True)
+        for unit in unit_names:
+            power_sums["unsafe-baseline"][unit] += baseline_power.per_unit.get(unit, 0.0)
+            power_sums["cassandra"][unit] += cassandra_power.per_unit.get(unit, 0.0)
+        totals["unsafe-baseline"] += baseline_power.total
+        totals["cassandra"] += cassandra_power.total
+
+    count = max(len(artifacts), 1)
+    baseline_total = totals["unsafe-baseline"] / count
+
+    report: Dict[str, Dict[str, float]] = {}
+    for design in ("unsafe-baseline", "cassandra"):
+        per_unit = {
+            unit: (power_sums[design][unit] / count) / baseline_total for unit in unit_names
+        }
+        per_unit["total"] = (totals[design] / count) / baseline_total
+        report[f"power:{design}"] = per_unit
+
+    baseline_area = model.area(with_btu=False)
+    cassandra_area = model.area(with_btu=True)
+    report["area:unsafe-baseline"] = baseline_area.normalized_to(baseline_area)
+    report["area:cassandra"] = cassandra_area.normalized_to(baseline_area)
+    return report
+
+
+def format_figure9(report: Dict[str, Dict[str, float]]) -> str:
+    rows: List[Dict[str, object]] = []
+    for key, units in report.items():
+        row: Dict[str, object] = {"metric": key}
+        row.update(units)
+        rows.append(row)
+    columns = [
+        "metric",
+        "instruction_fetch_unit",
+        "renaming_unit",
+        "load_store_unit",
+        "execution_unit",
+        "branch_trace_unit",
+        "total",
+    ]
+    return format_table(rows, columns)
+
+
+def power_reduction_percent(report: Dict[str, Dict[str, float]]) -> float:
+    """Cassandra's total power reduction vs the baseline (the paper: 2.73%)."""
+    return (1.0 - report["power:cassandra"]["total"]) * 100.0
+
+
+def btu_area_percent(report: Dict[str, Dict[str, float]]) -> float:
+    """The BTU's area overhead (the paper: 1.26%)."""
+    return report["area:cassandra"]["branch_trace_unit"] * 100.0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    data = run_figure9()
+    print(format_figure9(data))
+    print(f"\nPower reduction: {power_reduction_percent(data):.2f}%")
+    print(f"BTU area overhead: {btu_area_percent(data):.2f}%")

@@ -1,0 +1,56 @@
+"""Section 8, Q4: the effect of flushing the BTU at timer-interrupt frequency."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import (
+    WorkloadArtifacts,
+    format_table,
+    geometric_mean,
+    prepare_workloads,
+)
+
+#: Cycles between BTU flushes.  The paper flushes at 250 Hz on a GHz-class
+#: core (millions of cycles); our workloads are far shorter, so the default
+#: interval is scaled down to still exercise several flushes per run.
+DEFAULT_FLUSH_INTERVAL = 2_000
+
+
+def run_interrupt_study(
+    names: Optional[Sequence[str]] = None,
+    artifacts: Optional[Sequence[WorkloadArtifacts]] = None,
+    flush_interval: int = DEFAULT_FLUSH_INTERVAL,
+) -> List[Dict[str, object]]:
+    """Cassandra vs Cassandra with periodic BTU flushes, normalized to baseline."""
+    artifacts = list(artifacts) if artifacts is not None else prepare_workloads(names)
+    rows: List[Dict[str, object]] = []
+    for artifact in artifacts:
+        baseline = artifact.simulate("unsafe-baseline").cycles
+        cassandra = artifact.simulate("cassandra").cycles
+        flushed = artifact.simulate("cassandra", btu_flush_interval=flush_interval).cycles
+        rows.append(
+            {
+                "workload": artifact.name,
+                "cassandra": cassandra / baseline,
+                "cassandra+flush": flushed / baseline,
+                "flush_penalty_pct": (flushed / cassandra - 1.0) * 100.0,
+            }
+        )
+    rows.append(
+        {
+            "workload": "geomean",
+            "cassandra": geometric_mean(float(r["cassandra"]) for r in rows),
+            "cassandra+flush": geometric_mean(float(r["cassandra+flush"]) for r in rows),
+            "flush_penalty_pct": "",
+        }
+    )
+    return rows
+
+
+def format_interrupt_study(rows: Sequence[Dict[str, object]]) -> str:
+    return format_table(rows, ["workload", "cassandra", "cassandra+flush", "flush_penalty_pct"])
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(format_interrupt_study(run_interrupt_study()))

@@ -1,0 +1,136 @@
+"""Shared experiment infrastructure: build, trace, and simulate workloads."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.stats import BranchAnalysisStats, stats_from_bundle
+from repro.analysis.tracegen import TraceBundle, generate_trace_bundle
+from repro.arch.executor import ExecutionResult
+from repro.crypto.programs.common import KernelProgram
+from repro.crypto.workloads import get_workload, workload_names
+from repro.uarch.config import CoreConfig, GOLDEN_COVE_LIKE
+from repro.uarch.core import SimulationResult, simulate
+from repro.uarch.defenses import (
+    CassandraLitePolicy,
+    CassandraPolicy,
+    CassandraProspectPolicy,
+    DefensePolicy,
+    ProspectPolicy,
+    SptPolicy,
+    UnsafeBaseline,
+)
+
+#: A small representative subset used by the quick benchmarks and tests.
+QUICK_WORKLOADS: List[str] = [
+    "ChaCha20_ct",
+    "SHA-256",
+    "Poly1305_ctmul",
+    "EC_c25519_i31",
+    "ModPow_i31",
+    "sphincs-sha2-128s",
+]
+
+#: Design-point factories; Cassandra-family policies need the trace bundle.
+DESIGN_BUILDERS: Dict[str, Callable[[Optional[TraceBundle]], DefensePolicy]] = {
+    "unsafe-baseline": lambda bundle: UnsafeBaseline(),
+    "cassandra": lambda bundle: CassandraPolicy(bundle),
+    "cassandra+stl": lambda bundle: CassandraPolicy(bundle, protect_stl=True),
+    "cassandra-lite": lambda bundle: CassandraLitePolicy(bundle),
+    "spt": lambda bundle: SptPolicy(),
+    "prospect": lambda bundle: ProspectPolicy(),
+    "cassandra+prospect": lambda bundle: CassandraProspectPolicy(bundle),
+}
+
+
+@dataclass
+class WorkloadArtifacts:
+    """Everything derived once per workload and shared across design points."""
+
+    name: str
+    suite: str
+    kernel: KernelProgram
+    result: ExecutionResult
+    bundle: TraceBundle
+    analysis: BranchAnalysisStats
+    simulations: Dict[str, SimulationResult] = field(default_factory=dict)
+
+    def simulate(
+        self,
+        design: str,
+        config: CoreConfig = GOLDEN_COVE_LIKE,
+        btu_flush_interval: Optional[int] = None,
+        warmup_passes: int = 1,
+    ) -> SimulationResult:
+        """Simulate one design point (cached per design name)."""
+        cache_key = design if btu_flush_interval is None else f"{design}@flush{btu_flush_interval}"
+        if cache_key not in self.simulations:
+            policy = DESIGN_BUILDERS[design](self.bundle)
+            self.simulations[cache_key] = simulate(
+                self.kernel.program,
+                policy=policy,
+                config=config,
+                bundle=self.bundle,
+                result=self.result,
+                btu_flush_interval=btu_flush_interval,
+                warmup_passes=warmup_passes,
+            )
+        return self.simulations[cache_key]
+
+    def normalized_time(self, design: str, baseline: str = "unsafe-baseline") -> float:
+        return self.simulate(design).cycles / self.simulate(baseline).cycles
+
+
+def prepare_workload(name: str) -> WorkloadArtifacts:
+    """Build, functionally execute, and trace-analyse one workload."""
+    workload = get_workload(name)
+    kernel = workload.kernel()
+    result = kernel.run(0)
+    if not kernel.verify(result):
+        raise RuntimeError(f"workload {name!r} failed its correctness check")
+    bundle = generate_trace_bundle(kernel.program, kernel.inputs)
+    return WorkloadArtifacts(
+        name=name,
+        suite=workload.suite,
+        kernel=kernel,
+        result=result,
+        bundle=bundle,
+        analysis=stats_from_bundle(bundle),
+    )
+
+
+def prepare_workloads(names: Optional[Sequence[str]] = None) -> List[WorkloadArtifacts]:
+    """Prepare several workloads (defaults to the full 22-workload suite)."""
+    chosen = list(names) if names is not None else workload_names()
+    return [prepare_workload(name) for name in chosen]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (used for the ``geomean`` column of Figure 7)."""
+    values = [value for value in values if value > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
+    """Render a list of dictionaries as an aligned text table."""
+    widths = {
+        column: max(len(column), *(len(_fmt(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    lines = [header, "  ".join("-" * widths[column] for column in columns)]
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

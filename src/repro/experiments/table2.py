@@ -1,0 +1,31 @@
+"""Table 2: the eight control-flow security scenarios."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.attacks.gadgets import ScenarioResult, evaluate_scenarios
+from repro.experiments.runner import format_table
+
+
+def run_table2() -> List[ScenarioResult]:
+    """Evaluate every scenario under the unsafe and Cassandra semantics."""
+    return evaluate_scenarios()
+
+
+def format_table2(results: Sequence[ScenarioResult]) -> str:
+    rows: List[Dict[str, object]] = [
+        {
+            "scenario": result.scenario,
+            "transition": result.transition,
+            "leaks_unsafe": result.leaks_unsafe,
+            "leaks_cassandra": result.leaks_cassandra,
+            "mechanism": result.expected_mechanism,
+        }
+        for result in results
+    ]
+    return format_table(rows, ["scenario", "transition", "leaks_unsafe", "leaks_cassandra", "mechanism"])
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(format_table2(run_table2()))

@@ -1,0 +1,40 @@
+"""Section 7.5: runtime of the upfront trace-generation procedure."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import WorkloadArtifacts, format_table, prepare_workloads
+
+
+def run_trace_runtime(
+    names: Optional[Sequence[str]] = None,
+    artifacts: Optional[Sequence[WorkloadArtifacts]] = None,
+) -> List[Dict[str, object]]:
+    """Per-workload wall-clock time of each step of Algorithm 2."""
+    artifacts = list(artifacts) if artifacts is not None else prepare_workloads(names)
+    rows: List[Dict[str, object]] = []
+    for artifact in artifacts:
+        timings = artifact.bundle.timings.as_dict()
+        row: Dict[str, object] = {"workload": artifact.name}
+        row.update({step: round(seconds, 4) for step, seconds in timings.items()})
+        row["branches"] = len(artifact.bundle.branches)
+        rows.append(row)
+    return rows
+
+
+def format_trace_runtime(rows: Sequence[Dict[str, object]]) -> str:
+    columns = [
+        "workload",
+        "branches",
+        "A_detect_static_branches",
+        "B_collect_raw_traces",
+        "C_vanilla_traces",
+        "D_dna_encoding",
+        "E_kmers_compression",
+    ]
+    return format_table(rows, columns)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(format_trace_runtime(run_trace_runtime()))

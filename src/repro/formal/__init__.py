@@ -1,0 +1,35 @@
+"""Executable version of the paper's formal model (Appendix A).
+
+* :mod:`repro.formal.contract` — contract traces (⟦·⟧ct^seq), the crypto
+  control-flow trace C, and the contract-satisfaction check of Definition 3.
+* :mod:`repro.formal.speculative` — a speculative hardware semantics with an
+  attacker-controlled branch predictor and, under the Cassandra semantics, a
+  trace cache that pins crypto fetch redirection to the contract trace.  This
+  is the machine the security experiments (Table 2, Spectre-v1) run on; it is
+  execution driven (it really follows wrong paths), unlike the trace-driven
+  timing model.
+"""
+
+from repro.formal.contract import (
+    contract_trace,
+    crypto_cf_trace,
+    contracts_agree,
+    check_contract_satisfaction,
+)
+from repro.formal.speculative import (
+    AttackerStrategy,
+    HardwareObservation,
+    SpeculativeMachine,
+    SpeculativeRun,
+)
+
+__all__ = [
+    "contract_trace",
+    "crypto_cf_trace",
+    "contracts_agree",
+    "check_contract_satisfaction",
+    "AttackerStrategy",
+    "HardwareObservation",
+    "SpeculativeMachine",
+    "SpeculativeRun",
+]

@@ -1,0 +1,68 @@
+"""Contract traces and contract satisfaction (Definitions 1-3, Theorem 1)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.arch.executor import SequentialExecutor
+from repro.arch.observations import (
+    Observation,
+    crypto_control_flow_trace,
+    ct_trace,
+)
+from repro.isa.program import Program
+
+MemoryInput = Mapping[int, int]
+
+
+def contract_trace(program: Program, memory_input: Optional[MemoryInput] = None) -> List[Observation]:
+    """The ⟦·⟧ct^seq contract trace of a program for one input.
+
+    The sequential executor produces the full observation stream; the
+    constant-time leakage model keeps control flow and memory addresses and
+    drops values.
+    """
+    executor = SequentialExecutor(record_dynamic=False)
+    result = executor.run(program, memory_overrides=dict(memory_input or {}))
+    return ct_trace(result.observations)
+
+
+def crypto_cf_trace(program: Program, memory_input: Optional[MemoryInput] = None) -> List[Observation]:
+    """The crypto control-flow trace C (Definition 1)."""
+    executor = SequentialExecutor(record_dynamic=False)
+    result = executor.run(program, memory_overrides=dict(memory_input or {}))
+    return crypto_control_flow_trace(result.observations)
+
+
+def _observable(trace: Sequence[Observation]) -> List[Tuple[str, int, bool]]:
+    """Strip PCs so traces compare on (kind, value, crypto) as in the paper."""
+    return [(obs.kind.value, obs.value, obs.crypto) for obs in trace]
+
+
+def contracts_agree(
+    program: Program, input_a: MemoryInput, input_b: MemoryInput
+) -> bool:
+    """Whether two initial states produce identical contract traces."""
+    return _observable(contract_trace(program, input_a)) == _observable(
+        contract_trace(program, input_b)
+    )
+
+
+def check_contract_satisfaction(
+    program: Program,
+    input_a: MemoryInput,
+    input_b: MemoryInput,
+    hardware_trace_fn: Callable[[Program, MemoryInput], Sequence],
+) -> bool:
+    """Definition 3: ⟦p⟧(σ) = ⟦p⟧(σ') ⇒ hardware traces are equal.
+
+    ``hardware_trace_fn`` maps (program, input) to the attacker-visible
+    hardware observation trace (e.g. produced by the speculative machine).
+    Returns True when the implication holds for this pair of inputs; pairs
+    whose contract traces already differ satisfy the implication trivially.
+    """
+    if not contracts_agree(program, input_a, input_b):
+        return True
+    trace_a = list(hardware_trace_fn(program, input_a))
+    trace_b = list(hardware_trace_fn(program, input_b))
+    return trace_a == trace_b

@@ -1,0 +1,38 @@
+"""Instruction set architecture for the Cassandra reproduction.
+
+The ISA is a small RISC-like register machine modelled after the muAsm
+language used in the paper's formalization (Appendix A), extended with the
+arithmetic and memory operations needed to express real constant-time
+cryptographic kernels.  Programs carry per-instruction crypto tags, mirroring
+the paper's ``@kappa`` / ``@epsilon`` annotations, which the Cassandra
+microarchitecture uses to decide between the Branch Trace Unit and the
+conventional branch predictor.
+"""
+
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    BRANCH_OPCODES,
+    CONTROL_FLOW_OPCODES,
+    MEMORY_OPCODES,
+    is_branch,
+    is_control_flow,
+    is_memory,
+)
+from repro.isa.program import Program, CryptoRegion
+from repro.isa.builder import ProgramBuilder, Label
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "BRANCH_OPCODES",
+    "CONTROL_FLOW_OPCODES",
+    "MEMORY_OPCODES",
+    "is_branch",
+    "is_control_flow",
+    "is_memory",
+    "Program",
+    "CryptoRegion",
+    "ProgramBuilder",
+    "Label",
+]

@@ -1,0 +1,241 @@
+"""Instruction definitions for the reproduction ISA.
+
+Every instruction is a small immutable record.  Register operands are
+identified by string names (``"r0"`` .. ``"r31"`` plus ``"sp"``), memory is a
+flat word-addressed address space, and immediates are arbitrary Python
+integers (the architectural executor masks to 64 bits).
+
+The opcodes deliberately cover the constructs of the paper's muAsm language
+(assignments, loads, stores, conditional branches, calls, returns) plus the
+arithmetic needed by real cryptographic kernels (add/sub/mul, logical ops,
+rotates, shifts) and a handful of reproduction-specific markers
+(``DECLASSIFY``, ``LEAK``, ``HINT``) used by the security experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class Opcode(enum.Enum):
+    """Operation codes understood by the executor and the OoO core."""
+
+    # Arithmetic / logic (dst, src_a, src_b-or-imm)
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MOD = "mod"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+    ROTL = "rotl"  # 32-bit rotate left
+    ROTR = "rotr"  # 32-bit rotate right
+    ROTL64 = "rotl64"
+    ROTR64 = "rotr64"
+    # Comparisons produce 0/1 in dst.
+    CMPEQ = "cmpeq"
+    CMPNE = "cmpne"
+    CMPLT = "cmplt"
+    CMPLE = "cmple"
+    CMPGT = "cmpgt"
+    CMPGE = "cmpge"
+    # Constant-time conditional select: dst = a if cond != 0 else b.
+    CSEL = "csel"
+    # Data movement
+    MOV = "mov"
+    MOVI = "movi"
+    # Memory
+    LOAD = "load"
+    STORE = "store"
+    # Control flow
+    BEQZ = "beqz"
+    BNEZ = "bnez"
+    JMP = "jmp"
+    JMPI = "jmpi"  # indirect jump through a register
+    CALL = "call"
+    CALLI = "calli"  # indirect call through a register
+    RET = "ret"
+    # Markers / misc
+    NOP = "nop"
+    HALT = "halt"
+    DECLASSIFY = "declassify"  # marks a register's content as public
+    LEAK = "leak"  # models an attacker-visible transmitter (e.g. a cache access)
+    FENCE = "fence"
+    HINT = "hint"  # carries Cassandra hint metadata; decoded but not executed
+
+
+#: Conditional branches: exactly two possible outcomes (taken / fall-through).
+CONDITIONAL_BRANCH_OPCODES = frozenset({Opcode.BEQZ, Opcode.BNEZ})
+
+#: Direct unconditional control transfers.
+DIRECT_JUMP_OPCODES = frozenset({Opcode.JMP, Opcode.CALL})
+
+#: Indirect control transfers (target comes from a register or the stack).
+INDIRECT_OPCODES = frozenset({Opcode.JMPI, Opcode.CALLI, Opcode.RET})
+
+#: All control-flow instructions the branch analysis considers "branches".
+BRANCH_OPCODES = CONDITIONAL_BRANCH_OPCODES | DIRECT_JUMP_OPCODES | INDIRECT_OPCODES
+
+#: Everything that changes the program counter non-sequentially.
+CONTROL_FLOW_OPCODES = BRANCH_OPCODES
+
+#: Memory-accessing opcodes (produce ``load``/``store`` observations).
+MEMORY_OPCODES = frozenset({Opcode.LOAD, Opcode.STORE})
+
+#: Opcodes whose result can be forwarded/needed by dependents.
+WRITEBACK_OPCODES = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.DIV,
+        Opcode.MOD,
+        Opcode.AND,
+        Opcode.OR,
+        Opcode.XOR,
+        Opcode.NOT,
+        Opcode.SHL,
+        Opcode.SHR,
+        Opcode.ROTL,
+        Opcode.ROTR,
+        Opcode.ROTL64,
+        Opcode.ROTR64,
+        Opcode.CMPEQ,
+        Opcode.CMPNE,
+        Opcode.CMPLT,
+        Opcode.CMPLE,
+        Opcode.CMPGT,
+        Opcode.CMPGE,
+        Opcode.CSEL,
+        Opcode.MOV,
+        Opcode.MOVI,
+        Opcode.LOAD,
+    }
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single ISA instruction.
+
+    Attributes
+    ----------
+    opcode:
+        The operation to perform.
+    dst:
+        Destination register name, if the instruction writes a register.
+    srcs:
+        Source register names, in operand order.
+    imm:
+        Immediate operand (constant value, branch target PC, address offset,
+        or call target, depending on the opcode).
+    label:
+        Optional symbolic label attached at this instruction's address.
+    crypto:
+        ``True`` when the instruction belongs to a crypto (``@kappa``) region.
+    comment:
+        Free-form text used by the builder for debugging and disassembly.
+    """
+
+    opcode: Opcode
+    dst: Optional[str] = None
+    srcs: Tuple[str, ...] = field(default_factory=tuple)
+    imm: Optional[int] = None
+    label: Optional[str] = None
+    crypto: bool = False
+    comment: str = ""
+
+    def with_crypto(self, crypto: bool) -> "Instruction":
+        """Return a copy of this instruction with the crypto tag set."""
+        return Instruction(
+            opcode=self.opcode,
+            dst=self.dst,
+            srcs=self.srcs,
+            imm=self.imm,
+            label=self.label,
+            crypto=crypto,
+            comment=self.comment,
+        )
+
+    def with_imm(self, imm: int) -> "Instruction":
+        """Return a copy of this instruction with a resolved immediate."""
+        return Instruction(
+            opcode=self.opcode,
+            dst=self.dst,
+            srcs=self.srcs,
+            imm=imm,
+            label=self.label,
+            crypto=self.crypto,
+            comment=self.comment,
+        )
+
+    @property
+    def is_branch(self) -> bool:
+        """Whether the branch analysis treats this instruction as a branch."""
+        return self.opcode in BRANCH_OPCODES
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.opcode in CONDITIONAL_BRANCH_OPCODES
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.opcode in INDIRECT_OPCODES
+
+    @property
+    def is_call(self) -> bool:
+        return self.opcode in (Opcode.CALL, Opcode.CALLI)
+
+    @property
+    def is_return(self) -> bool:
+        return self.opcode is Opcode.RET
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opcode in MEMORY_OPCODES
+
+    @property
+    def is_load(self) -> bool:
+        return self.opcode is Opcode.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opcode is Opcode.STORE
+
+    @property
+    def writes_register(self) -> bool:
+        return self.dst is not None and self.opcode in WRITEBACK_OPCODES
+
+    def __str__(self) -> str:  # pragma: no cover - debugging convenience
+        parts = [self.opcode.value]
+        if self.dst is not None:
+            parts.append(self.dst)
+        parts.extend(self.srcs)
+        if self.imm is not None:
+            parts.append(str(self.imm))
+        text = " ".join(parts)
+        tag = "@k" if self.crypto else ""
+        if self.comment:
+            return f"{text}{tag}  ; {self.comment}"
+        return f"{text}{tag}"
+
+
+def is_branch(instruction: Instruction) -> bool:
+    """Module-level helper mirroring :attr:`Instruction.is_branch`."""
+    return instruction.is_branch
+
+
+def is_control_flow(instruction: Instruction) -> bool:
+    """Whether the instruction redirects the program counter."""
+    return instruction.opcode in CONTROL_FLOW_OPCODES
+
+
+def is_memory(instruction: Instruction) -> bool:
+    """Whether the instruction accesses memory."""
+    return instruction.is_memory

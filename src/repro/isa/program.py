@@ -1,0 +1,163 @@
+"""Program container: a sequence of instructions plus metadata.
+
+A :class:`Program` is the unit the architectural executor, the branch
+analysis, and the out-of-order core all consume.  It records which PC ranges
+belong to crypto code (the paper's *Crypto PC Ranges* register is initialised
+from these), the entry point, and any initial memory image the kernel needs
+(keys, plaintext buffers, constants tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.isa.instructions import Instruction, Opcode
+
+
+@dataclass(frozen=True)
+class CryptoRegion:
+    """A half-open PC range ``[start, end)`` tagged as crypto code."""
+
+    start: int
+    end: int
+
+    def __contains__(self, pc: int) -> bool:
+        return self.start <= pc < self.end
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"invalid crypto region [{self.start}, {self.end})")
+
+
+class Program:
+    """An executable program for the reproduction ISA.
+
+    Parameters
+    ----------
+    instructions:
+        The instruction sequence; instruction *i* lives at PC *i*.
+    entry:
+        PC at which execution starts.
+    initial_memory:
+        Mapping of word address to initial value.
+    labels:
+        Mapping of symbolic label to PC.
+    crypto_regions:
+        PC ranges that belong to crypto code.  Instructions inside these
+        ranges are expected to carry ``crypto=True`` tags.
+    name:
+        Human-readable program name (used in reports).
+    secret_addresses:
+        Addresses whose initial contents are confidential.  Used by the
+        contract/leakage analysis and by ProSpeCT-style defenses.
+    """
+
+    def __init__(
+        self,
+        instructions: Sequence[Instruction],
+        entry: int = 0,
+        initial_memory: Optional[Dict[int, int]] = None,
+        labels: Optional[Dict[str, int]] = None,
+        crypto_regions: Optional[Iterable[CryptoRegion]] = None,
+        name: str = "program",
+        secret_addresses: Optional[Iterable[int]] = None,
+    ) -> None:
+        self._instructions: List[Instruction] = list(instructions)
+        if not self._instructions:
+            raise ValueError("a program must contain at least one instruction")
+        if not (0 <= entry < len(self._instructions)):
+            raise ValueError(f"entry PC {entry} is out of range")
+        self.entry = entry
+        self.initial_memory: Dict[int, int] = dict(initial_memory or {})
+        self.labels: Dict[str, int] = dict(labels or {})
+        self.crypto_regions: Tuple[CryptoRegion, ...] = tuple(crypto_regions or ())
+        self.name = name
+        self.secret_addresses = frozenset(secret_addresses or ())
+
+    # ------------------------------------------------------------------ #
+    # Basic container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self._instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self._instructions[pc]
+
+    @property
+    def instructions(self) -> Sequence[Instruction]:
+        return tuple(self._instructions)
+
+    # ------------------------------------------------------------------ #
+    # Queries used across the code base
+    # ------------------------------------------------------------------ #
+    def fetch(self, pc: int) -> Instruction:
+        """Return the instruction at ``pc``; raises ``IndexError`` if invalid."""
+        if pc < 0 or pc >= len(self._instructions):
+            raise IndexError(f"PC {pc} outside program of length {len(self)}")
+        return self._instructions[pc]
+
+    def is_valid_pc(self, pc: int) -> bool:
+        return 0 <= pc < len(self._instructions)
+
+    def is_crypto_pc(self, pc: int) -> bool:
+        """Whether ``pc`` falls inside a crypto PC range."""
+        return any(pc in region for region in self.crypto_regions)
+
+    def label_pc(self, label: str) -> int:
+        """Resolve a symbolic label to its PC."""
+        try:
+            return self.labels[label]
+        except KeyError as exc:
+            raise KeyError(f"unknown label {label!r} in program {self.name!r}") from exc
+
+    def static_branches(self) -> List[int]:
+        """PCs of all static branch instructions, in program order."""
+        return [pc for pc, inst in enumerate(self._instructions) if inst.is_branch]
+
+    def crypto_branches(self) -> List[int]:
+        """PCs of static branches inside crypto regions."""
+        return [pc for pc in self.static_branches() if self.is_crypto_pc(pc)]
+
+    def halt_pcs(self) -> List[int]:
+        return [
+            pc
+            for pc, inst in enumerate(self._instructions)
+            if inst.opcode is Opcode.HALT
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Introspection / diagnostics
+    # ------------------------------------------------------------------ #
+    def disassemble(self) -> str:
+        """Return a human-readable listing of the program."""
+        reverse_labels: Dict[int, List[str]] = {}
+        for label, pc in self.labels.items():
+            reverse_labels.setdefault(pc, []).append(label)
+        lines: List[str] = []
+        for pc, inst in enumerate(self._instructions):
+            for label in sorted(reverse_labels.get(pc, ())):
+                lines.append(f"{label}:")
+            marker = "K" if self.is_crypto_pc(pc) else " "
+            lines.append(f"  {pc:6d} {marker} {inst}")
+        return "\n".join(lines)
+
+    def summary(self) -> Dict[str, int]:
+        """Small statistics dictionary used in reports and tests."""
+        branches = self.static_branches()
+        return {
+            "instructions": len(self),
+            "static_branches": len(branches),
+            "crypto_branches": len(self.crypto_branches()),
+            "crypto_regions": len(self.crypto_regions),
+            "memory_words": len(self.initial_memory),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"Program(name={self.name!r}, len={len(self)}, "
+            f"branches={len(self.static_branches())})"
+        )

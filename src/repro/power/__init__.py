@@ -1,0 +1,12 @@
+"""Analytical power and area model (the paper's Section 7.4).
+
+Substitutes for McPAT/CACTI: per-unit event energies and area fractions are
+calibrated so the unit breakdown matches the shape of Figure 9 — the
+instruction fetch unit (which contains the branch prediction unit) dominates
+frontend energy, Cassandra avoids BPU accesses for crypto branches and adds a
+small BTU, and the BTU contributes ~1.3% area.
+"""
+
+from repro.power.model import PowerAreaModel, PowerReport, AreaReport
+
+__all__ = ["PowerAreaModel", "PowerReport", "AreaReport"]

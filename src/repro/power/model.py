@@ -1,0 +1,108 @@
+"""Event-driven analytical power/area model for the simulated core."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.uarch.config import CoreConfig, GOLDEN_COVE_LIKE
+from repro.uarch.stats import PipelineStats
+
+#: Relative area of each unit in the baseline core (fractions of total = 1.0).
+BASELINE_AREA_FRACTIONS: Dict[str, float] = {
+    "instruction_fetch_unit": 0.22,
+    "renaming_unit": 0.10,
+    "load_store_unit": 0.26,
+    "execution_unit": 0.42,
+}
+
+#: The BTU's area relative to the baseline total (the paper reports 1.26%).
+BTU_AREA_FRACTION = 0.0126
+
+#: Dynamic energy per event (arbitrary energy units, calibrated for shape).
+ENERGY_PER_EVENT: Dict[str, float] = {
+    "fetch": 1.0,          # per fetched instruction (IFU datapath + ICache)
+    "bpu_access": 5.0,     # per BPU lookup or update (large LTAGE-class tables)
+    "btu_access": 1.0,     # per BTU lookup (small direct-mapped tables)
+    "rename": 0.8,         # per renamed instruction
+    "lsu": 2.2,            # per load/store
+    "execute": 1.6,        # per issued instruction
+    "squash": 0.8,         # per squash cycle (wasted frontend/backend work)
+}
+
+#: Leakage power per unit of area, as a fraction of typical dynamic power.
+LEAKAGE_PER_AREA = 18.0
+
+
+@dataclass
+class PowerReport:
+    """Per-unit and total power for one simulation."""
+
+    per_unit: Dict[str, float]
+    total: float
+
+    def normalized_to(self, baseline: "PowerReport") -> Dict[str, float]:
+        """Each unit (and the total) as a fraction of the baseline total."""
+        result = {unit: value / baseline.total for unit, value in self.per_unit.items()}
+        result["total"] = self.total / baseline.total
+        return result
+
+
+@dataclass
+class AreaReport:
+    """Per-unit and total area."""
+
+    per_unit: Dict[str, float]
+    total: float
+
+    def normalized_to(self, baseline: "AreaReport") -> Dict[str, float]:
+        result = {unit: value / baseline.total for unit, value in self.per_unit.items()}
+        result["total"] = self.total / baseline.total
+        return result
+
+
+class PowerAreaModel:
+    """Compute power/area for a simulation under a given configuration."""
+
+    def __init__(self, config: CoreConfig = GOLDEN_COVE_LIKE) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    # Area
+    # ------------------------------------------------------------------ #
+    def area(self, with_btu: bool) -> AreaReport:
+        per_unit = dict(BASELINE_AREA_FRACTIONS)
+        if with_btu:
+            per_unit["branch_trace_unit"] = BTU_AREA_FRACTION
+        else:
+            per_unit["branch_trace_unit"] = 0.0
+        return AreaReport(per_unit=per_unit, total=sum(per_unit.values()))
+
+    # ------------------------------------------------------------------ #
+    # Power
+    # ------------------------------------------------------------------ #
+    def power(self, stats: PipelineStats, with_btu: bool) -> PowerReport:
+        cycles = max(stats.cycles, 1)
+        energy = ENERGY_PER_EVENT
+
+        bpu_accesses = stats.bpu_predicted + stats.bpu_predicted  # lookup + update
+        btu_accesses = stats.btu_replayed + stats.btu_misses
+
+        dynamic = {
+            "instruction_fetch_unit": (
+                stats.fetched_instructions * energy["fetch"]
+                + bpu_accesses * energy["bpu_access"]
+                + stats.squash_cycles * energy["squash"]
+            ),
+            "renaming_unit": stats.renamed_instructions * energy["rename"],
+            "load_store_unit": (stats.loads + stats.stores) * energy["lsu"],
+            "execution_unit": stats.issued_instructions * energy["execute"],
+            "branch_trace_unit": btu_accesses * energy["btu_access"] if with_btu else 0.0,
+        }
+
+        area = self.area(with_btu)
+        per_unit: Dict[str, float] = {}
+        for unit, dynamic_energy in dynamic.items():
+            leakage = LEAKAGE_PER_AREA * area.per_unit.get(unit, 0.0)
+            per_unit[unit] = dynamic_energy / cycles + leakage
+        return PowerReport(per_unit=per_unit, total=sum(per_unit.values()))

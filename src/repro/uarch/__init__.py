@@ -1,0 +1,32 @@
+"""Out-of-order core timing model, Branch Trace Unit, and defense policies.
+
+The timing model is *trace driven*: the sequential executor produces the
+architecturally correct dynamic instruction stream, and the core model
+replays it through a cycle-accounting pipeline (fetch → dispatch → issue →
+execute → commit) with a reorder buffer, load/store queue with store-to-load
+forwarding, a gshare/BTB/RSB branch predictor, a three-level cache hierarchy,
+and — for Cassandra configurations — the Branch Trace Unit of Section 5.
+Wrong-path instructions are not simulated for timing; their first-order cost
+(squash and frontend refill after a misprediction, fetch stalls while a
+branch resolves) is charged explicitly.  Security experiments that need
+wrong-path *semantics* use :mod:`repro.formal` and :mod:`repro.attacks`
+instead.
+
+Defense design points (the bars of Figures 7 and 8) are expressed as
+:class:`~repro.uarch.defenses.base.DefensePolicy` objects that hook fetch
+redirection, issue gating, and store-to-load forwarding.
+"""
+
+from repro.uarch.config import CoreConfig, CacheConfig, BtuConfig
+from repro.uarch.core import CoreModel, SimulationResult, simulate
+from repro.uarch.stats import PipelineStats
+
+__all__ = [
+    "CoreConfig",
+    "CacheConfig",
+    "BtuConfig",
+    "CoreModel",
+    "SimulationResult",
+    "simulate",
+    "PipelineStats",
+]

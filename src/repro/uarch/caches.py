@@ -1,0 +1,116 @@
+"""Set-associative cache models and the three-level hierarchy."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.uarch.config import CacheConfig, CoreConfig
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """A set-associative cache with LRU replacement.
+
+    The model tracks tags only (no data); ``access`` returns whether the line
+    hit and installs it on a miss.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        self._sets: List[List[int]] = [[] for _ in range(config.num_sets)]
+
+    def _locate(self, address: int) -> Tuple[int, int]:
+        line = address // self.config.line_bytes
+        index = line % self.config.num_sets
+        tag = line // self.config.num_sets
+        return index, tag
+
+    def access(self, address: int) -> bool:
+        """Access a byte address; returns True on hit."""
+        self.stats.accesses += 1
+        index, tag = self._locate(address)
+        ways = self._sets[index]
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        ways.append(tag)
+        if len(ways) > self.config.associativity:
+            ways.pop(0)
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Check residency without updating LRU or statistics."""
+        index, tag = self._locate(address)
+        return tag in self._sets[index]
+
+    def flush(self) -> None:
+        self._sets = [[] for _ in range(self.config.num_sets)]
+
+
+class CacheHierarchy:
+    """L1D + L2 + L3 + memory, with additive miss latencies."""
+
+    def __init__(self, config: CoreConfig) -> None:
+        self.config = config
+        self.l1d = Cache(config.l1d)
+        self.l2 = Cache(config.l2)
+        self.l3 = Cache(config.l3)
+
+    def load_latency(self, word_address: int) -> int:
+        """Latency in cycles to satisfy a load of the given word address."""
+        address = word_address * self.config.word_bytes
+        latency = self.config.l1d.latency
+        if self.l1d.access(address):
+            return latency
+        latency += self.config.l2.latency
+        if self.l2.access(address):
+            return latency
+        latency += self.config.l3.latency
+        if self.l3.access(address):
+            return latency
+        return latency + self.config.memory_latency
+
+    def store_latency(self, word_address: int) -> int:
+        """Stores install the line; commit-time latency is hidden by the SQ."""
+        self.load_latency(word_address)
+        return self.config.store_latency
+
+    def flush(self) -> None:
+        self.l1d.flush()
+        self.l2.flush()
+        self.l3.flush()
+
+
+class InstructionCache:
+    """A lightweight L1I model charging miss latency per new line."""
+
+    def __init__(self, config: CoreConfig) -> None:
+        self.config = config
+        self.cache = Cache(config.l1i)
+        #: Instruction "bytes" per ISA slot: assume 4-byte fixed encoding.
+        self.instruction_bytes = 4
+
+    def fetch_latency(self, pc: int) -> int:
+        address = pc * self.instruction_bytes
+        if self.cache.access(address):
+            return 0
+        # A miss goes to L2 in this simplified frontend model.
+        return self.config.l2.latency
+
+    def flush(self) -> None:
+        self.cache.flush()

@@ -1,0 +1,110 @@
+"""Core, cache, and BTU configuration (the paper's Table 3).
+
+Defaults model the Golden-Cove-like configuration of the paper: an 8-wide
+machine with a 512-entry ROB, large load/store queues, an LTAGE-class branch
+predictor (modelled as a generously sized gshare + BTB + RSB), 48 KB L1D,
+32 KB L1I, 1.25 MB L2, and 30 MB L3.  The BTU has 16 entries in each of its
+three tables with 16 elements per entry (1.74 KiB of storage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level."""
+
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+    latency: int
+    name: str = "cache"
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.size_bytes // (self.line_bytes * self.associativity)
+        return max(sets, 1)
+
+
+@dataclass(frozen=True)
+class BtuConfig:
+    """Branch Trace Unit sizing (Section 5.3 / Table 3)."""
+
+    entries: int = 16
+    elements_per_entry: int = 16
+    #: Cycles to load a missing trace from the memory hierarchy into the BTU.
+    miss_latency: int = 20
+    #: Cycles to prefetch the next chunk of a long (>16 element) trace.
+    prefetch_latency: int = 4
+
+    @property
+    def storage_bits(self) -> int:
+        """Approximate storage: PAT (20b) + TRC (32b) + CPT (~52b) elements."""
+        pattern_bits = self.entries * self.elements_per_entry * 20
+        trace_bits = self.entries * self.elements_per_entry * 32
+        checkpoint_bits = self.entries * 52
+        return pattern_bits + trace_bits + checkpoint_bits
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """The simulated out-of-order core (Golden-Cove-like, Table 3)."""
+
+    # Pipeline widths.
+    fetch_width: int = 8
+    decode_width: int = 8
+    issue_width: int = 8
+    commit_width: int = 8
+
+    # Structure sizes.
+    rob_size: int = 512
+    iq_size: int = 96
+    lq_size: int = 192
+    sq_size: int = 114
+
+    # Frontend depth: cycles between fetch and dispatch (rename included).
+    frontend_depth: int = 6
+    #: Extra cycles to restart fetch after a squash (redirect + refill).
+    mispredict_penalty: int = 12
+    #: Cycles from issue to resolution for a conditional branch.
+    branch_resolve_latency: int = 1
+
+    # Execution latencies by operation class.
+    alu_latency: int = 1
+    mul_latency: int = 3
+    div_latency: int = 12
+    store_latency: int = 1
+    store_forward_latency: int = 2
+
+    # Branch predictor sizing.
+    pht_bits: int = 14
+    btb_entries: int = 4096
+    rsb_entries: int = 32
+    global_history_bits: int = 14
+
+    # Memory hierarchy.
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * 1024, 64, 8, 5, name="L1I")
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(48 * 1024, 64, 12, 5, name="L1D")
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(1280 * 1024, 64, 16, 14, name="L2")
+    )
+    l3: CacheConfig = field(
+        default_factory=lambda: CacheConfig(30 * 1024 * 1024, 64, 16, 40, name="L3")
+    )
+    memory_latency: int = 200
+
+    # Branch Trace Unit.
+    btu: BtuConfig = field(default_factory=BtuConfig)
+
+    #: Word size of the ISA in bytes (used to map word addresses to cache lines).
+    word_bytes: int = 8
+
+
+#: The default configuration used throughout the evaluation.
+GOLDEN_COVE_LIKE = CoreConfig()

@@ -1,0 +1,26 @@
+"""Defense design points evaluated in the paper (Figures 7 and 8).
+
+Each defense is a :class:`~repro.uarch.defenses.base.DefensePolicy` plugged
+into the timing core.  Policies decide, per dynamic branch, how fetch is
+redirected (branch predictor, Branch Trace Unit replay, or a stall until the
+branch resolves), whether store-to-load forwarding is permitted, and which
+instructions must wait for older speculation to resolve before executing.
+"""
+
+from repro.uarch.defenses.base import BranchFetchOutcome, DefensePolicy, FetchMechanism
+from repro.uarch.defenses.unsafe import UnsafeBaseline
+from repro.uarch.defenses.cassandra import CassandraLitePolicy, CassandraPolicy
+from repro.uarch.defenses.spt import SptPolicy
+from repro.uarch.defenses.prospect import ProspectPolicy, CassandraProspectPolicy
+
+__all__ = [
+    "BranchFetchOutcome",
+    "DefensePolicy",
+    "FetchMechanism",
+    "UnsafeBaseline",
+    "CassandraPolicy",
+    "CassandraLitePolicy",
+    "SptPolicy",
+    "ProspectPolicy",
+    "CassandraProspectPolicy",
+]

@@ -1,0 +1,87 @@
+"""Defense policy interface for the timing core."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.arch.executor import DynamicInstruction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.uarch.core import CoreModel
+
+
+class FetchMechanism(enum.Enum):
+    """How the frontend obtained (or failed to obtain) a branch's target."""
+
+    BPU = "bpu"
+    BTU = "btu"
+    SINGLE_TARGET = "single_target"
+    STALL = "stall"
+
+
+@dataclass
+class BranchFetchOutcome:
+    """The frontend consequence of one dynamic branch under a policy.
+
+    Attributes
+    ----------
+    mechanism:
+        Which unit redirected fetch.
+    mispredicted:
+        True when the speculatively chosen target was wrong (squash +
+        redirect penalty is charged).
+    stall_until_resolve:
+        True when fetch must wait for the branch to resolve before
+        continuing (no squash, but the frontend bubbles until resolution).
+    extra_fetch_latency:
+        Additional frontend latency (e.g. a BTU trace miss being filled).
+    creates_speculation_window:
+        True when younger instructions execute under an unresolved
+        control-flow speculation (used by the issue-gating defenses).
+    integrity_stall:
+        True when the stall came from the crypto-PC-range integrity check of
+        the non-crypto fetch flow (Scenario 5/6 in Table 2).
+    """
+
+    mechanism: FetchMechanism
+    mispredicted: bool = False
+    stall_until_resolve: bool = False
+    extra_fetch_latency: int = 0
+    creates_speculation_window: bool = False
+    integrity_stall: bool = False
+
+
+class DefensePolicy:
+    """Base class: the unsafe behaviour with every hook overridable."""
+
+    #: Human-readable configuration name (used in experiment reports).
+    name = "base"
+    #: Whether the policy needs pre-computed traces (a TraceBundle) attached.
+    requires_traces = False
+
+    def attach(self, core: "CoreModel") -> None:
+        """Called once by the core so the policy can reach shared units."""
+        self.core = core
+
+    # ------------------------------------------------------------------ #
+    # Hooks
+    # ------------------------------------------------------------------ #
+    def on_branch(self, dyn: DynamicInstruction) -> BranchFetchOutcome:
+        """Decide how fetch proceeds past a dynamic branch."""
+        raise NotImplementedError
+
+    def gates_issue(self, dyn: DynamicInstruction) -> bool:
+        """Whether ``dyn`` must wait for older speculation windows to resolve."""
+        return False
+
+    def allow_store_forwarding(self, dyn: DynamicInstruction) -> bool:
+        """Whether a load may forward from an in-flight older store."""
+        return True
+
+    def on_commit(self, dyn: DynamicInstruction) -> None:
+        """Called when an instruction commits (BTU checkpointing)."""
+
+    def describe(self) -> str:
+        return self.name

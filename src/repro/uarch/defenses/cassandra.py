@@ -1,0 +1,145 @@
+"""The Cassandra defense policies (Sections 5 and 8 of the paper).
+
+* :class:`CassandraPolicy` — crypto branches are redirected by the Branch
+  Trace Unit (single-target branches directly from their hint, multi-target
+  branches by trace replay, input-dependent branches by a fetch stall); the
+  branch predictor is neither accessed nor updated for crypto branches.
+  Non-crypto branches still use the BPU, with the crypto-PC-range integrity
+  check preventing speculative redirection into crypto code.  An optional
+  store-to-load forwarding restriction turns the policy into the paper's
+  ``Cassandra+STL`` configuration.
+* :class:`CassandraLitePolicy` — the Q3 variant: only single-target branches
+  are handled; every other crypto branch stalls fetch until it resolves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.hints import BranchHint
+from repro.analysis.tracegen import TraceBundle
+from repro.arch.executor import DynamicInstruction
+from repro.uarch.defenses.base import BranchFetchOutcome, DefensePolicy, FetchMechanism
+
+
+class ReplayMismatchError(RuntimeError):
+    """Raised when a BTU-replayed target disagrees with the sequential trace.
+
+    This should never fire: it indicates a bug in the branch analysis or the
+    trace lowering, and the test-suite treats it as a hard failure.
+    """
+
+
+class CassandraPolicy(DefensePolicy):
+    """Record-and-replay fetch redirection for crypto branches."""
+
+    name = "cassandra"
+    requires_traces = True
+
+    def __init__(self, bundle: TraceBundle, protect_stl: bool = False) -> None:
+        self.bundle = bundle
+        self.hint_table = bundle.hint_table
+        self.protect_stl = protect_stl
+        if protect_stl:
+            self.name = "cassandra+stl"
+
+    # ------------------------------------------------------------------ #
+    # Fetch flows
+    # ------------------------------------------------------------------ #
+    def on_branch(self, dyn: DynamicInstruction) -> BranchFetchOutcome:
+        if self._is_crypto_branch(dyn):
+            return self._crypto_fetch_flow(dyn)
+        return self._non_crypto_fetch_flow(dyn)
+
+    def _is_crypto_branch(self, dyn: DynamicInstruction) -> bool:
+        return dyn.crypto or self.hint_table.is_crypto_pc(dyn.pc)
+
+    def _crypto_fetch_flow(self, dyn: DynamicInstruction) -> BranchFetchOutcome:
+        """Section 5.3 crypto fetch flow: BTU replay, never the BPU."""
+        hint: Optional[BranchHint] = self.hint_table.lookup(dyn.pc)
+        stats = self.core.stats
+
+        if hint is not None and hint.single_target:
+            stats.single_target_branches += 1
+            if hint.single_target_pc is not None and hint.single_target_pc != dyn.next_pc:
+                raise ReplayMismatchError(
+                    f"single-target hint for PC {dyn.pc} points at "
+                    f"{hint.single_target_pc} but execution went to {dyn.next_pc}"
+                )
+            return BranchFetchOutcome(mechanism=FetchMechanism.SINGLE_TARGET)
+
+        if hint is not None and hint.has_trace and self.core.btu.has_trace(dyn.pc):
+            lookup = self.core.btu.lookup(dyn.pc)
+            stats.btu_replayed += 1
+            if not lookup.hit:
+                stats.btu_misses += 1
+            if lookup.prefetched:
+                stats.btu_prefetches += 1
+            if lookup.target != dyn.next_pc:
+                raise ReplayMismatchError(
+                    f"BTU replay for PC {dyn.pc} produced target {lookup.target} "
+                    f"but the sequential execution went to {dyn.next_pc}"
+                )
+            return BranchFetchOutcome(
+                mechanism=FetchMechanism.BTU,
+                extra_fetch_latency=lookup.extra_latency,
+            )
+
+        # Input-dependent branch or missing trace: stall fetch until the
+        # branch resolves (Section 4.3, footnote 4).
+        stats.fetch_stall_branches += 1
+        return BranchFetchOutcome(
+            mechanism=FetchMechanism.STALL,
+            stall_until_resolve=True,
+        )
+
+    def _non_crypto_fetch_flow(self, dyn: DynamicInstruction) -> BranchFetchOutcome:
+        """Non-crypto branches predict normally, with the integrity check."""
+        predicted = self.core.bpu.predict(dyn)
+        correct = self.core.bpu.update(dyn, predicted)
+        if self.hint_table.is_crypto_pc(predicted) or self.hint_table.is_crypto_pc(dyn.next_pc):
+            # Speculative redirection into crypto code is forbidden: wait for
+            # the branch to resolve instead (Scenarios 5 and 6 of Table 2).
+            self.core.stats.integrity_stall_branches += 1
+            return BranchFetchOutcome(
+                mechanism=FetchMechanism.STALL,
+                stall_until_resolve=True,
+                integrity_stall=True,
+            )
+        return BranchFetchOutcome(
+            mechanism=FetchMechanism.BPU,
+            mispredicted=not correct,
+            creates_speculation_window=True,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Other hooks
+    # ------------------------------------------------------------------ #
+    def allow_store_forwarding(self, dyn: DynamicInstruction) -> bool:
+        return not self.protect_stl
+
+    def on_commit(self, dyn: DynamicInstruction) -> None:
+        if dyn.is_branch and self._is_crypto_branch(dyn):
+            self.core.btu.commit(dyn.pc)
+
+
+class CassandraLitePolicy(CassandraPolicy):
+    """Cassandra-lite (Q3): single-target branches only, no BTU."""
+
+    name = "cassandra-lite"
+
+    def __init__(self, bundle: TraceBundle) -> None:
+        super().__init__(bundle, protect_stl=False)
+        self.name = "cassandra-lite"
+
+    def _crypto_fetch_flow(self, dyn: DynamicInstruction) -> BranchFetchOutcome:
+        hint = self.hint_table.lookup(dyn.pc)
+        stats = self.core.stats
+        if hint is not None and hint.single_target:
+            stats.single_target_branches += 1
+            return BranchFetchOutcome(mechanism=FetchMechanism.SINGLE_TARGET)
+        stats.fetch_stall_branches += 1
+        return BranchFetchOutcome(
+            mechanism=FetchMechanism.STALL,
+            stall_until_resolve=True,
+        )

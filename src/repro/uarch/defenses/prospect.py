@@ -1,0 +1,68 @@
+"""ProSpeCT and Cassandra+ProSpeCT (Section 7.3 / Figure 8).
+
+ProSpeCT [Daniel et al., USENIX Security 2023] annotates secret memory
+regions and blocks the speculative execution of any instruction that is about
+to process a secret: an instruction with a tainted operand may only execute
+once it is no longer speculative (no older unresolved control-flow
+speculation).  Register taint is derived architecturally by the sequential
+executor (loads from secret regions taint their destination, taint propagates
+through arithmetic, ``DECLASSIFY`` clears it), matching the paper's
+implementation where destination registers of loads from secret regions are
+taint sources and registers are declassified at the end of crypto primitives.
+
+``CassandraProspectPolicy`` combines the two mechanisms exactly as Section
+7.3 describes: Cassandra removes control-flow speculation from the crypto
+component (crypto branches never create a speculation window), while
+ProSpeCT continues to protect annotated secrets under the speculation windows
+of the remaining non-crypto branches.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tracegen import TraceBundle
+from repro.arch.executor import DynamicInstruction
+from repro.isa.instructions import Opcode
+from repro.uarch.defenses.base import BranchFetchOutcome, DefensePolicy, FetchMechanism
+from repro.uarch.defenses.cassandra import CassandraPolicy
+
+
+class ProspectPolicy(DefensePolicy):
+    """Block speculative execution of instructions that process secrets.
+
+    Following the paper's gem5 implementation of ProSpeCT (Section 7.3), an
+    instruction is blocked when (1) it is speculative — an older control
+    inducer is still unresolved — and (2) at least one of its operands is
+    tainted.  Taint comes from the annotated secret memory regions, so the
+    public-stack chacha20 benchmark has little to block while the
+    secret-stack curve25519 benchmark loses its cross-iteration overlap
+    (the Figure 8 contrast).
+    """
+
+    name = "prospect"
+    requires_traces = False
+
+    def on_branch(self, dyn: DynamicInstruction) -> BranchFetchOutcome:
+        predicted = self.core.bpu.predict(dyn)
+        correct = self.core.bpu.update(dyn, predicted)
+        return BranchFetchOutcome(
+            mechanism=FetchMechanism.BPU,
+            mispredicted=not correct,
+            creates_speculation_window=True,
+        )
+
+    def gates_issue(self, dyn: DynamicInstruction) -> bool:
+        return dyn.secret_operand
+
+
+class CassandraProspectPolicy(CassandraPolicy):
+    """Cassandra fetch redirection plus ProSpeCT issue gating."""
+
+    name = "cassandra+prospect"
+    requires_traces = True
+
+    def __init__(self, bundle: TraceBundle) -> None:
+        super().__init__(bundle, protect_stl=False)
+        self.name = "cassandra+prospect"
+
+    def gates_issue(self, dyn: DynamicInstruction) -> bool:
+        return dyn.secret_operand

@@ -1,0 +1,44 @@
+"""Speculative Privacy Tracking (SPT) as a comparison point (Section 7.2).
+
+SPT [Choudhary et al., MICRO 2021] delays *transmitting* instructions whose
+operands may carry secrets until they become non-speculative.  Under a
+constant-time policy every architectural value is potentially secret, so the
+relevant timing effect is that transmitters (loads, whose addresses form the
+cache side channel) cannot execute while an older, unresolved control-flow
+speculation is in flight.  The policy predicts every branch with the BPU and
+applies that issue gate, which reproduces SPT's per-application overhead
+pattern: cheap when branches resolve quickly, expensive when loads trail
+long-latency branch conditions.
+"""
+
+from __future__ import annotations
+
+from repro.arch.executor import DynamicInstruction
+from repro.uarch.defenses.base import BranchFetchOutcome, DefensePolicy, FetchMechanism
+
+
+class SptPolicy(DefensePolicy):
+    """Delay transmitters until older speculation resolves."""
+
+    name = "spt"
+    requires_traces = False
+
+    def __init__(self, protect_stl: bool = True) -> None:
+        self.protect_stl = protect_stl
+
+    def on_branch(self, dyn: DynamicInstruction) -> BranchFetchOutcome:
+        predicted = self.core.bpu.predict(dyn)
+        correct = self.core.bpu.update(dyn, predicted)
+        return BranchFetchOutcome(
+            mechanism=FetchMechanism.BPU,
+            mispredicted=not correct,
+            creates_speculation_window=True,
+        )
+
+    def gates_issue(self, dyn: DynamicInstruction) -> bool:
+        # Loads are the transmitters in the ct leakage model: their addresses
+        # reach the cache hierarchy.  LEAK models an explicit transmitter.
+        return dyn.is_load or dyn.opcode.name == "LEAK"
+
+    def allow_store_forwarding(self, dyn: DynamicInstruction) -> bool:
+        return not self.protect_stl

@@ -1,0 +1,22 @@
+"""The unprotected out-of-order baseline (``Unsafe Baseline`` in Figure 7)."""
+
+from __future__ import annotations
+
+from repro.arch.executor import DynamicInstruction
+from repro.uarch.defenses.base import BranchFetchOutcome, DefensePolicy, FetchMechanism
+
+
+class UnsafeBaseline(DefensePolicy):
+    """Predict every branch with the BPU; no speculation restrictions."""
+
+    name = "unsafe-baseline"
+    requires_traces = False
+
+    def on_branch(self, dyn: DynamicInstruction) -> BranchFetchOutcome:
+        predicted = self.core.bpu.predict(dyn)
+        correct = self.core.bpu.update(dyn, predicted)
+        return BranchFetchOutcome(
+            mechanism=FetchMechanism.BPU,
+            mispredicted=not correct,
+            creates_speculation_window=True,
+        )

@@ -1,0 +1,93 @@
+"""Pipeline statistics collected by the timing model.
+
+The counters double as the event inputs of the power model (Section 7.4):
+BPU lookups avoided, BTU accesses added, fetch/rename/issue/commit activity,
+and cache accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class PipelineStats:
+    """Aggregate counters for one simulation."""
+
+    cycles: int = 0
+    instructions: int = 0
+
+    # Branch behaviour.
+    branches: int = 0
+    crypto_branches: int = 0
+    bpu_predicted: int = 0
+    bpu_mispredicted: int = 0
+    btu_replayed: int = 0
+    btu_misses: int = 0
+    btu_prefetches: int = 0
+    single_target_branches: int = 0
+    fetch_stall_branches: int = 0
+    integrity_stall_branches: int = 0
+    squash_cycles: int = 0
+    fetch_stall_cycles: int = 0
+
+    # Memory behaviour.
+    loads: int = 0
+    stores: int = 0
+    store_forwards: int = 0
+    stl_blocked: int = 0
+
+    # Defense activity.
+    delayed_instructions: int = 0
+    delay_cycles: int = 0
+
+    # Structure activity (power model inputs).
+    fetched_instructions: int = 0
+    renamed_instructions: int = 0
+    issued_instructions: int = 0
+    committed_instructions: int = 0
+
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.bpu_mispredicted / self.branches if self.branches else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        result = {
+            name: getattr(self, name)
+            for name in (
+                "cycles",
+                "instructions",
+                "branches",
+                "crypto_branches",
+                "bpu_predicted",
+                "bpu_mispredicted",
+                "btu_replayed",
+                "btu_misses",
+                "btu_prefetches",
+                "single_target_branches",
+                "fetch_stall_branches",
+                "integrity_stall_branches",
+                "squash_cycles",
+                "fetch_stall_cycles",
+                "loads",
+                "stores",
+                "store_forwards",
+                "stl_blocked",
+                "delayed_instructions",
+                "delay_cycles",
+                "fetched_instructions",
+                "renamed_instructions",
+                "issued_instructions",
+                "committed_instructions",
+            )
+        }
+        result["ipc"] = self.ipc
+        result.update(self.extra)
+        return result

@@ -1,0 +1,173 @@
+"""Unit and property-based tests for the branch-analysis pipeline."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dna import encode_vanilla_trace
+from repro.analysis.kmers import (
+    compact_pattern_store,
+    compress_sequence,
+    count_kmers,
+    replace_non_overlapping,
+)
+from repro.analysis.raw_trace import RawTrace, collect_raw_traces
+from repro.analysis.representation import (
+    BTU_ENTRY_ELEMENTS,
+    PatternElement,
+    TraceElement,
+    build_hardware_trace,
+)
+from repro.analysis.vanilla import VanillaElement, run_length_encode, to_vanilla_trace
+
+
+# --------------------------------------------------------------------------- #
+# Vanilla traces (run-length encoding)
+# --------------------------------------------------------------------------- #
+def test_run_length_encode_paper_example():
+    # Raw trace PC1 PC1 PC1 PC1 PC0 -> PC1 x 4 . PC0 x 1
+    elements = run_length_encode([1, 1, 1, 1, 0])
+    assert elements == (VanillaElement(1, 4), VanillaElement(0, 1))
+
+
+def test_vanilla_trace_metrics():
+    raw = RawTrace(branch_pc=5, targets=(7, 7, 9, 9, 9, 7))
+    vanilla = to_vanilla_trace(raw)
+    assert len(vanilla) == 3
+    assert vanilla.total_executions == 6
+    assert vanilla.unique_targets == (7, 9)
+    assert not vanilla.is_single_target
+    assert vanilla.expand() == list(raw.targets)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=200))
+def test_rle_roundtrip_property(targets):
+    raw = RawTrace(branch_pc=0, targets=tuple(targets))
+    vanilla = to_vanilla_trace(raw)
+    assert vanilla.expand() == targets
+    # RLE never has two adjacent elements with the same target.
+    for first, second in zip(vanilla.elements, vanilla.elements[1:]):
+        assert first.target != second.target
+
+
+# --------------------------------------------------------------------------- #
+# DNA encoding
+# --------------------------------------------------------------------------- #
+def test_dna_encoding_paper_example():
+    # PC0x2 . PC1x5 . PC0x2 . PC1x5 . PC2x3  ->  A C A C G
+    raw = RawTrace(branch_pc=0, targets=(0, 0, 1, 1, 1, 1, 1, 0, 0, 1, 1, 1, 1, 1, 2, 2, 2))
+    vanilla = to_vanilla_trace(raw)
+    sequence = encode_vanilla_trace(vanilla)
+    assert sequence.symbols == [0, 1, 0, 1, 2]
+    assert sequence.to_string() == "ACACG"
+    assert sequence.decode() == list(vanilla.elements)
+
+
+# --------------------------------------------------------------------------- #
+# k-mers counting and compression
+# --------------------------------------------------------------------------- #
+def test_count_kmers_non_overlapping():
+    counts = count_kmers([1, 1, 1, 1, 1], 2)
+    assert counts[(1, 1)] == 2
+
+
+def test_replace_non_overlapping():
+    assert replace_non_overlapping([0, 1, 0, 1, 2], (0, 1), 9) == [9, 9, 2]
+
+
+def test_compress_repeating_sequence():
+    raw = RawTrace(branch_pc=0, targets=tuple(([1] * 4 + [0]) * 50))
+    vanilla = to_vanilla_trace(raw)
+    result = compress_sequence(encode_vanilla_trace(vanilla))
+    # The compressed representation must expand back to the original.
+    assert result.expand() == list(result.source.symbols)
+    # And must be much smaller than the vanilla trace.
+    assert result.size < len(vanilla) / 4
+    assert result.compression_rate > 4
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    st.lists(st.sampled_from([0, 1, 2]), min_size=1, max_size=60),
+    st.integers(min_value=1, max_value=6),
+)
+def test_kmers_expand_matches_source_property(pattern, repeats):
+    targets = tuple(pattern * repeats)
+    vanilla = to_vanilla_trace(RawTrace(branch_pc=0, targets=targets))
+    sequence = encode_vanilla_trace(vanilla)
+    result = compress_sequence(sequence)
+    assert result.expand() == list(sequence.symbols)
+    assert result.size >= 1
+
+
+def test_compact_pattern_store_merges_overlaps():
+    a = (VanillaElement(1, 2), VanillaElement(2, 3), VanillaElement(3, 1))
+    b = (VanillaElement(2, 3), VanillaElement(3, 1), VanillaElement(1, 2))
+    store, windows = compact_pattern_store([a, b])
+    assert len(store) < len(a) + len(b)
+    for pattern, (offset, length) in zip([a, b], windows):
+        assert tuple(store[offset : offset + length]) == pattern
+
+
+# --------------------------------------------------------------------------- #
+# Hardware representation
+# --------------------------------------------------------------------------- #
+def test_pattern_element_encoding_roundtrip():
+    element = PatternElement(target_offset=-5, repetitions=200)
+    assert PatternElement.decode(element.encode()) == element
+
+
+def test_pattern_element_rejects_bad_repetitions():
+    import pytest
+
+    with pytest.raises(ValueError):
+        PatternElement(target_offset=0, repetitions=0)
+    with pytest.raises(ValueError):
+        PatternElement(target_offset=0, repetitions=300)
+
+
+def test_trace_element_end_marker():
+    marker = TraceElement.end_marker()
+    assert marker.end_of_trace
+
+
+def test_hardware_trace_replay_roundtrip():
+    targets = tuple(([12] * 7 + [20]) * 9)
+    vanilla = to_vanilla_trace(RawTrace(branch_pc=10, targets=targets))
+    result = compress_sequence(encode_vanilla_trace(vanilla))
+    hardware = build_hardware_trace(result)
+    assert hardware.replay() == list(targets)
+    # Replaying twice wraps around, as the BTU does after End-of-Trace.
+    assert hardware.replay(repetitions=2) == list(targets) * 2
+
+
+@settings(deadline=None, max_examples=40)
+@given(
+    st.lists(st.sampled_from([3, 4, 9]), min_size=1, max_size=40),
+    st.integers(min_value=1, max_value=8),
+)
+def test_hardware_replay_property(pattern, repeats):
+    targets = tuple(pattern * repeats)
+    vanilla = to_vanilla_trace(RawTrace(branch_pc=2, targets=targets))
+    hardware = build_hardware_trace(compress_sequence(encode_vanilla_trace(vanilla)))
+    assert hardware.replay() == list(targets)
+
+
+def test_short_trace_classification():
+    short = build_hardware_trace(
+        compress_sequence(
+            encode_vanilla_trace(to_vanilla_trace(RawTrace(0, tuple([1] * 3 + [0]))))
+        )
+    )
+    assert short.is_short_trace
+    assert short.trace_length <= BTU_ENTRY_ELEMENTS
+
+
+# --------------------------------------------------------------------------- #
+# Raw trace collection
+# --------------------------------------------------------------------------- #
+def test_collect_raw_traces_crypto_only(toy_program, toy_execution):
+    crypto_traces = collect_raw_traces(toy_program, result=toy_execution)
+    all_traces = collect_raw_traces(toy_program, result=toy_execution, crypto_only=False)
+    assert set(crypto_traces) <= set(all_traces)
+    assert all(toy_program.is_crypto_pc(pc) for pc in crypto_traces)
+    assert crypto_traces, "the toy program has crypto branches"

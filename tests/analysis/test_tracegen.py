@@ -1,0 +1,100 @@
+"""Tests for Algorithm 2 (trace generation), hints, and Table 1 statistics."""
+
+import pytest
+
+from repro.analysis.hints import BranchHint, HintTable
+from repro.analysis.stats import analyze_program, combine_stats, stats_from_bundle, stats_from_bundle_scaled
+from repro.analysis.tracegen import generate_trace_bundle
+from repro.isa.builder import ProgramBuilder
+
+
+def test_bundle_classifies_branches(toy_program_parts, toy_bundle):
+    program, _key, _out = toy_program_parts
+    counts = toy_bundle.counts()
+    assert counts["branches"] == len(toy_bundle.branches)
+    assert counts["single_target"] >= 1
+    assert counts["with_trace"] >= 1
+    assert counts["input_dependent"] == 0
+    # Every analysed branch is a crypto branch of the program.
+    assert all(program.is_crypto_pc(pc) for pc in toy_bundle.branches)
+
+
+def test_bundle_hardware_traces_replay_the_raw_traces(toy_bundle):
+    for pc, hardware in toy_bundle.hardware_traces().items():
+        raw = toy_bundle.branches[pc].raw
+        assert hardware.replay() == list(raw.targets)
+
+
+def test_requires_two_inputs(toy_program):
+    with pytest.raises(ValueError):
+        generate_trace_bundle(toy_program, [{}])
+
+
+def test_input_dependent_branch_detected():
+    """A branch whose trip count depends on the input must not get a trace."""
+    b = ProgramBuilder("variable-loop")
+    n_addr = b.alloc_secret("n", [4])
+    with b.crypto():
+        i, n, addr = b.regs("i", "n", "addr")
+        b.movi(addr, n_addr)
+        b.load(n, addr)
+        with b.for_range(i, 0, n):
+            b.nop()
+    b.halt()
+    program = b.build()
+    bundle = generate_trace_bundle(program, [{n_addr: 4}, {n_addr: 9}])
+    assert len(bundle.input_dependent_branches()) >= 1
+    for pc in bundle.input_dependent_branches():
+        assert bundle.branches[pc].hardware is None
+        assert bundle.hint_table.lookup(pc).input_dependent
+
+
+def test_hint_encoding_roundtrip():
+    hint = BranchHint(branch_pc=12, single_target=True, short_trace=True, trace_address_delta=0x2A)
+    decoded = BranchHint.decode(12, hint.encode())
+    assert decoded.single_target and decoded.short_trace
+    assert decoded.trace_address_delta == 0x2A
+
+
+def test_hint_table_crypto_range_check(toy_program_parts, toy_bundle):
+    program, _key, _out = toy_program_parts
+    table = toy_bundle.hint_table
+    region = program.crypto_regions[0]
+    assert table.is_crypto_pc(region.start)
+    assert not table.is_crypto_pc(len(program) - 1)
+    assert 0.0 <= table.single_target_fraction() <= 1.0
+
+
+def test_stats_exclude_single_target_branches(toy_bundle):
+    stats = stats_from_bundle(toy_bundle)
+    assert stats.branch_count == len(toy_bundle.branches)
+    assert stats.single_target_count >= 1
+    assert all(not row.single_target for row in stats.analyzed_rows)
+    row = stats.as_table_row()
+    assert row["vanilla_avg"] >= 1
+
+
+def test_scaled_stats_increase_compression(toy_bundle):
+    base = stats_from_bundle(toy_bundle)
+    scaled = stats_from_bundle_scaled(toy_bundle, invocations=64)
+    assert scaled.vanilla_avg > base.vanilla_avg
+    assert scaled.compression_avg > base.compression_avg
+
+
+def test_analyze_program_and_combine(toy_program_parts):
+    program, key_addr, _out = toy_program_parts
+    stats = analyze_program(program, [{key_addr: 1}, {key_addr: 2}])
+    combined = combine_stats([stats, stats])
+    assert combined.branch_count == 2 * stats.branch_count
+
+
+def test_timings_recorded(toy_bundle):
+    timings = toy_bundle.timings.as_dict()
+    assert set(timings) == {
+        "A_detect_static_branches",
+        "B_collect_raw_traces",
+        "C_vanilla_traces",
+        "D_dna_encoding",
+        "E_kmers_compression",
+    }
+    assert all(value >= 0.0 for value in timings.values())

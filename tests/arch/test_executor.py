@@ -1,0 +1,203 @@
+"""Unit tests for the sequential executor and its observation traces."""
+
+import pytest
+
+from repro.arch.executor import ExecutionError, SequentialExecutor
+from repro.arch.observations import ObservationKind
+from repro.isa.builder import ProgramBuilder
+
+
+def run_snippet(build):
+    b = ProgramBuilder()
+    build(b)
+    b.halt()
+    return SequentialExecutor().run(b.build())
+
+
+def test_arithmetic_semantics():
+    def build(b):
+        b.movi("a", 10)
+        b.movi("b", 3)
+        b.add("sum", "a", "b")
+        b.sub("diff", "a", "b")
+        b.mul("prod", "a", "b")
+        b.div("quot", "a", "b")
+        b.mod("rem", "a", "b")
+        b.xor("x", "a", "b")
+        b.and_("n", "a", "b")
+        b.or_("o", "a", "b")
+
+    result = run_snippet(build)
+    assert result.register("sum") == 13
+    assert result.register("diff") == 7
+    assert result.register("prod") == 30
+    assert result.register("quot") == 3
+    assert result.register("rem") == 1
+    assert result.register("x") == 9
+    assert result.register("n") == 2
+    assert result.register("o") == 11
+
+
+def test_division_by_zero_yields_zero():
+    def build(b):
+        b.movi("a", 10)
+        b.movi("z", 0)
+        b.div("q", "a", "z")
+        b.mod("r", "a", "z")
+
+    result = run_snippet(build)
+    assert result.register("q") == 0
+    assert result.register("r") == 0
+
+
+def test_shift_and_rotate_semantics():
+    def build(b):
+        b.movi("a", 0x80000001)
+        b.rotl("rl", "a", 1)
+        b.rotr("rr", "a", 1)
+        b.movi("b", 1)
+        b.shl("sl", "b", 65)
+        b.shr("sr", "b", 65)
+        b.movi("c", 1 << 63)
+        b.rotl64("rl64", "c", 1)
+
+    result = run_snippet(build)
+    assert result.register("rl") == 0x00000003
+    assert result.register("rr") == 0xC0000000
+    assert result.register("sl") == 0
+    assert result.register("sr") == 0
+    assert result.register("rl64") == 1
+
+
+def test_comparisons_and_csel():
+    def build(b):
+        b.movi("a", 5)
+        b.movi("b", 9)
+        b.cmplt("lt", "a", "b")
+        b.cmpge("ge", "a", "b")
+        b.cmpeq("eq", "a", 5)
+        b.csel("sel", "lt", "a", "b")
+        b.csel("sel2", "ge", "a", "b")
+
+    result = run_snippet(build)
+    assert result.register("lt") == 1
+    assert result.register("ge") == 0
+    assert result.register("eq") == 1
+    assert result.register("sel") == 5
+    assert result.register("sel2") == 9
+
+
+def test_memory_load_store_and_observations():
+    def build(b):
+        base = b.alloc("buf", [0, 0, 0])
+        b.movi("addr", base)
+        b.movi("v", 42)
+        b.store("v", "addr", 1)
+        b.load("w", "addr", 1)
+
+    result = run_snippet(build)
+    assert result.register("w") == 42
+    kinds = [obs.kind for obs in result.observations]
+    assert ObservationKind.STORE in kinds and ObservationKind.LOAD in kinds
+    store_obs = next(obs for obs in result.observations if obs.kind is ObservationKind.STORE)
+    load_obs = next(obs for obs in result.observations if obs.kind is ObservationKind.LOAD)
+    assert store_obs.value == load_obs.value
+
+
+def test_branch_outcomes_recorded_per_static_branch():
+    def build(b):
+        i = b.reg("i")
+        with b.for_range(i, 0, 4):
+            b.nop()
+
+    result = run_snippet(build)
+    # Exactly one conditional loop branch, executed 5 times (4 body + exit).
+    [branch_pc] = [pc for pc in result.branch_outcomes if result.program.fetch(pc).is_conditional]
+    assert len(result.branch_outcomes[branch_pc]) == 5
+
+
+def test_call_and_return_observations():
+    def build(b):
+        with b.function("f") as f:
+            b.movi("x", 7)
+        b.call(f)
+
+    result = run_snippet(build)
+    kinds = [obs.kind for obs in result.observations]
+    assert ObservationKind.CALL in kinds and ObservationKind.RET in kinds
+    assert result.register("x") == 7
+
+
+def test_secret_taint_propagation_and_declassify():
+    def build(b):
+        secret = b.alloc_secret("secret", [5])
+        public = b.alloc("public", [6])
+        b.movi("sa", secret)
+        b.movi("pa", public)
+        b.load("s", "sa")
+        b.load("p", "pa")
+        b.add("mix", "s", "p")
+        b.store("mix", "pa")
+        b.declassify("s")
+
+    result = run_snippet(build)
+    state = result.state
+    assert not state.reg_is_secret("s")  # declassified at the end
+    assert state.reg_is_secret("mix")
+    assert not state.reg_is_secret("p")
+    # The store of a tainted value taints the memory word.
+    dyn_stores = [d for d in result.dynamic if d.is_store]
+    assert state.mem_is_secret(dyn_stores[0].mem_address)
+
+
+def test_secret_operand_flag_in_dynamic_stream():
+    def build(b):
+        secret = b.alloc_secret("secret", [5])
+        b.movi("sa", secret)
+        b.load("s", "sa")
+        b.add("t", "s", 1)
+
+    result = run_snippet(build)
+    add_record = [d for d in result.dynamic if d.opcode.name == "ADD" and d.dst == "t"][0]
+    assert add_record.secret_operand
+
+
+def test_step_limit_enforced():
+    b = ProgramBuilder()
+    loop = b.label("forever")
+    b.place(loop)
+    b.jmp(loop)
+    program = b.build()
+    with pytest.raises(ExecutionError):
+        SequentialExecutor(max_steps=100).run(program)
+
+
+def test_invalid_jump_detected():
+    b = ProgramBuilder()
+    b.movi("t", 1000)
+    b.jmpi("t")
+    b.halt()
+    with pytest.raises(ExecutionError):
+        SequentialExecutor().run(b.build())
+
+
+def test_memory_overrides_replace_inputs():
+    b = ProgramBuilder()
+    addr = b.alloc("value", [1])
+    b.movi("a", addr)
+    b.load("v", "a")
+    b.halt()
+    program = b.build()
+    default = SequentialExecutor().run(program)
+    overridden = SequentialExecutor().run(program, memory_overrides={addr: 99})
+    assert default.register("v") == 1
+    assert overridden.register("v") == 99
+
+
+def test_constant_time_program_has_input_independent_control_flow(toy_program_parts):
+    program, key_addr, _out = toy_program_parts
+    exec_a = SequentialExecutor().run(program, memory_overrides={key_addr: 1})
+    exec_b = SequentialExecutor().run(program, memory_overrides={key_addr: 250})
+    cf_a = [(o.kind, o.value) for o in exec_a.observations if o.is_control_flow]
+    cf_b = [(o.kind, o.value) for o in exec_b.observations if o.is_control_flow]
+    assert cf_a == cf_b

@@ -1,0 +1,80 @@
+"""Security tests: Spectre-v1 demonstration and the Table 2 scenarios."""
+
+import pytest
+
+from repro.attacks import (
+    build_listing1_program,
+    evaluate_scenarios,
+    run_listing1_attack,
+    transient_leak_detected,
+)
+from repro.attacks.gadgets import SCENARIOS, build_scenario_program
+from repro.attacks.spectre_v1 import listing1_attacker
+
+
+def test_listing1_leaks_on_unsafe_baseline():
+    assert run_listing1_attack(mode="unsafe") is True
+
+
+def test_listing1_protected_by_cassandra():
+    assert run_listing1_attack(mode="cassandra") is False
+
+
+def test_listing1_no_leak_without_attacker():
+    program, secret_addr = build_listing1_program()
+    assert not transient_leak_detected(
+        program, {secret_addr: 1}, {secret_addr: 2}, mode="unsafe", attacker=None
+    )
+
+
+def test_scenario_program_structure():
+    scenario_program = build_scenario_program()
+    assert set(scenario_program.branch_pcs) == {"BR1", "BR2"}
+    assert set(scenario_program.gadget_pcs) == {"R1", "R2", "M1", "M2"}
+    program = scenario_program.program
+    assert program.is_crypto_pc(scenario_program.branch_pcs["BR1"])
+    assert not program.is_crypto_pc(scenario_program.branch_pcs["BR2"])
+    assert program.is_crypto_pc(scenario_program.gadget_pcs["M1"])
+    assert not program.is_crypto_pc(scenario_program.gadget_pcs["M2"])
+
+
+@pytest.fixture(scope="module")
+def scenario_results():
+    return {result.scenario: result for result in evaluate_scenarios()}
+
+
+def test_all_eight_scenarios_evaluated(scenario_results):
+    assert set(scenario_results) == {1, 2, 3, 4, 5, 6, 7, 8}
+    assert len(SCENARIOS) == 8
+
+
+@pytest.mark.parametrize("scenario", [1, 2, 4, 5])
+def test_unsafe_baseline_leaks_crypto_scenarios(scenario_results, scenario):
+    """Transient paths from either branch into secret-bearing gadgets leak on
+    the unprotected machine."""
+    assert scenario_results[scenario].leaks_unsafe
+
+
+@pytest.mark.parametrize("scenario", [1, 2, 3, 4, 5, 6])
+def test_cassandra_blocks_all_in_scope_scenarios(scenario_results, scenario):
+    """Table 2: Cassandra enforces sequential flow for scenarios 1-6."""
+    assert not scenario_results[scenario].leaks_cassandra
+
+
+def test_scenario7_is_harmless_speculation(scenario_results):
+    """Scenario 7 speculates under both machines but involves no secret."""
+    assert not scenario_results[7].leaks_unsafe
+    assert not scenario_results[7].leaks_cassandra
+
+
+def test_scenario8_out_of_scope_for_cassandra(scenario_results):
+    """Scenario 8 (software isolation) leaks under both machines — exactly the
+    case the paper delegates to a sandboxing defense."""
+    assert scenario_results[8].leaks_unsafe
+    assert scenario_results[8].leaks_cassandra
+
+
+def test_declassified_register_scenario6_not_a_leak(scenario_results):
+    """Scenario 6: the register is already declassified when non-crypto code
+    runs, so even the unsafe machine leaks nothing secret."""
+    assert not scenario_results[6].leaks_unsafe

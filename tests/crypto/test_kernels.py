@@ -1,0 +1,122 @@
+"""Integration tests: every ISA kernel verifies against its ground truth.
+
+These tests exercise the complete pipeline used by the workload registry:
+build a kernel program, run it on the sequential executor, and compare the
+architectural output against the reference implementation (full-strength
+algorithms) or the documented reduced model.
+"""
+
+import pytest
+
+from repro.analysis.tracegen import generate_trace_bundle
+from repro.crypto.synthetic import build_synthetic, mix_labels
+from repro.crypto.workloads import get_workload, iter_workloads, suites, workload_names
+
+#: Kernels light enough to verify on every test run.
+FAST_WORKLOADS = [
+    "ChaCha20_ct",
+    "SHA-256",
+    "Poly1305_ctmul",
+    "EC_c25519_i31",
+    "ECDSA_i31",
+    "ModPow_i31",
+    "RSA_i62",
+    "mul",
+    "DES_ct",
+    "sphincs-sha2-128s",
+    "sphincs-shake-128s",
+    "sphincs-haraka-128s",
+]
+
+#: Heavier kernels, still run as part of the default suite (a few seconds).
+HEAVY_WORKLOADS = [
+    "AES_CTR",
+    "CBC_ct",
+    "MultiHash",
+    "TLS PRF",
+    "SHAKE",
+    "chacha20",
+    "curve25519",
+    "sha256",
+    "kyber512",
+]
+
+
+def test_registry_contains_all_paper_workloads():
+    names = set(workload_names())
+    assert len(names) == 22
+    assert {"kyber512", "kyber768", "sphincs-shake-128s"} <= names
+    assert {"AES_CTR", "TLS PRF", "RSA_i62", "mul"} <= names
+    assert {"chacha20", "curve25519", "sha256"} <= names
+    assert set(workload_names("openssl")) == {"chacha20", "curve25519", "sha256"}
+
+
+def test_suites_cover_all_workloads():
+    all_names = set()
+    for suite in suites():
+        all_names.update(suite.names())
+    assert all_names == set(workload_names())
+
+
+@pytest.mark.parametrize("name", FAST_WORKLOADS)
+def test_fast_kernel_matches_reference(name):
+    kernel = get_workload(name).kernel()
+    result = kernel.run(0)
+    assert kernel.verify(result), f"{name} kernel output does not match its model"
+    assert result.instruction_count > 100
+    # Kernels must contain crypto-tagged branches for the analysis to study.
+    assert kernel.program.crypto_branches()
+
+
+@pytest.mark.parametrize("name", HEAVY_WORKLOADS)
+def test_heavy_kernel_matches_reference(name):
+    kernel = get_workload(name).kernel()
+    assert kernel.check(), f"{name} kernel output does not match its model"
+
+
+def test_kernels_have_two_distinct_inputs():
+    for workload in iter_workloads():
+        kernel = workload.kernel()
+        assert len(kernel.inputs) >= 2
+        assert kernel.inputs[0] != kernel.inputs[1]
+
+
+@pytest.mark.parametrize("name", ["ChaCha20_ct", "SHA-256", "DES_ct"])
+def test_kernel_control_flow_is_input_independent(name):
+    """Constant-time kernels: the branch outcome sequences must not change
+    with the confidential input (the property Insight 1 relies on)."""
+    kernel = get_workload(name).kernel()
+    result_a = kernel.run(0)
+    result_b = kernel.run(1)
+    assert result_a.branch_outcomes == result_b.branch_outcomes
+
+
+def test_kyber_has_input_dependent_rejection_branch():
+    """The paper singles out Kyber's rejection sampling as input dependent."""
+    kernel = get_workload("kyber512").kernel()
+    bundle = generate_trace_bundle(kernel.program, kernel.inputs)
+    assert bundle.input_dependent_branches(), "rejection sampling branch should be input dependent"
+
+
+@pytest.mark.parametrize("primitive", ["chacha20", "curve25519"])
+def test_synthetic_benchmarks_build_and_run(primitive):
+    kernel = build_synthetic(primitive, "50s/50c")
+    result = kernel.run(0)
+    assert result.instruction_count > 0
+    assert kernel.program.crypto_regions
+
+
+def test_synthetic_secret_stack_marking():
+    chacha = build_synthetic("chacha20", "25s/75c")
+    curve = build_synthetic("curve25519", "25s/75c")
+    # The curve25519 variant spills secrets to a secret scratch region, the
+    # chacha20 variant does not (Figure 8's public- vs secret-stack split).
+    assert len(curve.program.secret_addresses) > len(chacha.program.secret_addresses)
+
+
+def test_synthetic_mix_labels():
+    assert mix_labels() == ["90s/10c", "75s/25c", "50s/50c", "25s/75c", "all-crypto"]
+    with pytest.raises(KeyError):
+        build_synthetic("chacha20", "10s/90c")
+    with pytest.raises(ValueError):
+        build_synthetic("aes", "50s/50c")

@@ -1,0 +1,236 @@
+"""Reference-primitive tests against published vectors and internal consistency."""
+
+import hashlib
+import hmac as hmac_module
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.primitives import (
+    aes,
+    chacha20,
+    curve25519,
+    des,
+    ecdsa,
+    keccak,
+    kyber,
+    modmath,
+    poly1305,
+    sha256,
+    sphincs,
+    tls_prf,
+)
+
+
+# --------------------------------------------------------------------------- #
+# ChaCha20 / Poly1305 (RFC 8439)
+# --------------------------------------------------------------------------- #
+RFC_KEY = bytes(range(32))
+RFC_NONCE = bytes([0, 0, 0, 0, 0, 0, 0, 0x4A, 0, 0, 0, 0])
+RFC_PLAINTEXT = (
+    b"Ladies and Gentlemen of the class of '99: If I could offer you "
+    b"only one tip for the future, sunscreen would be it."
+)
+
+
+def test_chacha20_block_rfc_vector():
+    block = chacha20.chacha20_block(RFC_KEY, 1, RFC_NONCE)
+    assert block.hex().startswith("224f51f3401bd9e12fde276fb8631ded8c131f823d2c06")
+
+
+def test_chacha20_encrypt_rfc_vector():
+    ciphertext = chacha20.chacha20_encrypt(RFC_KEY, 1, RFC_NONCE, RFC_PLAINTEXT)
+    assert ciphertext[:16].hex() == "6e2e359a2568f98041ba0728dd0d6981"
+    # Decryption is the same operation.
+    assert chacha20.chacha20_encrypt(RFC_KEY, 1, RFC_NONCE, ciphertext) == RFC_PLAINTEXT
+
+
+def test_chacha20_rejects_bad_key_and_nonce():
+    with pytest.raises(ValueError):
+        chacha20.chacha20_block(b"short", 0, RFC_NONCE)
+    with pytest.raises(ValueError):
+        chacha20.chacha20_block(RFC_KEY, 0, b"short")
+
+
+def test_poly1305_rfc_vector():
+    key = bytes.fromhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+    tag = poly1305.poly1305_mac(b"Cryptographic Forum Research Group", key)
+    assert tag.hex() == "a8061dc1305136c6c22b8baf0c0127a9"
+    assert poly1305.poly1305_verify(b"Cryptographic Forum Research Group", key, tag)
+    assert not poly1305.poly1305_verify(b"Cryptographic Forum Research Groups", key, tag)
+
+
+# --------------------------------------------------------------------------- #
+# SHA-256 / SHA-3 / SHAKE
+# --------------------------------------------------------------------------- #
+def test_sha256_vectors():
+    assert sha256.sha256_hex(b"abc") == (
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    )
+    assert sha256.sha256_hex(b"") == (
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    )
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.binary(min_size=0, max_size=300))
+def test_sha256_matches_hashlib(data):
+    assert sha256.sha256(data) == hashlib.sha256(data).digest()
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.binary(min_size=0, max_size=300))
+def test_sha3_and_shake_match_hashlib(data):
+    assert keccak.sha3_256(data) == hashlib.sha3_256(data).digest()
+    assert keccak.shake128(data, 32) == hashlib.shake_128(data).digest(32)
+    assert keccak.shake256(data, 64) == hashlib.shake_256(data).digest(64)
+
+
+# --------------------------------------------------------------------------- #
+# AES / DES
+# --------------------------------------------------------------------------- #
+def test_aes_fips_vector():
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+    assert aes.encrypt_block(key, plaintext).hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+
+def test_aes_ctr_and_cbc_modes():
+    key = bytes(range(16))
+    nonce = bytes(range(12))
+    iv = bytes(range(16))
+    plaintext = bytes(range(48))
+    ctr = aes.ctr_encrypt(key, nonce, plaintext)
+    assert len(ctr) == len(plaintext)
+    assert aes.ctr_encrypt(key, nonce, ctr) == plaintext
+    cbc = aes.cbc_encrypt(key, iv, plaintext)
+    assert len(cbc) == len(plaintext)
+    with pytest.raises(ValueError):
+        aes.cbc_encrypt(key, iv, plaintext[:10])
+
+
+def test_des_known_vector_and_roundtrip():
+    key = 0x133457799BBCDFF1
+    assert des.encrypt_block(key, 0x0123456789ABCDEF) == 0x85E813540F0AB405
+    assert des.decrypt_block(key, des.encrypt_block(key, 0xDEADBEEF)) == 0xDEADBEEF
+
+
+# --------------------------------------------------------------------------- #
+# X25519 / modular arithmetic / ECDSA
+# --------------------------------------------------------------------------- #
+def test_x25519_rfc7748_vector():
+    scalar = bytes.fromhex("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4")
+    u = bytes.fromhex("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c")
+    expected = "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+    assert curve25519.x25519(scalar, u).hex() == expected
+
+
+def test_x25519_base_point_diffie_hellman():
+    alice = bytes([1] * 32)
+    bob = bytes([2] * 32)
+    alice_pub = curve25519.x25519_base(alice)
+    bob_pub = curve25519.x25519_base(bob)
+    assert curve25519.x25519(alice, bob_pub) == curve25519.x25519(bob, alice_pub)
+
+
+@settings(deadline=None, max_examples=30)
+@given(
+    st.integers(min_value=2, max_value=2**31 - 2),
+    st.integers(min_value=0, max_value=2**32 - 1),
+    st.integers(min_value=3, max_value=2**31 - 1),
+)
+def test_modpow_matches_builtin(base, exponent, modulus):
+    bits = max(exponent.bit_length(), 1)
+    assert modmath.modpow_ct(base, exponent, modulus, bits) == pow(base, exponent, modulus)
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.integers(min_value=0, max_value=2**96 - 1), st.integers(min_value=0, max_value=2**96 - 1))
+def test_bignum_mul_property(a, b):
+    limb_bits = 16
+    a_limbs = modmath.limbs_from_int(a, limb_bits, 6)
+    b_limbs = modmath.limbs_from_int(b, limb_bits, 6)
+    product = modmath.bignum_mul(a_limbs, b_limbs, limb_bits)
+    assert modmath.int_from_limbs(product, limb_bits) == a * b
+
+
+def test_toy_rsa_roundtrip():
+    public, private = modmath.rsa_keygen_toy()
+    ciphertext = modmath.rsa_encrypt(1234, public)
+    assert modmath.rsa_decrypt(ciphertext, private) == 1234
+
+
+def test_ecdsa_sign_verify_and_reject():
+    private = 31337
+    public = ecdsa.derive_public_key(private)
+    assert ecdsa.is_on_curve(public)
+    signature = ecdsa.sign(private, 0xABCDEF, nonce=4242)
+    assert ecdsa.verify(public, 0xABCDEF, signature)
+    assert not ecdsa.verify(public, 0xABCDEE, signature)
+    other_public = ecdsa.derive_public_key(private + 1)
+    assert not ecdsa.verify(other_public, 0xABCDEF, signature)
+
+
+def test_ecdsa_generator_has_prime_order():
+    assert ecdsa.scalar_mult(ecdsa.GENERATOR_ORDER, ecdsa.GENERATOR, bits=17) is None
+
+
+# --------------------------------------------------------------------------- #
+# HMAC / TLS PRF
+# --------------------------------------------------------------------------- #
+@settings(deadline=None, max_examples=20)
+@given(st.binary(max_size=100), st.binary(max_size=200))
+def test_hmac_matches_stdlib(key, message):
+    expected = hmac_module.new(key, message, hashlib.sha256).digest()
+    assert tls_prf.hmac_sha256(key, message) == expected
+
+
+def test_tls12_prf_length_and_determinism():
+    out1 = tls_prf.tls12_prf(b"secret", b"label", b"seed", 80)
+    out2 = tls_prf.tls12_prf(b"secret", b"label", b"seed", 80)
+    assert out1 == out2 and len(out1) == 80
+    assert tls_prf.tls12_prf(b"secret2", b"label", b"seed", 80) != out1
+
+
+def test_multihash_changes_with_input():
+    assert tls_prf.multihash(b"a" * 64) != tls_prf.multihash(b"b" * 64)
+
+
+# --------------------------------------------------------------------------- #
+# Kyber / SPHINCS (reduced parameters)
+# --------------------------------------------------------------------------- #
+def test_kyber_roundtrip_both_parameter_sets():
+    bits = [(i * 7 + 1) % 2 for i in range(64)]
+    for params in (kyber.KYBER512, kyber.KYBER768):
+        keypair = kyber.keygen(b"seed" * 8, params)
+        ciphertext = kyber.encrypt(keypair, bits, b"coin" * 8)
+        assert kyber.decrypt(keypair, ciphertext) == bits
+
+
+def test_kyber_rejection_sampling_bounds():
+    stream = keccak.shake128(b"seed", 3 * 64 + 96)
+    coefficients, consumed = kyber.rejection_sample(stream, 64)
+    assert len(coefficients) == 64
+    assert all(0 <= c < kyber.Q for c in coefficients)
+    assert consumed <= len(stream)
+
+
+def test_kyber_rejection_sampling_exhaustion():
+    with pytest.raises(ValueError):
+        kyber.rejection_sample(b"\x00\x01", 10)
+
+
+@pytest.mark.parametrize("params", [sphincs.SPHINCS_SHA2, sphincs.SPHINCS_SHAKE, sphincs.SPHINCS_HARAKA])
+def test_sphincs_sign_verify(params):
+    keypair = sphincs.keygen(b"0123456789abcdef", params)
+    signature = sphincs.sign(b"message", keypair, leaf_index=1)
+    assert sphincs.verify(b"message", signature, keypair.root, params)
+    assert not sphincs.verify(b"messagf", signature, keypair.root, params)
+
+
+def test_sphincs_wots_chain_composition():
+    params = sphincs.SPHINCS_SHA2
+    start = sphincs.chain(b"\x01" * sphincs.N, 0, 3, params)
+    full = sphincs.chain(b"\x01" * sphincs.N, 0, 7, params)
+    assert sphincs.chain(start, 3, 4, params) == full

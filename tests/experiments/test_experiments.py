@@ -1,0 +1,106 @@
+"""End-to-end tests of the experiment harnesses on a reduced workload set."""
+
+import pytest
+
+from repro.experiments.cassandra_lite import format_cassandra_lite, run_cassandra_lite
+from repro.experiments.figure7 import format_figure7, run_figure7, summarize_speedup
+from repro.experiments.figure8 import format_figure8, run_figure8
+from repro.experiments.figure9 import btu_area_percent, format_figure9, power_reduction_percent, run_figure9
+from repro.experiments.interrupts import format_interrupt_study, run_interrupt_study
+from repro.experiments.runner import geometric_mean, prepare_workload, prepare_workloads
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import format_table2, run_table2
+from repro.experiments.trace_runtime import format_trace_runtime, run_trace_runtime
+
+#: A tiny but representative slice: one fast workload per suite.
+TEST_WORKLOADS = ["ChaCha20_ct", "sha256", "sphincs-haraka-128s"]
+
+
+@pytest.fixture(scope="module")
+def artifacts():
+    return prepare_workloads(TEST_WORKLOADS)
+
+
+def test_prepare_workload_verifies_kernel():
+    artifact = prepare_workload("Poly1305_ctmul")
+    assert artifact.analysis.branch_count > 0
+    assert artifact.bundle.hardware_traces() is not None
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geometric_mean([]) == 0.0
+
+
+def test_table1_rows_and_compression(artifacts):
+    rows = run_table1(artifacts=artifacts, invocations=64)
+    assert rows[-1]["program"] == "All"
+    # With repeated invocations the k-mers traces must be far smaller than
+    # the vanilla traces (the paper's headline compression claim).
+    assert rows[-1]["compression_avg"] > 10
+    assert rows[-1]["kmers_avg"] < rows[-1]["vanilla_avg"]
+    assert "ChaCha20_ct" in format_table1(rows)
+
+
+def test_figure7_normalization_and_headline(artifacts):
+    rows = run_figure7(artifacts=artifacts)
+    assert rows[-1]["workload"] == "geomean"
+    for row in rows[:-1]:
+        assert row["unsafe-baseline"] == pytest.approx(1.0)
+        # Cassandra must never be slower than the baseline on these kernels
+        # and SPT must never be faster than the baseline.
+        assert row["cassandra"] <= 1.0 + 1e-9
+        assert row["spt"] >= 1.0 - 1e-9
+    speedup = summarize_speedup(rows)
+    assert speedup >= 0.0
+    assert "geomean" in format_figure7(rows)
+
+
+def test_figure8_overheads(tmp_path):
+    rows = run_figure8(mixes=["25s/75c", "all-crypto"])
+    assert len(rows) == 4
+    by_key = {(row["primitive"], row["mix"]): row for row in rows}
+    for (primitive, mix), row in by_key.items():
+        # Neither design may blow up: the paper's overheads stay within a
+        # narrow band (at most ~15% for ProSpeCT, small gains for Cassandra).
+        assert -10.0 < row["prospect"] < 60.0
+        assert -10.0 < row["cassandra+prospect"] < 60.0
+    # The chacha20 (public stack) benchmark is nearly free for ProSpeCT.
+    assert by_key[("chacha20", "all-crypto")]["prospect"] < 5.0
+    assert "curve25519" in format_figure8(rows)
+
+
+def test_figure9_power_and_area(artifacts):
+    report = run_figure9(artifacts=artifacts)
+    assert power_reduction_percent(report) > 0.0
+    assert btu_area_percent(report) == pytest.approx(1.26, abs=0.01)
+    assert report["power:unsafe-baseline"]["total"] == pytest.approx(1.0)
+    assert "branch_trace_unit" in format_figure9(report)
+
+
+def test_table2_scenarios():
+    results = run_table2()
+    assert len(results) == 8
+    assert all(not r.leaks_cassandra for r in results if r.scenario <= 6)
+    assert "BR1 -> R1" in format_table2(results)
+
+
+def test_cassandra_lite_study(artifacts):
+    rows = run_cassandra_lite(artifacts=artifacts)
+    lite_rows = [row for row in rows if isinstance(row["lite_over_cassandra"], float) and not str(row["workload"]).startswith("geomean")]
+    assert all(row["lite_over_cassandra"] >= 1.0 - 1e-9 for row in lite_rows)
+    assert "geomean-bearssl" in format_cassandra_lite(rows)
+
+
+def test_interrupt_study(artifacts):
+    rows = run_interrupt_study(artifacts=artifacts, flush_interval=500)
+    geomean = rows[-1]
+    assert geomean["cassandra+flush"] >= geomean["cassandra"] - 1e-9
+    assert "geomean" in format_interrupt_study(rows)
+
+
+def test_trace_runtime_rows(artifacts):
+    rows = run_trace_runtime(artifacts=artifacts)
+    assert len(rows) == len(TEST_WORKLOADS)
+    assert all(row["E_kmers_compression"] >= 0 for row in rows)
+    assert "A_detect_static_branches" in format_trace_runtime(rows)

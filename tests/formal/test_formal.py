@@ -1,0 +1,108 @@
+"""Tests for the contract model and the speculative hardware semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.spectre_v1 import build_listing1_program, listing1_attacker
+from repro.formal import (
+    SpeculativeMachine,
+    check_contract_satisfaction,
+    contract_trace,
+    contracts_agree,
+    crypto_cf_trace,
+)
+from repro.formal.speculative import hardware_trace
+
+
+def test_contract_trace_kinds(toy_program_parts):
+    program, key_addr, _out = toy_program_parts
+    trace = contract_trace(program, {key_addr: 5})
+    kinds = {obs.kind.value for obs in trace}
+    # The ct leakage exposes control flow and memory addresses only.
+    assert kinds <= {"pc", "call", "ret", "load", "store"}
+    assert trace, "the toy program produces observations"
+
+
+def test_crypto_cf_trace_is_control_flow_only(toy_program_parts):
+    program, key_addr, _out = toy_program_parts
+    trace = crypto_cf_trace(program, {key_addr: 5})
+    assert all(obs.is_control_flow and obs.crypto for obs in trace)
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+def test_constant_time_program_contracts_agree(secret_a, secret_b):
+    """Insight 1 as a property: contract traces are secret independent."""
+    from tests.conftest import build_toy_crypto_program
+
+    program, key_addr, _out = build_toy_crypto_program()
+    assert contracts_agree(program, {key_addr: secret_a}, {key_addr: secret_b})
+
+
+def test_speculative_machine_without_attacker_matches_sequential(toy_program_parts):
+    program, key_addr, _out = toy_program_parts
+    machine = SpeculativeMachine(mode="unsafe")
+    run = machine.run(program, {key_addr: 9})
+    assert run.squashes == 0
+    assert run.transient_instructions == 0
+    assert run.state is not None and run.state.halted
+
+
+def test_attacker_induces_transient_execution_under_unsafe():
+    program, secret_addr = build_listing1_program()
+    attacker = listing1_attacker(program)
+    run = SpeculativeMachine(mode="unsafe").run(program, {secret_addr: 0x11}, attacker)
+    assert run.squashes >= 1
+    assert run.transient_instructions > 0
+    assert any(obs.transient for obs in run.observations)
+
+
+def test_cassandra_semantics_block_crypto_speculation():
+    program, secret_addr = build_listing1_program()
+    attacker = listing1_attacker(program)
+    run = SpeculativeMachine(mode="cassandra").run(program, {secret_addr: 0x11}, attacker)
+    assert run.squashes == 0
+    assert run.transient_instructions == 0
+
+
+def test_theorem1_contract_satisfaction_under_cassandra():
+    """Theorem 1: the Cassandra semantics satisfies the ct/seq contract even
+    with an adversarially controlled predictor."""
+    program, secret_addr = build_listing1_program()
+    attacker = listing1_attacker(program)
+
+    def cassandra_hw(prog, memory_input):
+        return hardware_trace(prog, memory_input, mode="cassandra", attacker=attacker)
+
+    def unsafe_hw(prog, memory_input):
+        return hardware_trace(prog, memory_input, mode="unsafe", attacker=attacker)
+
+    assert check_contract_satisfaction(program, {secret_addr: 1}, {secret_addr: 2}, cassandra_hw)
+    # The unsafe semantics violates the same contract under this attacker.
+    assert not check_contract_satisfaction(program, {secret_addr: 1}, {secret_addr: 2}, unsafe_hw)
+
+
+def test_contract_satisfaction_trivially_holds_for_differing_contracts():
+    """Definition 3 only constrains pairs whose contract traces agree."""
+    from repro.isa.builder import ProgramBuilder
+
+    b = ProgramBuilder("leaky-by-contract")
+    n_addr = b.alloc_secret("n", [2])
+    with b.crypto():
+        i, n, addr = b.regs("i", "n", "addr")
+        b.movi(addr, n_addr)
+        b.load(n, addr)
+        with b.for_range(i, 0, n):
+            b.nop()
+    b.halt()
+    program = b.build()
+    assert not contracts_agree(program, {n_addr: 2}, {n_addr: 5})
+    assert check_contract_satisfaction(
+        program, {n_addr: 2}, {n_addr: 5}, lambda p, m: hardware_trace(p, m, mode="unsafe")
+    )
+
+
+def test_speculative_machine_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        SpeculativeMachine(mode="weird")

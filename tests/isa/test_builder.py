@@ -1,0 +1,144 @@
+"""Unit tests for the program builder DSL."""
+
+import pytest
+
+from repro.isa.builder import BuilderError, ProgramBuilder
+from repro.isa.instructions import Opcode
+
+
+def test_empty_program_rejected():
+    with pytest.raises(BuilderError):
+        ProgramBuilder().build()
+
+
+def test_trailing_halt_appended_automatically():
+    b = ProgramBuilder()
+    b.movi("r1", 5)
+    program = b.build()
+    assert program.fetch(len(program) - 1).opcode is Opcode.HALT
+
+
+def test_unplaced_label_raises():
+    b = ProgramBuilder()
+    label = b.label("never")
+    b.jmp(label)
+    with pytest.raises(BuilderError):
+        b.build()
+
+
+def test_label_placed_twice_raises():
+    b = ProgramBuilder()
+    label = b.label("once")
+    b.place(label)
+    with pytest.raises(BuilderError):
+        b.place(label)
+
+
+def test_for_range_emits_loop_branch_and_executes():
+    from repro.arch.executor import SequentialExecutor
+
+    b = ProgramBuilder()
+    acc = b.reg("acc")
+    i = b.reg("i")
+    b.movi(acc, 0)
+    with b.for_range(i, 0, 5):
+        b.add(acc, acc, 2)
+    b.halt()
+    program = b.build()
+    result = SequentialExecutor().run(program)
+    assert result.register(acc) == 10
+
+
+def test_for_range_negative_step():
+    from repro.arch.executor import SequentialExecutor
+
+    b = ProgramBuilder()
+    acc = b.reg("acc")
+    i = b.reg("i")
+    b.movi(acc, 0)
+    with b.for_range(i, 5, 0, step=-1):
+        b.add(acc, acc, 1)
+    b.halt()
+    result = SequentialExecutor().run(b.build())
+    assert result.register(acc) == 5
+
+
+def test_for_range_zero_step_rejected():
+    b = ProgramBuilder()
+    with pytest.raises(BuilderError):
+        with b.for_range(b.reg("i"), 0, 5, step=0):
+            pass
+
+
+def test_if_then_executes_conditionally():
+    from repro.arch.executor import SequentialExecutor
+
+    b = ProgramBuilder()
+    cond, out = b.regs("cond", "out")
+    b.movi(cond, 0)
+    b.movi(out, 1)
+    with b.if_then(cond):
+        b.movi(out, 99)
+    b.halt()
+    result = SequentialExecutor().run(b.build())
+    assert result.register(out) == 1
+
+
+def test_function_call_and_return():
+    from repro.arch.executor import SequentialExecutor
+
+    b = ProgramBuilder()
+    with b.function("double") as double:
+        b.add("x", "x", "x")
+    b.movi("x", 21)
+    b.call(double)
+    b.halt()
+    result = SequentialExecutor().run(b.build())
+    assert result.register("x") == 42
+
+
+def test_crypto_regions_from_tags():
+    b = ProgramBuilder()
+    b.movi("a", 1)
+    with b.crypto():
+        b.movi("b", 2)
+        b.movi("c", 3)
+    b.movi("d", 4)
+    b.halt()
+    program = b.build()
+    assert len(program.crypto_regions) == 1
+    region = program.crypto_regions[0]
+    assert region.end - region.start == 2
+    assert program.is_crypto_pc(region.start)
+    assert not program.is_crypto_pc(0)
+
+
+def test_alloc_secret_tracks_addresses():
+    b = ProgramBuilder()
+    secret = b.alloc_secret("key", [1, 2, 3])
+    public = b.alloc("data", [4, 5])
+    b.halt()
+    program = b.build()
+    assert {secret, secret + 1, secret + 2} <= set(program.secret_addresses)
+    assert public not in program.secret_addresses
+    assert b.symbol("key") == secret
+
+
+def test_registers_are_unique():
+    b = ProgramBuilder()
+    assert b.reg("x") != b.reg("x")
+
+
+def test_while_loop_executes_until_condition_clears():
+    from repro.arch.executor import SequentialExecutor
+
+    b = ProgramBuilder()
+    count, cond = b.regs("count", "cond")
+    b.movi(count, 0)
+    b.movi(cond, 1)
+    with b.while_loop(cond):
+        b.add(count, count, 1)
+        b.cmplt(cond, count, 7)
+    b.halt()
+    result = SequentialExecutor().run(b.build())
+    assert result.register(count) == 7

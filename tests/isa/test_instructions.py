@@ -1,0 +1,65 @@
+"""Unit tests for the instruction definitions."""
+
+from repro.isa.instructions import (
+    BRANCH_OPCODES,
+    Instruction,
+    Opcode,
+    is_branch,
+    is_control_flow,
+    is_memory,
+)
+
+
+def test_branch_opcode_classification():
+    assert Opcode.BEQZ in BRANCH_OPCODES
+    assert Opcode.CALL in BRANCH_OPCODES
+    assert Opcode.RET in BRANCH_OPCODES
+    assert Opcode.ADD not in BRANCH_OPCODES
+
+
+def test_instruction_properties_conditional():
+    inst = Instruction(Opcode.BEQZ, srcs=("r1",), imm=10)
+    assert inst.is_branch
+    assert inst.is_conditional
+    assert not inst.is_indirect
+    assert not inst.is_call
+    assert is_branch(inst)
+    assert is_control_flow(inst)
+
+
+def test_instruction_properties_call_return():
+    call = Instruction(Opcode.CALL, imm=5)
+    ret = Instruction(Opcode.RET)
+    assert call.is_call and not call.is_return
+    assert ret.is_return and ret.is_indirect
+
+
+def test_instruction_memory_properties():
+    load = Instruction(Opcode.LOAD, dst="r1", srcs=("r2",), imm=0)
+    store = Instruction(Opcode.STORE, srcs=("r1", "r2"), imm=0)
+    assert load.is_memory and load.is_load and not load.is_store
+    assert store.is_memory and store.is_store and not store.is_load
+    assert is_memory(load) and is_memory(store)
+
+
+def test_writes_register():
+    add = Instruction(Opcode.ADD, dst="r1", srcs=("r2",), imm=3)
+    store = Instruction(Opcode.STORE, srcs=("r1", "r2"))
+    halt = Instruction(Opcode.HALT)
+    assert add.writes_register
+    assert not store.writes_register
+    assert not halt.writes_register
+
+
+def test_with_crypto_and_with_imm_produce_copies():
+    inst = Instruction(Opcode.JMP, imm=None)
+    tagged = inst.with_crypto(True)
+    resolved = tagged.with_imm(42)
+    assert not inst.crypto
+    assert tagged.crypto
+    assert resolved.imm == 42 and resolved.crypto
+
+
+def test_str_rendering_mentions_opcode():
+    inst = Instruction(Opcode.XOR, dst="r1", srcs=("r1",), imm=90, crypto=True)
+    assert "xor" in str(inst)

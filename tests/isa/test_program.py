@@ -1,0 +1,73 @@
+"""Unit tests for the Program container."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import CryptoRegion, Program
+
+
+def _simple_program():
+    return Program(
+        [
+            Instruction(Opcode.MOVI, dst="r1", imm=1),
+            Instruction(Opcode.BEQZ, srcs=("r1",), imm=3, crypto=True),
+            Instruction(Opcode.ADD, dst="r1", srcs=("r1",), imm=1),
+            Instruction(Opcode.HALT),
+        ],
+        crypto_regions=[CryptoRegion(1, 2)],
+        labels={"exit": 3},
+        name="simple",
+    )
+
+
+def test_program_requires_instructions():
+    with pytest.raises(ValueError):
+        Program([])
+
+
+def test_entry_bounds_checked():
+    with pytest.raises(ValueError):
+        Program([Instruction(Opcode.HALT)], entry=5)
+
+
+def test_crypto_region_validation():
+    with pytest.raises(ValueError):
+        CryptoRegion(5, 2)
+
+
+def test_fetch_and_bounds():
+    program = _simple_program()
+    assert program.fetch(0).opcode is Opcode.MOVI
+    assert program.is_valid_pc(3)
+    assert not program.is_valid_pc(4)
+    with pytest.raises(IndexError):
+        program.fetch(10)
+
+
+def test_static_and_crypto_branches():
+    program = _simple_program()
+    assert program.static_branches() == [1]
+    assert program.crypto_branches() == [1]
+    assert program.is_crypto_pc(1)
+    assert not program.is_crypto_pc(0)
+
+
+def test_label_lookup():
+    program = _simple_program()
+    assert program.label_pc("exit") == 3
+    with pytest.raises(KeyError):
+        program.label_pc("missing")
+
+
+def test_summary_and_disassembly():
+    program = _simple_program()
+    summary = program.summary()
+    assert summary["instructions"] == 4
+    assert summary["static_branches"] == 1
+    listing = program.disassemble()
+    assert "beqz" in listing and "exit:" in listing
+
+
+def test_halt_pcs():
+    program = _simple_program()
+    assert program.halt_pcs() == [3]

@@ -1,0 +1,60 @@
+"""Tests for the analytical power/area model."""
+
+from repro.power.model import BASELINE_AREA_FRACTIONS, BTU_AREA_FRACTION, PowerAreaModel
+from repro.uarch.stats import PipelineStats
+
+
+def _stats(**overrides):
+    stats = PipelineStats(
+        cycles=10_000,
+        instructions=40_000,
+        fetched_instructions=40_000,
+        renamed_instructions=40_000,
+        issued_instructions=40_000,
+        committed_instructions=40_000,
+        loads=8_000,
+        stores=4_000,
+        branches=5_000,
+        bpu_predicted=5_000,
+    )
+    for key, value in overrides.items():
+        setattr(stats, key, value)
+    return stats
+
+
+def test_baseline_area_fractions_sum_to_one():
+    assert abs(sum(BASELINE_AREA_FRACTIONS.values()) - 1.0) < 1e-9
+
+
+def test_btu_area_overhead_matches_paper_figure():
+    model = PowerAreaModel()
+    baseline = model.area(with_btu=False)
+    cassandra = model.area(with_btu=True)
+    overhead = cassandra.normalized_to(baseline)["branch_trace_unit"]
+    assert abs(overhead - BTU_AREA_FRACTION) < 1e-9
+    assert cassandra.total > baseline.total
+
+
+def test_cassandra_power_lower_when_bpu_accesses_removed():
+    model = PowerAreaModel()
+    baseline_power = model.power(_stats(), with_btu=False)
+    cassandra_stats = _stats(bpu_predicted=0, btu_replayed=4_000, single_target_branches=1_000)
+    cassandra_power = model.power(cassandra_stats, with_btu=True)
+    assert cassandra_power.total < baseline_power.total
+    normalized = cassandra_power.normalized_to(baseline_power)
+    assert 0.8 < normalized["total"] < 1.0
+    assert normalized["branch_trace_unit"] > 0.0
+
+
+def test_power_report_units_present():
+    model = PowerAreaModel()
+    report = model.power(_stats(), with_btu=False)
+    assert set(report.per_unit) == {
+        "instruction_fetch_unit",
+        "renaming_unit",
+        "load_store_unit",
+        "execution_unit",
+        "branch_trace_unit",
+    }
+    assert report.per_unit["branch_trace_unit"] == 0.0
+    assert report.total > 0

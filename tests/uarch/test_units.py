@@ -1,0 +1,188 @@
+"""Unit tests for the BPU, caches, and BTU."""
+
+import pytest
+
+from repro.analysis.representation import HardwareTrace, PatternElement, TraceElement
+from repro.arch.executor import DynamicInstruction
+from repro.isa.instructions import Opcode
+from repro.uarch.bpu import BranchPredictionUnit
+from repro.uarch.btu import BranchTraceUnit
+from repro.uarch.caches import Cache, CacheHierarchy, InstructionCache
+from repro.uarch.config import BtuConfig, CacheConfig, GOLDEN_COVE_LIKE
+
+
+def _branch(pc, taken, target, opcode=Opcode.BEQZ, seq=0):
+    next_pc = target if taken else pc + 1
+    return DynamicInstruction(
+        seq=seq,
+        pc=pc,
+        opcode=opcode,
+        dst=None,
+        srcs=("r1",),
+        next_pc=next_pc,
+        is_branch=True,
+        taken=taken,
+        crypto=False,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Branch prediction unit
+# --------------------------------------------------------------------------- #
+def test_bpu_learns_fixed_trip_count_loop():
+    bpu = BranchPredictionUnit(GOLDEN_COVE_LIKE)
+    trip = 8
+    mispredictions = 0
+    # Loop head branch at PC 10: not taken for `trip` iterations, taken at exit.
+    for instance in range(12):
+        for iteration in range(trip + 1):
+            taken = iteration == trip
+            dyn = _branch(10, taken, 50)
+            predicted = bpu.predict(dyn)
+            if not bpu.update(dyn, predicted) and instance >= 4:
+                mispredictions += 1
+    assert mispredictions == 0, "warm loop predictor must capture the fixed trip count"
+
+
+def test_bpu_direct_branches_always_correct():
+    bpu = BranchPredictionUnit(GOLDEN_COVE_LIKE)
+    dyn = _branch(5, True, 20, opcode=Opcode.JMP)
+    assert bpu.predict(dyn) == 20
+    assert bpu.update(dyn, 20)
+
+
+def test_bpu_return_stack_matches_calls():
+    bpu = BranchPredictionUnit(GOLDEN_COVE_LIKE)
+    call = _branch(7, True, 100, opcode=Opcode.CALL)
+    assert bpu.predict(call) == 100
+    ret = DynamicInstruction(
+        seq=1, pc=120, opcode=Opcode.RET, dst=None, srcs=(), next_pc=8,
+        is_branch=True, taken=True, crypto=False,
+    )
+    assert bpu.predict(ret) == 8
+    assert bpu.update(ret, 8)
+    assert bpu.stats.rsb_mispredictions == 0
+
+
+def test_bpu_indirect_branch_uses_btb():
+    bpu = BranchPredictionUnit(GOLDEN_COVE_LIKE)
+    dyn = DynamicInstruction(
+        seq=0, pc=30, opcode=Opcode.JMPI, dst=None, srcs=("r2",), next_pc=77,
+        is_branch=True, taken=True, crypto=False,
+    )
+    first = bpu.predict(dyn)
+    bpu.update(dyn, first)
+    assert first != 77  # cold BTB cannot know the target
+    assert bpu.predict(dyn) == 77  # trained BTB does
+    bpu.flush()
+    assert bpu.predict(dyn) != 77
+
+
+# --------------------------------------------------------------------------- #
+# Caches
+# --------------------------------------------------------------------------- #
+def test_cache_hit_after_miss_and_lru_eviction():
+    cache = Cache(CacheConfig(size_bytes=2 * 64, line_bytes=64, associativity=2, latency=1))
+    # Two ways per (single) set.
+    assert not cache.access(0)
+    assert cache.access(0)
+    assert not cache.access(64)
+    assert not cache.access(128)  # evicts line 0 (LRU)
+    assert not cache.access(0)
+    assert cache.stats.accesses == 5
+    assert 0 < cache.stats.miss_rate < 1
+    cache.flush()
+    assert not cache.probe(0)
+
+
+def test_cache_hierarchy_latencies_increase_with_misses():
+    hierarchy = CacheHierarchy(GOLDEN_COVE_LIKE)
+    cold = hierarchy.load_latency(0x1000)
+    warm = hierarchy.load_latency(0x1000)
+    assert cold > warm
+    assert warm == GOLDEN_COVE_LIKE.l1d.latency
+
+
+def test_instruction_cache_charges_only_on_miss():
+    icache = InstructionCache(GOLDEN_COVE_LIKE)
+    assert icache.fetch_latency(100) > 0
+    assert icache.fetch_latency(100) == 0
+
+
+# --------------------------------------------------------------------------- #
+# Branch Trace Unit
+# --------------------------------------------------------------------------- #
+def _make_trace(branch_pc: int, targets_pattern, repeats: int) -> HardwareTrace:
+    from repro.analysis.dna import encode_vanilla_trace
+    from repro.analysis.kmers import compress_sequence
+    from repro.analysis.raw_trace import RawTrace
+    from repro.analysis.representation import build_hardware_trace
+    from repro.analysis.vanilla import to_vanilla_trace
+
+    targets = tuple(list(targets_pattern) * repeats)
+    vanilla = to_vanilla_trace(RawTrace(branch_pc=branch_pc, targets=targets))
+    return build_hardware_trace(compress_sequence(encode_vanilla_trace(vanilla)))
+
+
+def test_btu_replays_exact_target_sequence():
+    pattern = [21, 21, 21, 5]
+    trace = _make_trace(4, pattern, repeats=6)
+    btu = BranchTraceUnit(BtuConfig(), {4: trace})
+    produced = [btu.lookup(4).target for _ in range(len(pattern) * 6)]
+    assert produced == pattern * 6
+    # After the full trace, replay wraps to the beginning.
+    assert btu.lookup(4).target == pattern[0]
+    assert btu.stats.replay_wraps >= 1
+
+
+def test_btu_miss_then_hit_and_flush():
+    trace = _make_trace(9, [12, 3], repeats=4)
+    config = BtuConfig(miss_latency=17)
+    btu = BranchTraceUnit(config, {9: trace})
+    first = btu.lookup(9)
+    assert not first.hit and first.extra_latency >= 17
+    second = btu.lookup(9)
+    assert second.hit and second.extra_latency == 0
+    btu.flush()
+    third = btu.lookup(9)
+    assert not third.hit
+    assert btu.stats.flushes == 1
+
+
+def test_btu_capacity_evictions_preserve_progress():
+    config = BtuConfig(entries=2)
+    traces = {pc: _make_trace(pc, [pc + 1, pc + 2], repeats=3) for pc in (1, 2, 3)}
+    btu = BranchTraceUnit(config, traces)
+    assert btu.lookup(1).target == 2
+    assert btu.lookup(2).target == 3
+    assert btu.lookup(3).target == 4  # evicts branch 1
+    assert btu.stats.evictions == 1
+    # Branch 1 reappears: it misses but resumes from its saved progress.
+    lookup = btu.lookup(1)
+    assert not lookup.hit
+    assert lookup.target == 3  # second element of its trace
+
+
+def test_btu_squash_restores_committed_position():
+    trace = _make_trace(6, [8, 8, 2], repeats=2)
+    btu = BranchTraceUnit(BtuConfig(), {6: trace})
+    assert btu.lookup(6).target == 8
+    btu.commit(6)
+    assert btu.lookup(6).target == 8
+    assert btu.lookup(6).target == 2
+    btu.squash(6)  # roll back the two uncommitted lookups
+    assert btu.lookup(6).target == 8
+    btu.reset_replay()
+    assert btu.lookup(6).target == 8
+
+
+def test_btu_has_trace_and_occupancy():
+    trace = _make_trace(11, [1, 2], repeats=2)
+    btu = BranchTraceUnit(BtuConfig(), {11: trace})
+    assert btu.has_trace(11)
+    assert not btu.has_trace(99)
+    assert btu.occupancy() == 0
+    btu.lookup(11)
+    assert btu.occupancy() == 1
+    with pytest.raises(KeyError):
+        btu.lookup(99)
