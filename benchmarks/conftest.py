@@ -18,7 +18,7 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
-from repro.experiments.runner import prepare_workloads  # noqa: E402
+from repro.pipeline import ArtifactCache, ExperimentPipeline, default_jobs  # noqa: E402
 
 #: Workloads used by the benchmark harness: a slice of each suite.
 BENCH_WORKLOADS = [
@@ -35,5 +35,14 @@ BENCH_WORKLOADS = [
 
 @pytest.fixture(scope="session")
 def bench_artifacts():
-    """Workload artefacts shared by all benchmarks (built once per session)."""
-    return prepare_workloads(BENCH_WORKLOADS)
+    """Workload artefacts shared by all benchmarks (built once per session).
+
+    Preparation goes through the shared pipeline: fan-out across CPU cores,
+    and — when ``REPRO_CACHE_DIR`` points at a directory — the on-disk
+    artifact cache, so repeated benchmark sessions skip straight to the
+    timed experiment bodies.
+    """
+    cache_root = os.environ.get("REPRO_CACHE_DIR")
+    cache = ArtifactCache(root=cache_root) if cache_root else None
+    pipeline = ExperimentPipeline(names=BENCH_WORKLOADS, cache=cache, jobs=default_jobs())
+    return pipeline.artifacts()

@@ -7,14 +7,17 @@ repository implements.  Pass workload names on the command line to pick a
 different set, e.g.::
 
     python examples/defense_comparison.py AES_CTR kyber512 SHAKE
+
+Equivalent to ``python -m repro figure7 cassandra-lite interrupts``; the
+explicit pipeline calls below show what the CLI does under the hood.
 """
 
 import sys
 
 from repro.experiments.cassandra_lite import format_cassandra_lite, run_cassandra_lite
-from repro.experiments.figure7 import format_figure7, run_figure7, summarize_speedup
-from repro.experiments.interrupts import format_interrupt_study, run_interrupt_study
-from repro.experiments.runner import prepare_workloads
+from repro.experiments.figure7 import FIGURE7_DESIGNS, format_figure7, run_figure7, summarize_speedup
+from repro.experiments.interrupts import DEFAULT_FLUSH_INTERVAL, format_interrupt_study, run_interrupt_study
+from repro.pipeline import ArtifactCache, ExperimentPipeline, SimulationPoint, default_cache_dir, default_jobs
 
 DEFAULT_WORKLOADS = [
     "ChaCha20_ct",
@@ -29,7 +32,21 @@ DEFAULT_WORKLOADS = [
 def main() -> None:
     names = sys.argv[1:] or DEFAULT_WORKLOADS
     print(f"preparing workloads: {', '.join(names)}")
-    artifacts = prepare_workloads(names)
+    pipeline = ExperimentPipeline(
+        names=names,
+        cache=ArtifactCache(root=default_cache_dir()),
+        jobs=default_jobs(),
+    )
+    artifacts = pipeline.artifacts()
+
+    # Fan every design point the three studies need out over the worker
+    # pool; the experiment bodies below then run over warm memos.
+    designs = set(FIGURE7_DESIGNS) | {"cassandra-lite"}
+    pipeline.prefetch_designs(sorted(designs))
+    pipeline.prefetch(
+        SimulationPoint(workload=name, design="cassandra", btu_flush_interval=DEFAULT_FLUSH_INTERVAL)
+        for name in names
+    )
 
     print("\n=== Figure 7: normalized execution time ===")
     rows = run_figure7(artifacts=artifacts)

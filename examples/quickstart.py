@@ -4,35 +4,49 @@
 The script walks through the full pipeline on the BearSSL-style ChaCha20
 workload:
 
-1. build the constant-time ISA kernel and check it against RFC 8439;
-2. run the paper's branch analysis (Algorithm 2) to produce compressed
-   branch traces and per-branch hints;
+1. prepare the workload through the shared experiment pipeline (build the
+   constant-time ISA kernel, check it against RFC 8439, sequentially
+   execute it, and run the paper's Algorithm 2 branch analysis) — all of
+   which lands in the on-disk artifact cache, so a rerun of this script
+   (or of ``python -m repro``) skips the heavy work entirely;
+2. inspect the compressed branch traces and per-branch hints;
 3. simulate the kernel on the out-of-order core under the unsafe baseline
    and under Cassandra, and compare cycles.
 
 Run with::
 
     python examples/quickstart.py
+
+then run it again and watch the preparation time drop to the cache-load
+cost.  ``python -m repro --list`` shows the full experiment suite that
+shares the same pipeline.
 """
 
-from repro.analysis import generate_trace_bundle
-from repro.crypto.workloads import get_workload
-from repro.uarch import simulate
-from repro.uarch.defenses import CassandraPolicy, UnsafeBaseline
+import time
+
+from repro.pipeline import ArtifactCache, ExperimentPipeline, default_cache_dir
 
 
 def main() -> None:
-    # 1. Build and verify the workload.
-    workload = get_workload("ChaCha20_ct")
-    kernel = workload.kernel()
-    result = kernel.run(0)
+    # 1. Prepare the workload through the shared, disk-cached pipeline.
+    pipeline = ExperimentPipeline(
+        names=["ChaCha20_ct"],
+        cache=ArtifactCache(root=default_cache_dir()),
+    )
+    started = time.perf_counter()
+    artifact = pipeline.artifact("ChaCha20_ct")
+    prepare_seconds = time.perf_counter() - started
+    kernel, result = artifact.kernel, artifact.result
+    cached = pipeline.cache.stats.hits > 0
     print(f"workload          : {kernel.name} ({kernel.description})")
+    print(f"prepared in       : {prepare_seconds:.3f}s "
+          f"({'warm artifact cache' if cached else 'cold: executed + traced'})")
     print(f"correct output    : {kernel.verify(result)}")
     print(f"dynamic instrs    : {result.instruction_count}")
     print(f"static branches   : {len(kernel.program.static_branches())}")
 
     # 2. Branch analysis: record, compress, and package the sequential traces.
-    bundle = generate_trace_bundle(kernel.program, kernel.inputs)
+    bundle = artifact.bundle
     counts = bundle.counts()
     print("\n--- branch analysis (Algorithm 2) ---")
     print(f"analysed branches : {counts['analyzed_branches']}")
@@ -48,11 +62,10 @@ def main() -> None:
             f" (compression {data.kmers.compression_rate:6.1f}x)"
         )
 
-    # 3. Timing simulation: unsafe baseline vs Cassandra.
-    baseline = simulate(kernel.program, policy=UnsafeBaseline(), result=result)
-    cassandra = simulate(
-        kernel.program, policy=CassandraPolicy(bundle), bundle=bundle, result=result
-    )
+    # 3. Timing simulation: unsafe baseline vs Cassandra (memoized per design
+    # point and persisted in the same artifact cache).
+    baseline = artifact.simulate("unsafe-baseline")
+    cassandra = artifact.simulate("cassandra")
     print("\n--- timing simulation (Golden-Cove-like core) ---")
     print(f"unsafe baseline   : {baseline.cycles} cycles (IPC {baseline.ipc:.2f}, "
           f"{baseline.stats.bpu_mispredicted} mispredictions)")

@@ -27,6 +27,22 @@ from repro.isa.program import Program
 MemoryInput = Mapping[int, int]
 
 
+@dataclass(frozen=True)
+class TraceParameters:
+    """The knobs of Algorithm 2 that change what a :class:`TraceBundle` holds.
+
+    Bundles generated with different parameters are different artifacts; the
+    pipeline's on-disk cache keys on this record (plus the program content)
+    so a parameter change never returns a stale bundle.
+    """
+
+    crypto_only: bool = True
+    max_k: int = 16
+
+    def identity(self) -> tuple:
+        return (self.crypto_only, self.max_k)
+
+
 @dataclass
 class BranchTraceData:
     """Everything the analysis produced for one static branch."""
@@ -75,6 +91,7 @@ class TraceBundle:
     branches: Dict[int, BranchTraceData]
     hint_table: HintTable
     timings: StepTimings = field(default_factory=StepTimings)
+    params: TraceParameters = field(default_factory=TraceParameters)
 
     def hardware_traces(self) -> Dict[int, HardwareTrace]:
         """Traces the BTU can load, keyed by branch PC."""
@@ -256,4 +273,5 @@ def generate_trace_bundle(
         branches=branches,
         hint_table=hint_table,
         timings=timings,
+        params=TraceParameters(crypto_only=crypto_only, max_k=max_k),
     )

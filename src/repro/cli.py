@@ -1,0 +1,173 @@
+"""The ``python -m repro`` command line interface.
+
+Runs any subset of the paper's eight experiments in one pass over shared
+pipeline artifacts::
+
+    python -m repro --list
+    python -m repro table1 figure7 --workloads quick --jobs 4
+    python -m repro all --format json > results.json
+    python -m repro interrupts --workloads ChaCha20_ct,SHA-256 --no-cache
+
+Each workload is built, sequentially executed, and trace-analysed exactly
+once per invocation regardless of how many experiments consume it; with the
+on-disk cache (the default) that work persists across invocations, so a
+warm rerun skips straight to the timing simulations.  Independent
+(workload × design) simulation points for every selected experiment are
+prefetched across ``--jobs`` worker processes before the experiments render.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.experiments import resolve_experiments
+from repro.experiments.registry import EXPERIMENT_REGISTRY, ExperimentSpec
+from repro.pipeline import SimulationPoint, build_pipeline, default_cache_dir
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's tables and figures over a shared, "
+        "disk-cached, parallel experiment pipeline.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXPERIMENT",
+        help="experiments to run (see --list); 'all' or nothing runs every one",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    parser.add_argument(
+        "--workloads",
+        default="all",
+        help="'all' (22 workloads), 'quick' (6), or a comma-separated list of names",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker processes for preparation and simulation (default: auto)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=f"artifact cache directory (default: $REPRO_CACHE_DIR or {default_cache_dir()})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk artifact cache"
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print pipeline/cache statistics"
+    )
+    return parser
+
+
+def _list_experiments() -> str:
+    width = max(len(name) for name in EXPERIMENT_REGISTRY)
+    lines = ["available experiments:"]
+    for name, spec in EXPERIMENT_REGISTRY.items():
+        lines.append(f"  {name.ljust(width)}  {spec.title}")
+    lines.append(f"  {'all'.ljust(width)}  every experiment above, sharing one pipeline")
+    return "\n".join(lines)
+
+
+def _prefetch_points(specs: Sequence[ExperimentSpec], names: Sequence[str]) -> List[SimulationPoint]:
+    """The union of simulation points the selected experiments will consume."""
+    points: List[SimulationPoint] = []
+    for spec in specs:
+        if not spec.uses_artifacts:
+            continue
+        for name in names:
+            for design in spec.designs:
+                points.append(SimulationPoint(workload=name, design=design))
+            for design, flush_interval in spec.flush_points:
+                points.append(
+                    SimulationPoint(
+                        workload=name, design=design, btu_flush_interval=flush_interval
+                    )
+                )
+    return points
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list:
+        print(_list_experiments())
+        return 0
+
+    try:
+        specs = resolve_experiments(args.experiments)
+        pipeline = build_pipeline(
+            workloads=args.workloads,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            jobs=args.jobs,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    started = time.perf_counter()
+    artifacts = None
+    if any(spec.uses_artifacts for spec in specs):
+        artifacts = pipeline.artifacts()
+        pipeline.prefetch(_prefetch_points(specs, pipeline.names))
+
+    report: Dict[str, Any] = {}
+    for spec in specs:
+        if spec.uses_artifacts:
+            data = spec.run(artifacts=artifacts)
+        elif spec.wants_cache:
+            data = spec.run(cache=pipeline.cache)
+        else:
+            data = spec.run()
+        if args.format == "text":
+            print(f"== {spec.name}: {spec.title} ==")
+            print(spec.format(data))
+            print()
+        else:
+            report[spec.name] = spec.jsonify(data) if spec.jsonify else data
+
+    elapsed = time.perf_counter() - started
+    stats = dict(pipeline.stats())
+    stats["total_seconds"] = round(elapsed, 3)
+    if args.format == "json":
+        payload: Dict[str, Any] = {
+            "workloads": list(pipeline.names),
+            "experiments": report,
+            "stats": stats,
+        }
+        json.dump(payload, sys.stdout, indent=2, default=str)
+        print()
+    if args.stats:
+        print(f"pipeline: {_summarize_stats(stats)}", file=sys.stderr)
+    return 0
+
+
+def _summarize_stats(stats: Dict[str, Any]) -> str:
+    parts = [
+        f"{stats['workloads']} workloads",
+        f"{stats['points_simulated']} points simulated",
+        f"{stats['jobs']} jobs",
+        f"{stats['total_seconds']}s total",
+        f"prepare {stats['prepare_seconds']}s",
+    ]
+    if "disk_hits" in stats:
+        parts.append(f"cache {stats['disk_hits']} hits / {stats['disk_misses']} misses")
+    return ", ".join(parts)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

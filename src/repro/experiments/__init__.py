@@ -17,5 +17,32 @@ a ``format_*`` helper producing the printed table; the benchmarks under
 """
 
 from repro.experiments.runner import WorkloadArtifacts, prepare_workloads, DESIGN_BUILDERS
+from repro.experiments.registry import (
+    EXPERIMENT_REGISTRY,
+    ExperimentSpec,
+    experiment_names,
+    get_experiment,
+    resolve_experiments,
+)
 
-__all__ = ["WorkloadArtifacts", "prepare_workloads", "DESIGN_BUILDERS"]
+# Importing the experiment modules populates EXPERIMENT_REGISTRY in paper
+# artefact order (tables, figures, then the Section 7/8 studies).
+from repro.experiments import table1  # noqa: E402,F401
+from repro.experiments import table2  # noqa: E402,F401
+from repro.experiments import figure7  # noqa: E402,F401
+from repro.experiments import figure8  # noqa: E402,F401
+from repro.experiments import figure9  # noqa: E402,F401
+from repro.experiments import trace_runtime  # noqa: E402,F401
+from repro.experiments import cassandra_lite  # noqa: E402,F401
+from repro.experiments import interrupts  # noqa: E402,F401
+
+__all__ = [
+    "WorkloadArtifacts",
+    "prepare_workloads",
+    "DESIGN_BUILDERS",
+    "EXPERIMENT_REGISTRY",
+    "ExperimentSpec",
+    "experiment_names",
+    "get_experiment",
+    "resolve_experiments",
+]

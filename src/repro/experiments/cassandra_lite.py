@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.registry import ExperimentSpec, register_experiment
 from repro.experiments.runner import (
     WorkloadArtifacts,
     format_table,
@@ -53,6 +54,17 @@ def format_cassandra_lite(rows: Sequence[Dict[str, object]]) -> str:
     return format_table(
         rows, ["workload", "suite", "cassandra", "cassandra-lite", "lite_over_cassandra"]
     )
+
+
+register_experiment(
+    ExperimentSpec(
+        name="cassandra-lite",
+        title="Section 8 Q3: Cassandra-lite versus full Cassandra",
+        run=run_cassandra_lite,
+        format=format_cassandra_lite,
+        designs=("unsafe-baseline", "cassandra", "cassandra-lite"),
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

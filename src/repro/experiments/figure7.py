@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.registry import ExperimentSpec, register_experiment
 from repro.experiments.runner import (
     WorkloadArtifacts,
     format_table,
@@ -56,6 +57,17 @@ def summarize_speedup(rows: Sequence[Dict[str, object]], design: str = "cassandr
     geomean_row = rows[-1]
     normalized = float(geomean_row[design])
     return (1.0 - normalized) * 100.0
+
+
+register_experiment(
+    ExperimentSpec(
+        name="figure7",
+        title="Figure 7: normalized execution time of the four design points",
+        run=run_figure7,
+        format=format_figure7,
+        designs=FIGURE7_DESIGNS,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.registry import ExperimentSpec, register_experiment
 from repro.experiments.runner import WorkloadArtifacts, format_table, prepare_workloads
 from repro.power.model import PowerAreaModel
 
@@ -82,6 +83,17 @@ def power_reduction_percent(report: Dict[str, Dict[str, float]]) -> float:
 def btu_area_percent(report: Dict[str, Dict[str, float]]) -> float:
     """The BTU's area overhead (the paper: 1.26%)."""
     return report["area:cassandra"]["branch_trace_unit"] * 100.0
+
+
+register_experiment(
+    ExperimentSpec(
+        name="figure9",
+        title="Figure 9: power and area of Cassandra vs the unsafe baseline",
+        run=run_figure9,
+        format=format_figure9,
+        designs=("unsafe-baseline", "cassandra"),
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.registry import ExperimentSpec, register_experiment
 from repro.experiments.runner import (
     WorkloadArtifacts,
     format_table,
@@ -50,6 +51,18 @@ def run_interrupt_study(
 
 def format_interrupt_study(rows: Sequence[Dict[str, object]]) -> str:
     return format_table(rows, ["workload", "cassandra", "cassandra+flush", "flush_penalty_pct"])
+
+
+register_experiment(
+    ExperimentSpec(
+        name="interrupts",
+        title="Section 8 Q4: BTU flush at timer-interrupt frequency",
+        run=run_interrupt_study,
+        format=format_interrupt_study,
+        designs=("unsafe-baseline", "cassandra"),
+        flush_points=(("cassandra", DEFAULT_FLUSH_INTERVAL),),
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

@@ -1,0 +1,94 @@
+"""Registry of the paper's experiments for the ``python -m repro`` CLI.
+
+Each experiment module registers one :class:`ExperimentSpec` describing how
+to run it against shared pipeline artifacts, how to format its output, and —
+crucially for the parallel fan-out — which simulation points it will consume,
+so the CLI can prefetch the union of all selected experiments' points across
+worker processes before any experiment runs serially over warm memos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """How the CLI drives one experiment module.
+
+    Attributes
+    ----------
+    name:
+        CLI name (``python -m repro <name>``).
+    title:
+        The paper artefact this reproduces, for ``--list`` and headers.
+    run:
+        ``run(artifacts=...)`` when ``uses_artifacts``, else ``run()``.
+        Returns the experiment's plain data structure.
+    format:
+        Renders the data structure as the printed table.
+    uses_artifacts:
+        Whether the experiment consumes shared workload artifacts.
+    wants_cache:
+        Whether ``run`` accepts a ``cache=`` keyword for artifacts outside
+        the workload registry (the Figure 8 synthetic mixes).
+    designs:
+        Design points the experiment simulates on every workload
+        (prefetched with default config/flush/warmup).
+    flush_points:
+        Extra ``(design, btu_flush_interval)`` points (the interrupt study).
+    jsonify:
+        Optional converter to JSON-serializable data (defaults to the raw
+        run() output, which for most experiments is already plain).
+    """
+
+    name: str
+    title: str
+    run: Callable[..., Any]
+    format: Callable[[Any], str]
+    uses_artifacts: bool = True
+    wants_cache: bool = False
+    designs: Tuple[str, ...] = ()
+    flush_points: Tuple[Tuple[str, int], ...] = ()
+    jsonify: Optional[Callable[[Any], Any]] = None
+
+
+#: Name → spec, in registration (paper artefact) order.
+EXPERIMENT_REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register_experiment(spec: ExperimentSpec) -> ExperimentSpec:
+    """Register (or re-register) a spec under its CLI name.
+
+    Idempotent by name: ``python -m repro.experiments.table2`` re-executes a
+    module body that the package ``__init__`` already imported, so the same
+    registration legitimately runs twice.
+    """
+    EXPERIMENT_REGISTRY[spec.name] = spec
+    return spec
+
+
+def experiment_names() -> List[str]:
+    return list(EXPERIMENT_REGISTRY)
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    try:
+        return EXPERIMENT_REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {experiment_names()!r}"
+        ) from exc
+
+
+def resolve_experiments(names: Sequence[str]) -> List[ExperimentSpec]:
+    """Map CLI arguments to specs; ``all`` (or nothing) selects everything.
+
+    Every non-``all`` name is validated even when ``all`` is present, so a
+    typo never silently vanishes into the full-suite selection.
+    """
+    specs = [get_experiment(name) for name in names if name != "all"]
+    if not names or "all" in names:
+        return list(EXPERIMENT_REGISTRY.values())
+    return specs

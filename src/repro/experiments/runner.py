@@ -1,13 +1,22 @@
-"""Shared experiment infrastructure: build, trace, and simulate workloads."""
+"""Shared experiment infrastructure: build, trace, and simulate workloads.
+
+Artifact preparation (build + sequential execution + Algorithm 2 tracing) and
+timing simulation both memoize their results.  The simulation cache key covers
+*every* argument that changes the outcome — design, core configuration, BTU
+flush interval, and warmup passes — so sweeping a parameter never returns a
+stale result from an earlier point.  Preparation can additionally be backed by
+the on-disk content-addressed cache and the multiprocessing fan-out of
+:mod:`repro.pipeline`, which all experiments, benchmarks, and tests share.
+"""
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import BranchAnalysisStats, stats_from_bundle
-from repro.analysis.tracegen import TraceBundle, generate_trace_bundle
+from repro.analysis.tracegen import TraceBundle, TraceParameters, generate_trace_bundle
 from repro.arch.executor import ExecutionResult
 from repro.crypto.programs.common import KernelProgram
 from repro.crypto.workloads import get_workload, workload_names
@@ -22,6 +31,9 @@ from repro.uarch.defenses import (
     SptPolicy,
     UnsafeBaseline,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.pipeline.artifacts import ArtifactCache
 
 #: A small representative subset used by the quick benchmarks and tests.
 QUICK_WORKLOADS: List[str] = [
@@ -44,6 +56,24 @@ DESIGN_BUILDERS: Dict[str, Callable[[Optional[TraceBundle]], DefensePolicy]] = {
     "cassandra+prospect": lambda bundle: CassandraProspectPolicy(bundle),
 }
 
+#: A simulation-cache key: (design, config identity, flush interval, warmups).
+SimulationKey = Tuple[str, tuple, Optional[int], int]
+
+
+def simulation_key(
+    design: str,
+    config: CoreConfig = GOLDEN_COVE_LIKE,
+    btu_flush_interval: Optional[int] = None,
+    warmup_passes: int = 1,
+) -> SimulationKey:
+    """The memoization key for one simulation point.
+
+    Every argument that affects the timing result participates: the historic
+    key of (design, flush interval) alone silently returned the first
+    config's result for every subsequent config in a sweep.
+    """
+    return (design, config.identity(), btu_flush_interval, warmup_passes)
+
 
 @dataclass
 class WorkloadArtifacts:
@@ -55,7 +85,11 @@ class WorkloadArtifacts:
     result: ExecutionResult
     bundle: TraceBundle
     analysis: BranchAnalysisStats
-    simulations: Dict[str, SimulationResult] = field(default_factory=dict)
+    simulations: Dict[SimulationKey, SimulationResult] = field(default_factory=dict)
+    #: Optional disk cache + the workload's content digest; when both are set,
+    #: simulation results (small, deterministic) also persist across processes.
+    cache: Optional["ArtifactCache"] = field(default=None, repr=False)
+    content_digest: Optional[str] = field(default=None, repr=False)
 
     def simulate(
         self,
@@ -64,51 +98,160 @@ class WorkloadArtifacts:
         btu_flush_interval: Optional[int] = None,
         warmup_passes: int = 1,
     ) -> SimulationResult:
-        """Simulate one design point (cached per design name)."""
-        cache_key = design if btu_flush_interval is None else f"{design}@flush{btu_flush_interval}"
-        if cache_key not in self.simulations:
-            policy = DESIGN_BUILDERS[design](self.bundle)
-            self.simulations[cache_key] = simulate(
-                self.kernel.program,
-                policy=policy,
-                config=config,
-                bundle=self.bundle,
-                result=self.result,
-                btu_flush_interval=btu_flush_interval,
-                warmup_passes=warmup_passes,
-            )
-        return self.simulations[cache_key]
+        """Simulate one design point (memoized on the full argument set)."""
+        cache_key = simulation_key(design, config, btu_flush_interval, warmup_passes)
+        if cache_key in self.simulations:
+            return self.simulations[cache_key]
+
+        sim_digest = None
+        if self.cache is not None and self.content_digest is not None:
+            from repro.pipeline.hashing import stable_digest
+
+            sim_digest = stable_digest(self.content_digest, cache_key)
+            cached = self.cache.get("simulation", self.name, sim_digest)
+            if cached is not None:
+                self.simulations[cache_key] = cached
+                return cached
+
+        policy = DESIGN_BUILDERS[design](self.bundle)
+        simulation = simulate(
+            self.kernel.program,
+            policy=policy,
+            config=config,
+            bundle=self.bundle,
+            result=self.result,
+            btu_flush_interval=btu_flush_interval,
+            warmup_passes=warmup_passes,
+        )
+        self.simulations[cache_key] = simulation
+        if self.cache is not None and sim_digest is not None:
+            self.cache.put("simulation", self.name, sim_digest, simulation)
+        return simulation
+
+    def store_simulation(self, key: SimulationKey, result: SimulationResult) -> None:
+        """Seed the memo with an externally computed result (parallel fan-out)."""
+        self.simulations[key] = result
 
     def normalized_time(self, design: str, baseline: str = "unsafe-baseline") -> float:
         return self.simulate(design).cycles / self.simulate(baseline).cycles
 
 
-def prepare_workload(name: str) -> WorkloadArtifacts:
-    """Build, functionally execute, and trace-analyse one workload."""
-    workload = get_workload(name)
-    kernel = workload.kernel()
-    result = kernel.run(0)
-    if not kernel.verify(result):
-        raise RuntimeError(f"workload {name!r} failed its correctness check")
-    bundle = generate_trace_bundle(kernel.program, kernel.inputs)
+def artifacts_for_kernel(
+    kernel: KernelProgram,
+    suite: str,
+    name: Optional[str] = None,
+    cache: Optional["ArtifactCache"] = None,
+    trace_params: Optional[TraceParameters] = None,
+) -> WorkloadArtifacts:
+    """Functionally execute and trace-analyse an already-built kernel.
+
+    With ``cache`` set, the expensive products (the sequential
+    :class:`ExecutionResult` and the :class:`TraceBundle`) are loaded from /
+    stored to the content-addressed artifact cache, keyed on the program
+    content, the confidential-input set, and the trace parameters.  The
+    kernel's correctness check always re-runs, so a stale or corrupt cache
+    entry cannot silently poison an experiment.
+    """
+    name = name or kernel.name
+    params = trace_params or TraceParameters()
+
+    payload = None
+    digest = None
+    if cache is not None:
+        from repro.pipeline.parallel import workload_artifact_digest
+
+        digest = workload_artifact_digest(kernel, params)
+        payload = cache.get("workload-artifacts", name, digest)
+
+    if payload is not None:
+        result, bundle = payload
+        # A hit still re-verifies: a stale or corrupt entry must not
+        # silently poison an experiment.
+        if not kernel.verify(result):
+            raise RuntimeError(f"workload {name!r} failed its correctness check")
+    else:
+        result = kernel.run(0)
+        # Verify before tracing/caching: a functionally broken kernel must
+        # neither pay for Algorithm 2 nor leave a junk entry on disk.
+        if not kernel.verify(result):
+            raise RuntimeError(f"workload {name!r} failed its correctness check")
+        bundle = generate_trace_bundle(
+            kernel.program,
+            kernel.inputs,
+            crypto_only=params.crypto_only,
+            max_k=params.max_k,
+        )
+        if cache is not None and digest is not None:
+            cache.put("workload-artifacts", name, digest, (result, bundle))
     return WorkloadArtifacts(
         name=name,
-        suite=workload.suite,
+        suite=suite,
         kernel=kernel,
         result=result,
         bundle=bundle,
         analysis=stats_from_bundle(bundle),
+        cache=cache,
+        content_digest=digest,
     )
 
 
-def prepare_workloads(names: Optional[Sequence[str]] = None) -> List[WorkloadArtifacts]:
-    """Prepare several workloads (defaults to the full 22-workload suite)."""
+def prepare_workload(
+    name: str,
+    cache: Optional["ArtifactCache"] = None,
+    trace_params: Optional[TraceParameters] = None,
+) -> WorkloadArtifacts:
+    """Build, functionally execute, and trace-analyse one registry workload.
+
+    The kernel is always rebuilt (it is cheap and holds unpicklable
+    callbacks); the execution and tracing go through
+    :func:`artifacts_for_kernel` and hence the artifact cache when one is
+    attached.
+    """
+    workload = get_workload(name)
+    return artifacts_for_kernel(
+        workload.kernel(),
+        suite=workload.suite,
+        name=name,
+        cache=cache,
+        trace_params=trace_params,
+    )
+
+
+def prepare_workloads(
+    names: Optional[Sequence[str]] = None,
+    cache: Optional["ArtifactCache"] = None,
+    jobs: int = 1,
+) -> List[WorkloadArtifacts]:
+    """Prepare several workloads (defaults to the full 22-workload suite).
+
+    ``jobs > 1`` fans the preparation out over worker processes via
+    :mod:`repro.pipeline.parallel`; results are identical to the serial path.
+    """
     chosen = list(names) if names is not None else workload_names()
-    return [prepare_workload(name) for name in chosen]
+    if jobs > 1 and len(chosen) > 1:
+        from repro.pipeline.parallel import prepare_workloads_parallel
+
+        return prepare_workloads_parallel(chosen, cache=cache, jobs=jobs)
+    return [prepare_workload(name, cache=cache) for name in chosen]
 
 
 def geometric_mean(values: Iterable[float]) -> float:
-    """Geometric mean (used for the ``geomean`` column of Figure 7)."""
+    """Geometric mean (used for the ``geomean`` column of Figure 7).
+
+    Zeros are skipped (a zero factor would collapse the mean to zero and the
+    paper's normalized-time columns treat empty cells as zero); negative
+    inputs are an error — silently dropping them, as this function once did,
+    skews the mean without any indication that the data is invalid.
+
+    Raises
+    ------
+    ValueError
+        If any value is negative.
+    """
+    values = list(values)
+    negatives = [value for value in values if value < 0]
+    if negatives:
+        raise ValueError(f"geometric_mean got negative value(s): {negatives!r}")
     values = [value for value in values if value > 0]
     if not values:
         return 0.0
@@ -116,9 +259,14 @@ def geometric_mean(values: Iterable[float]) -> float:
 
 
 def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
-    """Render a list of dictionaries as an aligned text table."""
+    """Render a list of dictionaries as an aligned text table.
+
+    An empty ``rows`` list still renders the header and separator lines.
+    """
     widths = {
         column: max(len(column), *(len(_fmt(row.get(column, ""))) for row in rows))
+        if rows
+        else len(column)
         for column in columns
     }
     header = "  ".join(column.ljust(widths[column]) for column in columns)

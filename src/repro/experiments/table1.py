@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.stats import combine_stats, stats_from_bundle_scaled
+from repro.experiments.registry import ExperimentSpec, register_experiment
 from repro.experiments.runner import WorkloadArtifacts, format_table, prepare_workloads
 
 #: Number of back-to-back primitive invocations the Table 1 traces model.
@@ -51,6 +52,16 @@ def format_table1(rows: Sequence[Dict[str, object]]) -> str:
         "compression_max",
     ]
     return format_table(rows, columns)
+
+
+register_experiment(
+    ExperimentSpec(
+        name="table1",
+        title="Table 1: branch analysis and k-mers compression statistics",
+        run=run_table1,
+        format=format_table1,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+from dataclasses import asdict
+
 from repro.attacks.gadgets import ScenarioResult, evaluate_scenarios
+from repro.experiments.registry import ExperimentSpec, register_experiment
 from repro.experiments.runner import format_table
 
 
@@ -25,6 +28,18 @@ def format_table2(results: Sequence[ScenarioResult]) -> str:
         for result in results
     ]
     return format_table(rows, ["scenario", "transition", "leaks_unsafe", "leaks_cassandra", "mechanism"])
+
+
+register_experiment(
+    ExperimentSpec(
+        name="table2",
+        title="Table 2: the eight control-flow security scenarios",
+        run=run_table2,
+        format=format_table2,
+        uses_artifacts=False,
+        jsonify=lambda results: [asdict(result) for result in results],
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.registry import ExperimentSpec, register_experiment
 from repro.experiments.runner import WorkloadArtifacts, format_table, prepare_workloads
 
 
@@ -34,6 +35,16 @@ def format_trace_runtime(rows: Sequence[Dict[str, object]]) -> str:
         "E_kmers_compression",
     ]
     return format_table(rows, columns)
+
+
+register_experiment(
+    ExperimentSpec(
+        name="trace-runtime",
+        title="Section 7.5: runtime of the trace-generation procedure",
+        run=run_trace_runtime,
+        format=format_trace_runtime,
+    )
+)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation

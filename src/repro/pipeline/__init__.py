@@ -1,0 +1,57 @@
+"""Shared experiment pipeline: disk-cached artifacts + parallel simulation.
+
+The subsystem every experiment, benchmark, and test goes through to obtain
+workload artifacts and simulation results:
+
+* :mod:`repro.pipeline.hashing` — stable content fingerprints for programs,
+  input sets, and configurations (cache-key material).
+* :mod:`repro.pipeline.artifacts` — the content-addressed on-disk cache (with
+  in-memory memoization) persisting ``ExecutionResult``/``TraceBundle``
+  pairs across processes.
+* :mod:`repro.pipeline.parallel` — multiprocessing fan-out for workload
+  preparation and for independent (workload × design × config) points.
+* :mod:`repro.pipeline.pipeline` — :class:`ExperimentPipeline`, the facade
+  the ``python -m repro`` CLI and the benchmark/test fixtures drive.
+"""
+
+from repro.pipeline.artifacts import (
+    CACHE_DIR_ENV,
+    CACHE_FORMAT_VERSION,
+    ArtifactCache,
+    CacheStats,
+    default_cache_dir,
+)
+from repro.pipeline.hashing import (
+    inputs_fingerprint,
+    program_fingerprint,
+    stable_digest,
+)
+from repro.pipeline.parallel import (
+    SimulationPoint,
+    default_jobs,
+    prepare_workloads_parallel,
+    simulate_points,
+)
+from repro.pipeline.pipeline import (
+    ExperimentPipeline,
+    build_pipeline,
+    resolve_workload_names,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "CACHE_DIR_ENV",
+    "CACHE_FORMAT_VERSION",
+    "default_cache_dir",
+    "default_jobs",
+    "stable_digest",
+    "program_fingerprint",
+    "inputs_fingerprint",
+    "SimulationPoint",
+    "prepare_workloads_parallel",
+    "simulate_points",
+    "ExperimentPipeline",
+    "build_pipeline",
+    "resolve_workload_names",
+]

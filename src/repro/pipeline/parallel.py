@@ -1,0 +1,208 @@
+"""Multiprocessing fan-out for workload preparation and simulation points.
+
+Two axes parallelize independently:
+
+* **Preparation** — each workload's sequential execution + trace generation
+  is pure and isolated, so workers compute ``(ExecutionResult, TraceBundle)``
+  payloads and ship them back pickled (the ``KernelProgram`` itself holds
+  unpicklable verify closures and is rebuilt in the parent, which is cheap).
+* **Simulation** — every (workload × design × config × flush × warmup) point
+  is independent.  Workers are forked *after* the parent has prepared the
+  artifacts, so they inherit the prepared state by copy-on-write and only the
+  small task tuples and ``SimulationResult`` payloads cross process
+  boundaries.
+
+Both paths fall back to serial execution when ``jobs <= 1``, when there is
+only one task, or when the platform lacks the ``fork`` start method — results
+are bit-identical either way, which ``tests/pipeline`` asserts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.tracegen import TraceParameters
+from repro.crypto.workloads import workload_names
+from repro.experiments.runner import (
+    SimulationKey,
+    WorkloadArtifacts,
+    prepare_workload,
+    simulation_key,
+)
+from repro.pipeline.artifacts import ArtifactCache
+from repro.pipeline.hashing import (
+    code_fingerprint,
+    inputs_fingerprint,
+    program_fingerprint,
+    stable_digest,
+)
+from repro.uarch.config import CoreConfig, GOLDEN_COVE_LIKE
+from repro.uarch.core import SimulationResult
+
+
+def default_jobs() -> int:
+    """A sensible worker count: the CPU count, capped to keep fork cheap."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def workload_artifact_digest(kernel, params: TraceParameters) -> str:
+    """The content digest a prepared workload is cached under.
+
+    Covers the program content, the confidential-input set, the trace
+    parameters, and the ``repro`` source tree itself — a code edit is a
+    cache miss, never a stale hit.  Simulation digests derive from this one,
+    so they inherit the same invalidation.
+    """
+    return stable_digest(
+        program_fingerprint(kernel.program),
+        inputs_fingerprint(kernel.inputs),
+        params.identity(),
+        code_fingerprint(),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Parallel preparation
+# --------------------------------------------------------------------------- #
+def _prepare_task(task: Tuple[str, Optional[str], TraceParameters]):
+    name, cache_root, params = task
+    cache = ArtifactCache(root=cache_root) if cache_root else None
+    artifact = prepare_workload(name, cache=cache, trace_params=params)
+    return name, artifact.result, artifact.bundle
+
+
+def prepare_workloads_parallel(
+    names: Optional[Sequence[str]] = None,
+    cache: Optional[ArtifactCache] = None,
+    jobs: int = 0,
+    trace_params: Optional[TraceParameters] = None,
+) -> List[WorkloadArtifacts]:
+    """Prepare workloads across worker processes.
+
+    Workers warm the shared disk cache (when one is configured) and return
+    the ``(result, bundle)`` payloads; the parent seeds its own cache with
+    them and assembles the final :class:`WorkloadArtifacts` — including the
+    per-workload correctness check — through the exact same
+    :func:`prepare_workload` code path the serial mode uses.
+    """
+    chosen = list(names) if names is not None else workload_names()
+    params = trace_params or TraceParameters()
+    jobs = jobs or default_jobs()
+    context = _fork_context()
+    if jobs <= 1 or len(chosen) <= 1 or context is None:
+        return [prepare_workload(name, cache=cache, trace_params=params) for name in chosen]
+
+    cache_root = cache.root if cache is not None else None
+    tasks = [(name, cache_root, params) for name in chosen]
+    with context.Pool(processes=min(jobs, len(tasks))) as pool:
+        payloads = pool.map(_prepare_task, tasks, chunksize=1)
+
+    # Seed the parent's in-memory memo so assembly below never recomputes;
+    # workers already persisted the payloads when the cache is disk-backed,
+    # so a second disk write here would be pure waste.
+    parent_cache = cache if cache is not None else ArtifactCache(root=None)
+    from repro.crypto.workloads import get_workload
+
+    for name, result, bundle in payloads:
+        kernel = get_workload(name).kernel()
+        digest = workload_artifact_digest(kernel, params)
+        parent_cache.memoize("workload-artifacts", name, digest, (result, bundle))
+    return [prepare_workload(name, cache=parent_cache, trace_params=params) for name in chosen]
+
+
+# --------------------------------------------------------------------------- #
+# Parallel simulation
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SimulationPoint:
+    """One (workload × design × config × flush × warmup) simulation task."""
+
+    workload: str
+    design: str
+    config: CoreConfig = GOLDEN_COVE_LIKE
+    btu_flush_interval: Optional[int] = None
+    warmup_passes: int = 1
+
+    def key(self) -> SimulationKey:
+        return simulation_key(
+            self.design, self.config, self.btu_flush_interval, self.warmup_passes
+        )
+
+
+#: Artifacts visible to forked simulation workers (set only around the pool).
+_FORK_ARTIFACTS: Dict[str, WorkloadArtifacts] = {}
+
+
+def _simulate_point_task(point: SimulationPoint) -> Tuple[str, SimulationKey, SimulationResult]:
+    return _run_point(_FORK_ARTIFACTS[point.workload], point)
+
+
+def simulate_points(
+    artifacts: Sequence[WorkloadArtifacts],
+    points: Iterable[SimulationPoint],
+    jobs: int = 0,
+) -> int:
+    """Run simulation points, seeding each artifact's in-memory memo.
+
+    Points already present in a memo are skipped.  Returns the number of
+    points actually simulated.  With ``jobs > 1`` the points run across
+    forked workers that inherit the prepared artifacts read-only; the
+    resulting ``SimulationResult``s are stored back on the parent's
+    artifacts, so subsequent :meth:`WorkloadArtifacts.simulate` calls are
+    memo hits regardless of which mode computed them.
+    """
+    by_name = {artifact.name: artifact for artifact in artifacts}
+    pending: List[SimulationPoint] = []
+    seen = set()
+    for point in points:
+        if point.workload not in by_name:
+            raise KeyError(f"no prepared artifact for workload {point.workload!r}")
+        identity = (point.workload, point.key())
+        if identity in seen or point.key() in by_name[point.workload].simulations:
+            continue
+        seen.add(identity)
+        pending.append(point)
+    if not pending:
+        return 0
+
+    jobs = jobs or default_jobs()
+    context = _fork_context()
+    if jobs <= 1 or len(pending) <= 1 or context is None:
+        for point in pending:
+            _, key, result = _run_point(by_name[point.workload], point)
+            by_name[point.workload].store_simulation(key, result)
+        return len(pending)
+
+    global _FORK_ARTIFACTS
+    _FORK_ARTIFACTS = dict(by_name)
+    try:
+        with context.Pool(processes=min(jobs, len(pending))) as pool:
+            outcomes = pool.map(_simulate_point_task, pending, chunksize=1)
+    finally:
+        _FORK_ARTIFACTS = {}
+    for name, key, result in outcomes:
+        by_name[name].store_simulation(key, result)
+    return len(pending)
+
+
+def _run_point(
+    artifact: WorkloadArtifacts, point: SimulationPoint
+) -> Tuple[str, SimulationKey, SimulationResult]:
+    """The single simulate-one-point body both execution modes share."""
+    result = artifact.simulate(
+        point.design,
+        config=point.config,
+        btu_flush_interval=point.btu_flush_interval,
+        warmup_passes=point.warmup_passes,
+    )
+    return point.workload, point.key(), result

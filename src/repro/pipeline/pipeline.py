@@ -1,0 +1,161 @@
+"""The shared experiment pipeline: one preparation, many consumers.
+
+:class:`ExperimentPipeline` is the front door the CLI, the benchmarks, the
+examples, and multi-experiment scripts use.  It ties together the three
+layers below it:
+
+1. the content-addressed :class:`~repro.pipeline.artifacts.ArtifactCache`
+   persisting ``(ExecutionResult, TraceBundle)`` pairs across processes;
+2. the :mod:`~repro.pipeline.parallel` fan-out preparing workloads and
+   running independent simulation points over worker processes; and
+3. the config-aware per-artifact simulation memo on
+   :class:`~repro.experiments.runner.WorkloadArtifacts`.
+
+Within one pipeline, each workload's sequential execution and trace
+generation happen at most once no matter how many experiments consume the
+artifacts — and at most once *ever* when a disk cache is attached.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.crypto.workloads import workload_names
+from repro.experiments.runner import (
+    QUICK_WORKLOADS,
+    WorkloadArtifacts,
+    prepare_workload,
+)
+from repro.pipeline.artifacts import ArtifactCache, default_cache_dir
+from repro.pipeline.parallel import (
+    SimulationPoint,
+    default_jobs,
+    prepare_workloads_parallel,
+    simulate_points,
+)
+
+
+def resolve_workload_names(selector: Optional[str]) -> List[str]:
+    """Map a CLI-style selector to workload names.
+
+    ``None``/``"all"``/``"full"`` → the full 22-workload suite;
+    ``"quick"`` → the representative quick subset; anything else is a
+    comma-separated list of workload names (validated against the registry).
+    """
+    if selector is None or selector in ("all", "full"):
+        return workload_names()
+    if selector == "quick":
+        return list(QUICK_WORKLOADS)
+    chosen = [name.strip() for name in selector.split(",") if name.strip()]
+    known = set(workload_names())
+    unknown = [name for name in chosen if name not in known]
+    if unknown:
+        raise KeyError(f"unknown workload(s): {unknown!r}; known: {sorted(known)!r}")
+    return chosen
+
+
+class ExperimentPipeline:
+    """Prepare once, simulate in parallel, share everywhere."""
+
+    def __init__(
+        self,
+        names: Optional[Sequence[str]] = None,
+        cache: Optional[ArtifactCache] = None,
+        jobs: int = 1,
+    ) -> None:
+        self.names: List[str] = list(names) if names is not None else workload_names()
+        self.cache = cache
+        self.jobs = jobs if jobs > 0 else default_jobs()
+        self._artifacts: Dict[str, WorkloadArtifacts] = {}
+        #: Wall-clock seconds spent preparing (0.0 until :meth:`artifacts`).
+        self.prepare_seconds: float = 0.0
+        #: Simulation points computed through :meth:`prefetch` so far.
+        self.points_simulated: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Artifacts
+    # ------------------------------------------------------------------ #
+    def artifacts(self) -> List[WorkloadArtifacts]:
+        """The prepared artifacts for every workload, in pipeline order."""
+        self._prepare([name for name in self.names if name not in self._artifacts])
+        return [self._artifacts[name] for name in self.names]
+
+    def artifact(self, name: str) -> WorkloadArtifacts:
+        """One workload's artifacts, preparing only that workload if needed."""
+        if name not in self._artifacts:
+            if name not in self.names:
+                self.names.append(name)
+            self._prepare([name])
+        return self._artifacts[name]
+
+    def _prepare(self, missing: Sequence[str]) -> None:
+        if not missing:
+            return
+        start = time.perf_counter()
+        if self.jobs > 1 and len(missing) > 1:
+            prepared = prepare_workloads_parallel(missing, cache=self.cache, jobs=self.jobs)
+        else:
+            prepared = [prepare_workload(name, cache=self.cache) for name in missing]
+        for artifact in prepared:
+            self._artifacts[artifact.name] = artifact
+        self.prepare_seconds += time.perf_counter() - start
+
+    # ------------------------------------------------------------------ #
+    # Simulations
+    # ------------------------------------------------------------------ #
+    def prefetch(self, points: Iterable[SimulationPoint]) -> int:
+        """Fan the given simulation points out over the worker pool.
+
+        Returns the number of points actually simulated (already-memoized
+        points are skipped).  After this, experiment code hitting
+        ``artifact.simulate(...)`` for any prefetched point is a pure memo
+        lookup.
+        """
+        computed = simulate_points(self.artifacts(), points, jobs=self.jobs)
+        self.points_simulated += computed
+        return computed
+
+    def prefetch_designs(
+        self, designs: Sequence[str], names: Optional[Sequence[str]] = None
+    ) -> int:
+        """Convenience: prefetch ``designs`` for every (or the given) workload."""
+        chosen = list(names) if names is not None else self.names
+        return self.prefetch(
+            SimulationPoint(workload=name, design=design)
+            for name in chosen
+            for design in designs
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        report: Dict[str, object] = {
+            "workloads": len(self.names),
+            "prepared": len(self._artifacts),
+            "prepare_seconds": round(self.prepare_seconds, 3),
+            "points_simulated": self.points_simulated,
+            "jobs": self.jobs,
+        }
+        if self.cache is not None:
+            report["cache_dir"] = self.cache.root
+            report.update(self.cache.stats.as_dict())
+        return report
+
+
+def build_pipeline(
+    workloads: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    jobs: int = 0,
+) -> ExperimentPipeline:
+    """Construct a pipeline from CLI-style options."""
+    cache = None
+    if use_cache:
+        cache = ArtifactCache(root=cache_dir or default_cache_dir())
+    return ExperimentPipeline(
+        names=resolve_workload_names(workloads),
+        cache=cache,
+        jobs=jobs if jobs > 0 else default_jobs(),
+    )

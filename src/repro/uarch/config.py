@@ -9,7 +9,8 @@ three tables with 16 elements per entry (1.74 KiB of storage).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass, field, fields
 
 
 @dataclass(frozen=True)
@@ -104,6 +105,32 @@ class CoreConfig:
 
     #: Word size of the ISA in bytes (used to map word addresses to cache lines).
     word_bytes: int = 8
+
+    def identity(self) -> tuple:
+        """A stable, hashable tuple covering every configuration field.
+
+        Used as (part of) cache keys: two configs with equal identity must
+        produce identical simulation results.  Frozen dataclasses already
+        hash, but their ``hash()`` is not stable across processes; this tuple
+        of plain values is, which the on-disk pipeline cache relies on.
+        """
+        return config_identity(self)
+
+    def digest(self) -> str:
+        """A short stable hex digest of :meth:`identity` (cache-key material)."""
+        payload = repr(self.identity()).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def config_identity(config: object) -> tuple:
+    """Recursively flatten a (possibly nested) config dataclass to a tuple."""
+    items = []
+    for f in fields(config):  # type: ignore[arg-type]
+        value = getattr(config, f.name)
+        if hasattr(value, "__dataclass_fields__"):
+            value = config_identity(value)
+        items.append((f.name, value))
+    return tuple(items)
 
 
 #: The default configuration used throughout the evaluation.

@@ -61,3 +61,19 @@ def toy_execution(toy_program):
 def toy_bundle(toy_program_parts):
     program, key_addr, _out = toy_program_parts
     return generate_trace_bundle(program, [{key_addr: 3, key_addr + 1: 9}, {key_addr: 200, key_addr + 1: 77}])
+
+
+@pytest.fixture(scope="session")
+def chacha_artifact():
+    """One fast prepared workload, shared by every test that needs artifacts."""
+    from repro.experiments.runner import prepare_workload
+
+    return prepare_workload("ChaCha20_ct")
+
+
+@pytest.fixture()
+def artifact_cache(tmp_path):
+    """A disk-backed artifact cache rooted in a per-test temp directory."""
+    from repro.pipeline import ArtifactCache
+
+    return ArtifactCache(root=str(tmp_path / "artifact-cache"))

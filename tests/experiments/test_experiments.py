@@ -7,10 +7,11 @@ from repro.experiments.figure7 import format_figure7, run_figure7, summarize_spe
 from repro.experiments.figure8 import format_figure8, run_figure8
 from repro.experiments.figure9 import btu_area_percent, format_figure9, power_reduction_percent, run_figure9
 from repro.experiments.interrupts import format_interrupt_study, run_interrupt_study
-from repro.experiments.runner import geometric_mean, prepare_workload, prepare_workloads
+from repro.experiments.runner import geometric_mean, prepare_workload
 from repro.experiments.table1 import format_table1, run_table1
 from repro.experiments.table2 import format_table2, run_table2
 from repro.experiments.trace_runtime import format_trace_runtime, run_trace_runtime
+from repro.pipeline import ExperimentPipeline
 
 #: A tiny but representative slice: one fast workload per suite.
 TEST_WORKLOADS = ["ChaCha20_ct", "sha256", "sphincs-haraka-128s"]
@@ -18,7 +19,9 @@ TEST_WORKLOADS = ["ChaCha20_ct", "sha256", "sphincs-haraka-128s"]
 
 @pytest.fixture(scope="module")
 def artifacts():
-    return prepare_workloads(TEST_WORKLOADS)
+    # The shared pipeline is what every consumer (CLI, benchmarks) now uses;
+    # driving the experiments through it here keeps the two paths honest.
+    return ExperimentPipeline(names=TEST_WORKLOADS).artifacts()
 
 
 def test_prepare_workload_verifies_kernel():

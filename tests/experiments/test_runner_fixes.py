@@ -1,0 +1,94 @@
+"""Regression tests for the runner bug fixes.
+
+Covers the three historic defects: the ``simulate()`` cache key ignoring
+``config``/``warmup_passes`` (a config sweep silently returned the first
+config's result for every point), ``format_table`` crashing on an empty row
+list, and ``geometric_mean`` silently discarding negative inputs.
+"""
+
+import pytest
+
+from repro.experiments.runner import format_table, geometric_mean, simulation_key
+from repro.uarch.config import CoreConfig, GOLDEN_COVE_LIKE
+
+
+# --------------------------------------------------------------------------- #
+# simulate() cache key
+# --------------------------------------------------------------------------- #
+SMALL_CORE = CoreConfig(rob_size=32, fetch_width=2, decode_width=2, issue_width=2, commit_width=2)
+
+
+def test_simulate_not_stale_across_configs(chacha_artifact):
+    """A non-default CoreConfig must produce its own, config-specific result."""
+    default = chacha_artifact.simulate("unsafe-baseline")
+    small = chacha_artifact.simulate("unsafe-baseline", config=SMALL_CORE)
+    assert small is not default
+    # A 2-wide, 32-entry-ROB core must be substantially slower than the
+    # 8-wide Golden-Cove-like default on the same dynamic stream.
+    assert small.cycles > default.cycles
+    assert small.config == SMALL_CORE
+    assert default.config == GOLDEN_COVE_LIKE
+
+
+def test_simulate_memoizes_per_full_argument_set(chacha_artifact):
+    first = chacha_artifact.simulate("unsafe-baseline", config=SMALL_CORE)
+    again = chacha_artifact.simulate("unsafe-baseline", config=SMALL_CORE)
+    assert again is first  # memo hit
+    cold = chacha_artifact.simulate("unsafe-baseline", config=SMALL_CORE, warmup_passes=0)
+    assert cold is not first  # warmup participates in the key
+
+
+def test_simulate_flush_interval_in_key(chacha_artifact):
+    plain = chacha_artifact.simulate("cassandra")
+    flushed = chacha_artifact.simulate("cassandra", btu_flush_interval=200)
+    assert flushed is not plain
+    assert flushed.cycles >= plain.cycles
+
+
+def test_simulation_key_covers_every_argument():
+    base = simulation_key("cassandra")
+    assert simulation_key("cassandra") == base
+    assert simulation_key("spt") != base
+    assert simulation_key("cassandra", config=SMALL_CORE) != base
+    assert simulation_key("cassandra", btu_flush_interval=100) != base
+    assert simulation_key("cassandra", warmup_passes=2) != base
+
+
+# --------------------------------------------------------------------------- #
+# format_table
+# --------------------------------------------------------------------------- #
+def test_format_table_empty_rows_renders_header():
+    text = format_table([], ["workload", "cycles"])
+    lines = text.splitlines()
+    assert lines[0].split() == ["workload", "cycles"]
+    assert lines[1] == "--------  ------"
+    assert len(lines) == 2
+
+
+def test_format_table_rows_align_and_format_floats():
+    text = format_table(
+        [{"workload": "x", "cycles": 1.23456}, {"workload": "longer-name", "cycles": 2}],
+        ["workload", "cycles"],
+    )
+    lines = text.splitlines()
+    assert "1.235" in lines[2]
+    assert lines[3].startswith("longer-name")
+
+
+# --------------------------------------------------------------------------- #
+# geometric_mean
+# --------------------------------------------------------------------------- #
+def test_geometric_mean_rejects_negatives():
+    with pytest.raises(ValueError, match="negative"):
+        geometric_mean([1.0, -2.0, 4.0])
+
+
+def test_geometric_mean_skips_zeros_and_handles_empty():
+    assert geometric_mean([0.0, 2.0, 8.0]) == pytest.approx(4.0)
+    assert geometric_mean([]) == 0.0
+    assert geometric_mean([0.0]) == 0.0
+
+
+def test_geometric_mean_plain_values():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geometric_mean([3.0]) == pytest.approx(3.0)

@@ -1,0 +1,102 @@
+"""Parallel preparation and simulation must match the serial path exactly."""
+
+from repro.experiments.runner import prepare_workload, simulation_key
+from repro.pipeline import ExperimentPipeline, SimulationPoint, prepare_workloads_parallel, simulate_points
+from repro.uarch.config import CoreConfig
+
+NAMES = ["ChaCha20_ct", "SHA-256"]
+SMALL_CORE = CoreConfig(rob_size=64, fetch_width=4)
+
+
+def test_parallel_prepare_matches_serial():
+    parallel = prepare_workloads_parallel(NAMES, jobs=2)
+    serial = [prepare_workload(name) for name in NAMES]
+    for par, ser in zip(parallel, serial):
+        assert par.name == ser.name
+        assert par.result.instruction_count == ser.result.instruction_count
+        assert set(par.bundle.branches) == set(ser.bundle.branches)
+        assert par.analysis.branch_count == ser.analysis.branch_count
+        assert par.simulate("cassandra").cycles == ser.simulate("cassandra").cycles
+
+
+def test_parallel_prepare_warms_shared_disk_cache(artifact_cache):
+    prepare_workloads_parallel(NAMES, cache=artifact_cache, jobs=2)
+    # Workers persisted the payloads; a cold in-memory cache over the same
+    # root must hit for every workload.
+    from repro.pipeline import ArtifactCache
+
+    warm = ArtifactCache(root=artifact_cache.root)
+    for name in NAMES:
+        prepare_workload(name, cache=warm)
+    assert warm.stats.hits == len(NAMES)
+    assert warm.stats.misses == 0
+
+
+def test_simulate_points_parallel_matches_serial():
+    points = [
+        SimulationPoint(workload=name, design=design)
+        for name in NAMES
+        for design in ("unsafe-baseline", "cassandra")
+    ] + [
+        SimulationPoint(workload=NAMES[0], design="unsafe-baseline", config=SMALL_CORE),
+        SimulationPoint(workload=NAMES[0], design="cassandra", btu_flush_interval=300),
+    ]
+
+    par_artifacts = [prepare_workload(name) for name in NAMES]
+    computed = simulate_points(par_artifacts, points, jobs=2)
+    assert computed == len(points)
+
+    ser_artifacts = [prepare_workload(name) for name in NAMES]
+    assert simulate_points(ser_artifacts, points, jobs=1) == len(points)
+
+    for par, ser in zip(par_artifacts, ser_artifacts):
+        assert set(par.simulations) == set(ser.simulations)
+        for key, result in par.simulations.items():
+            assert result.cycles == ser.simulations[key].cycles
+            assert result.stats.instructions == ser.simulations[key].stats.instructions
+            assert result.stats.bpu_mispredicted == ser.simulations[key].stats.bpu_mispredicted
+
+    # Every point landed in the memo: re-running is a no-op...
+    assert simulate_points(par_artifacts, points, jobs=2) == 0
+    # ...and simulate() returns the memoized object without recomputing.
+    small = par_artifacts[0].simulate("unsafe-baseline", config=SMALL_CORE)
+    assert small is par_artifacts[0].simulations[
+        simulation_key("unsafe-baseline", config=SMALL_CORE)
+    ]
+    # The non-default config got its own, slower result (stale-cache fix).
+    assert small.cycles > par_artifacts[0].simulate("unsafe-baseline").cycles
+
+
+def test_pipeline_single_artifact_prepares_only_that_workload(artifact_cache):
+    pipeline = ExperimentPipeline(names=NAMES, cache=artifact_cache, jobs=1)
+    artifact = pipeline.artifact(NAMES[0])
+    assert artifact.name == NAMES[0]
+    assert pipeline.stats()["prepared"] == 1  # the other workload stayed cold
+
+
+def test_code_fingerprint_is_stable_and_in_digests():
+    from repro.analysis.tracegen import TraceParameters
+    from repro.crypto.workloads import get_workload
+    from repro.pipeline.hashing import code_fingerprint
+    from repro.pipeline.parallel import workload_artifact_digest
+
+    first = code_fingerprint()
+    assert first == code_fingerprint()
+    assert len(first) == 24 and int(first, 16) >= 0
+    kernel = get_workload(NAMES[0]).kernel()
+    digest = workload_artifact_digest(kernel, TraceParameters())
+    assert digest == workload_artifact_digest(kernel, TraceParameters())
+
+
+def test_pipeline_prefetch_and_stats(artifact_cache):
+    pipeline = ExperimentPipeline(names=NAMES, cache=artifact_cache, jobs=2)
+    artifacts = pipeline.artifacts()
+    assert [artifact.name for artifact in artifacts] == NAMES
+    assert pipeline.artifacts() is not None  # second call: all memoized
+    computed = pipeline.prefetch_designs(["unsafe-baseline", "cassandra"])
+    assert computed == 4
+    assert pipeline.prefetch_designs(["unsafe-baseline", "cassandra"]) == 0
+    stats = pipeline.stats()
+    assert stats["prepared"] == len(NAMES)
+    assert stats["points_simulated"] == 4
+    assert stats["cache_dir"] == artifact_cache.root
