@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Benchmark the columnar engine against the legacy per-point path.
+
+Times the *simulation phase* of the quick suite — every built-in design on
+every quick workload, plus the interrupt study's BTU-flush point — two ways:
+
+* **legacy** — the seed per-point path: the object-based reference loop
+  (:meth:`CoreModel.run_reference`) with a full warm-up pass per policy;
+* **engine** — one :func:`repro.engine.batch.simulate_batch` call per
+  workload sharing the columnar lowering and the warm-up component state.
+
+Both paths run cold (no simulation memos); preparation (sequential execution
++ trace generation) is shared and excluded from the timed region, since it
+is identical for both.  The script verifies bit-for-bit parity between the
+two paths and **exits non-zero on any mismatch**, which is the CI gate; the
+timing JSON (written to ``--output``) records the speedup::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --output BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.engine.batch import BatchStats, PointSpec, simulate_batch
+from repro.experiments.interrupts import DEFAULT_FLUSH_INTERVAL
+from repro.experiments.runner import DESIGN_BUILDERS, QUICK_WORKLOADS, prepare_workload
+from repro.pipeline.artifacts import ArtifactCache
+from repro.uarch.core import CoreModel
+
+ALL_DESIGNS = tuple(DESIGN_BUILDERS)
+
+#: (design, btu_flush_interval) simulation points per workload.
+POINTS = [(design, None) for design in ALL_DESIGNS] + [
+    ("cassandra", DEFAULT_FLUSH_INTERVAL)
+]
+
+
+def run_legacy(artifact) -> Dict[tuple, Dict[str, object]]:
+    results = {}
+    for design, flush in POINTS:
+        core = CoreModel(
+            policy=DESIGN_BUILDERS[design](artifact.bundle),
+            bundle=artifact.bundle,
+            btu_flush_interval=flush,
+        )
+        core.run_reference(artifact.result.dynamic)
+        core.reset_stats()
+        results[(design, flush)] = core.run_reference(artifact.result.dynamic).stats.as_dict()
+    return results
+
+
+def run_engine(artifact, batch_stats: BatchStats) -> Dict[tuple, Dict[str, object]]:
+    specs = [
+        PointSpec(policy=DESIGN_BUILDERS[design](artifact.bundle), btu_flush_interval=flush)
+        for design, flush in POINTS
+    ]
+    simulations = simulate_batch(
+        artifact.result, artifact.bundle, specs, batch_stats=batch_stats
+    )
+    return {point: sim.stats.as_dict() for point, sim in zip(POINTS, simulations)}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_engine.json", metavar="PATH")
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="artifact cache for preparation (cold on first run, warm after)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fail unless engine speedup reaches this factor (0 disables)",
+    )
+    args = parser.parse_args(argv)
+
+    cache = ArtifactCache(root=args.cache_dir) if args.cache_dir else None
+
+    prepare_start = time.perf_counter()
+    artifacts = [prepare_workload(name, cache=cache) for name in QUICK_WORKLOADS]
+    prepare_seconds = time.perf_counter() - prepare_start
+
+    per_workload = []
+    mismatches = []
+    legacy_total = engine_total = 0.0
+    for artifact in artifacts:
+        start = time.perf_counter()
+        legacy = run_legacy(artifact)
+        legacy_seconds = time.perf_counter() - start
+
+        # Cold engine run: drop the lowering memo so the batch pays for it.
+        if hasattr(artifact.result, "_lowered_trace"):
+            del artifact.result._lowered_trace
+        batch_stats = BatchStats()
+        start = time.perf_counter()
+        engine = run_engine(artifact, batch_stats)
+        engine_seconds = time.perf_counter() - start
+
+        for point in POINTS:
+            if legacy[point] != engine[point]:
+                diffs = {
+                    key: (legacy[point][key], engine[point][key])
+                    for key in legacy[point]
+                    if legacy[point][key] != engine[point][key]
+                }
+                mismatches.append({"workload": artifact.name, "point": list(point), "diffs": repr(diffs)})
+
+        legacy_total += legacy_seconds
+        engine_total += engine_seconds
+        per_workload.append(
+            {
+                "workload": artifact.name,
+                "instructions": len(artifact.result.dynamic),
+                "points": len(POINTS),
+                "legacy_seconds": round(legacy_seconds, 4),
+                "engine_seconds": round(engine_seconds, 4),
+                "speedup": round(legacy_seconds / engine_seconds, 2)
+                if engine_seconds
+                else None,
+                "batch": batch_stats.as_dict(),
+            }
+        )
+
+    speedup = legacy_total / engine_total if engine_total else 0.0
+    report = {
+        "suite": "quick",
+        "workloads": list(QUICK_WORKLOADS),
+        "points_per_workload": len(POINTS),
+        "prepare_seconds": round(prepare_seconds, 3),
+        "prepare_cache": "warm" if cache is not None and cache.stats.hits else (
+            "cold" if cache is not None else "uncached"
+        ),
+        "legacy_seconds": round(legacy_total, 3),
+        "engine_seconds": round(engine_total, 3),
+        "speedup": round(speedup, 2),
+        "parity": "ok" if not mismatches else "MISMATCH",
+        "mismatches": mismatches,
+        "per_workload": per_workload,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(
+        f"legacy {legacy_total:.2f}s  engine {engine_total:.2f}s  "
+        f"speedup {speedup:.2f}x  parity {'ok' if not mismatches else 'MISMATCH'}"
+    )
+    if mismatches:
+        print(f"{len(mismatches)} parity mismatch(es); see {args.output}", file=sys.stderr)
+        return 1
+    if args.min_speedup and speedup < args.min_speedup:
+        print(
+            f"speedup {speedup:.2f}x below required {args.min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -98,6 +98,8 @@ def _prefetch_points(specs: Sequence[ExperimentSpec], names: Sequence[str]) -> L
                         workload=name, design=design, btu_flush_interval=flush_interval
                     )
                 )
+        if spec.extra_points is not None:
+            points.extend(spec.extra_points(names))
     return points
 
 
@@ -129,6 +131,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     for spec in specs:
         if spec.uses_artifacts:
             data = spec.run(artifacts=artifacts)
+        elif spec.wants_pipeline:
+            data = spec.run(pipeline=pipeline)
         elif spec.wants_cache:
             data = spec.run(cache=pipeline.cache)
         else:

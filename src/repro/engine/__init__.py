@@ -1,0 +1,69 @@
+"""``repro.engine`` — the columnar simulation engine.
+
+This package lowers the timing model onto flat integer columns so that the
+policy-independent cost of walking a workload's dynamic instruction stream
+is paid once per workload instead of once per simulation point.
+
+The layer contract, bottom to top:
+
+1. :mod:`repro.engine.lowering` — :func:`~repro.engine.lowering.lower_execution`
+   turns an :class:`~repro.arch.executor.ExecutionResult` into a
+   :class:`~repro.engine.lowering.LoweredTrace`: parallel lists of opcode
+   latency classes, renamed register indices, memory word addresses, branch
+   classes, and a flag bitmask.  **The lowering is policy- and
+   config-independent** — one lowering serves every (policy × config ×
+   flush-interval) point of a sweep, and it is cacheable on disk as the
+   ``lowered-trace`` artifact kind.
+2. :mod:`repro.engine.engine` — :func:`~repro.engine.engine.run_trace`
+   replays a lowered trace under an
+   :class:`~repro.uarch.defenses.base.EnginePolicySpec` with cycle
+   accounting bit-identical to the object-based reference loop
+   (:meth:`repro.uarch.core.CoreModel.run_reference`).
+3. :mod:`repro.engine.warmup` — component-wise warm-state construction:
+   the icache / d-cache / BPU / BTU training effect of an untimed warm-up
+   pass is computed by cheap program-order replays, snapshotted once per
+   (workload × config), and restored into every policy's measured pass.
+4. :mod:`repro.engine.batch` — :func:`~repro.engine.batch.simulate_batch`:
+   one call simulates many (policy × flush-interval × warm-up) points over
+   a shared lowering and shared warm state, returning
+   :class:`~repro.uarch.core.SimulationResult` objects bit-identical to the
+   legacy per-point path.
+"""
+
+# Only the dependency-free lowering layer is imported eagerly.  The engine /
+# warm-up / batch modules import the unit models from ``repro.uarch``, whose
+# own modules import ``repro.engine.lowering`` — an eager import here would
+# re-enter the partially-initialized ``repro.uarch`` package and crash, so
+# the heavier layers are exposed as lazy (PEP 562) attributes instead.
+from repro.engine.lowering import (
+    LOWERING_FORMAT_VERSION,
+    LoweredTrace,
+    lower_dynamic,
+    lower_execution,
+)
+
+_LAZY_EXPORTS = {
+    "run_trace": ("repro.engine.engine", "run_trace"),
+    "WarmStateBuilder": ("repro.engine.warmup", "WarmStateBuilder"),
+    "BatchStats": ("repro.engine.batch", "BatchStats"),
+    "PointSpec": ("repro.engine.batch", "PointSpec"),
+    "simulate_batch": ("repro.engine.batch", "simulate_batch"),
+}
+
+__all__ = [
+    "LOWERING_FORMAT_VERSION",
+    "LoweredTrace",
+    "lower_dynamic",
+    "lower_execution",
+    *_LAZY_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)

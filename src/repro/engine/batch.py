@@ -1,0 +1,177 @@
+"""Multi-point batched simulation over one shared lowering.
+
+:func:`simulate_batch` is the engine's front door for sweeps: given one
+workload's sequential execution and trace bundle, it times any number of
+(policy × config × BTU-flush × warm-up) points while paying the
+policy-independent work once —
+
+* the columnar lowering is computed (or taken from the caller's artifact
+  cache) a single time;
+* warm-up state is built component-wise per (config, component class,
+  passes) by :class:`~repro.engine.warmup.WarmStateBuilder` and *restored*
+  into each point's units instead of being re-simulated per policy;
+* only points whose warm-up is genuinely cycle-dependent (an active BTU
+  flush interval under a trace-replaying policy) run private full warm-up
+  passes, and those run on the fast engine too.
+
+Results are bit-identical to the legacy one-point-at-a-time path
+(``tests/engine/test_parity.py``).  Policies without an engine spec fall
+back to the object-based reference loop, still inside the same batch call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tracegen import TraceBundle
+from repro.arch.executor import ExecutionResult
+from repro.engine.lowering import LoweredTrace, lower_execution
+from repro.engine.warmup import WarmStateBuilder
+from repro.uarch.btu import BranchTraceUnit
+from repro.uarch.config import GOLDEN_COVE_LIKE, CoreConfig
+from repro.uarch.defenses.base import DefensePolicy
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One simulation point of a batch (the workload is implied by the call).
+
+    ``config=None`` selects the batch-level default config.
+    """
+
+    policy: DefensePolicy
+    config: Optional[CoreConfig] = None
+    btu_flush_interval: Optional[int] = None
+    warmup_passes: int = 1
+
+
+@dataclass
+class BatchStats:
+    """Work counters proving what the batch shared (asserted by tests)."""
+
+    points: int = 0
+    #: Columnar lowerings computed by this batch (0 when already memoized).
+    lowerings: int = 0
+    #: Measured engine passes (one per non-fallback point).
+    measured_passes: int = 0
+    #: Private full warm-up passes (cycle-dependent BTU-flush points, and
+    #: forwarding-allowed points when the shared d-cache replay is not
+    #: provably exact for this trace).
+    full_warmup_passes: int = 0
+    #: Component replay walks by the warm-state builders (shared across points).
+    warmup_component_walks: int = 0
+    #: Points warmed privately because store forwarding could skew the
+    #: shared d-cache state (see WarmStateBuilder.forwarding_shareable).
+    forwarding_private_points: int = 0
+    #: Points that took the object-loop fallback (policy without a spec).
+    fallback_points: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "points": self.points,
+            "lowerings": self.lowerings,
+            "measured_passes": self.measured_passes,
+            "full_warmup_passes": self.full_warmup_passes,
+            "warmup_component_walks": self.warmup_component_walks,
+            "forwarding_private_points": self.forwarding_private_points,
+            "fallback_points": self.fallback_points,
+        }
+
+
+def simulate_batch(
+    result: ExecutionResult,
+    bundle: Optional[TraceBundle],
+    points: Sequence[PointSpec],
+    config: CoreConfig = GOLDEN_COVE_LIKE,
+    trace: Optional[LoweredTrace] = None,
+    program_name: Optional[str] = None,
+    batch_stats: Optional[BatchStats] = None,
+) -> List["SimulationResult"]:  # noqa: F821 - imported lazily (cycle guard)
+    """Simulate every point over one shared lowering; results in point order."""
+    from repro.uarch.core import CoreModel  # lazy: core imports the engine
+
+    stats = batch_stats if batch_stats is not None else BatchStats()
+
+    if trace is None:
+        already_lowered = getattr(result, "_lowered_trace", None) is not None
+        trace = lower_execution(result)
+        if not already_lowered:
+            stats.lowerings += 1
+    else:
+        # Seed the memo so per-point paths sharing this result reuse it too.
+        result._lowered_trace = trace  # type: ignore[attr-defined]
+
+    hint_table = bundle.hint_table if bundle is not None else None
+    builders: Dict[tuple, WarmStateBuilder] = {}
+
+    def builder_for(point_config: CoreConfig) -> WarmStateBuilder:
+        key = point_config.identity()
+        builder = builders.get(key)
+        if builder is None:
+
+            def btu_factory() -> BranchTraceUnit:
+                traces = bundle.hardware_traces() if bundle is not None else {}
+                return BranchTraceUnit(point_config.btu, traces, hint_table)
+
+            builder = WarmStateBuilder(trace, point_config, hint_table, btu_factory)
+            builders[key] = builder
+        return builder
+
+    simulations: List = []
+    for point in points:
+        point_config = point.config if point.config is not None else config
+        core = CoreModel(
+            config=point_config,
+            policy=point.policy,
+            bundle=bundle,
+            btu_flush_interval=point.btu_flush_interval,
+        )
+        spec = point.policy.engine_spec()
+        passes = max(point.warmup_passes, 0)
+        stats.points += 1
+
+        if spec is None:
+            # Object-loop fallback: warm up and measure exactly like the
+            # legacy per-point path.
+            stats.fallback_points += 1
+            for _ in range(passes):
+                core.run(result.dynamic)
+                core.reset_stats()
+            simulation = core.run(result.dynamic)
+        else:
+            # BTU flushes trigger on commit cycles, so a flush point's warm
+            # BTU state depends on its own timing; and a policy that allows
+            # store-to-load forwarding may skip forwarded loads' d-cache
+            # accesses during warm-up, which the shared replay can only
+            # reproduce when the trace provably has no access pattern where
+            # the skip matters.  Either way the point warms up privately —
+            # still on the engine, still over the shared lowering.
+            flush_private = (
+                point.btu_flush_interval is not None and spec.btu_warm_class == "replay"
+            )
+            forwarding_private = (
+                passes > 0
+                and spec.allow_store_forwarding
+                and not builder_for(point_config).forwarding_shareable()
+            )
+            if forwarding_private:
+                stats.forwarding_private_points += 1
+            if flush_private or forwarding_private:
+                for _ in range(passes):
+                    core.run(trace)
+                    core.reset_stats()
+                    stats.full_warmup_passes += 1
+            elif passes:
+                builder_for(point_config).warm_units(
+                    spec, passes, core.bpu, core.caches, core.icache, core.btu
+                )
+            simulation = core.run(trace)
+            stats.measured_passes += 1
+
+        if program_name is not None:
+            simulation.program_name = program_name
+        simulations.append(simulation)
+
+    stats.warmup_component_walks += sum(b.component_walks for b in builders.values())
+    return simulations

@@ -1,0 +1,464 @@
+"""The columnar timing engine.
+
+:func:`run_trace` replays one :class:`~repro.engine.lowering.LoweredTrace`
+through the exact cycle-accounting semantics of the object-based reference
+loop (:meth:`repro.uarch.core.CoreModel.run_reference`), but over parallel
+integer columns with the hot structures inlined:
+
+* the L1I and L1D hit paths are folded into the loop (set lists manipulated
+  directly, statistics counted in local integers and written back once);
+* per-register readiness is a flat list indexed by the lowered rename
+  indices instead of a name-keyed dict;
+* the defense policy is pre-lowered to an
+  :class:`~repro.uarch.defenses.base.EnginePolicySpec` — issue gating is a
+  flag-mask test, store-forwarding allowance is a loop constant, and the
+  branch fetch flows are inlined per policy kind, with Cassandra's per-PC
+  branch classification resolved lazily into a dict the first time each
+  static branch is seen.
+
+The engine is required to be **bit-identical** to the reference loop for
+every policy that provides a spec; ``tests/engine/test_parity.py`` asserts
+it across the quick suite.  Any behavioural change here must be mirrored in
+``CoreModel.run_reference`` and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.hints import HintTable
+from repro.engine.lowering import (
+    F_BRANCH,
+    F_CRYPTO,
+    F_LOAD,
+    F_STORE,
+    F_TAKEN,
+    LoweredTrace,
+)
+from repro.uarch.bpu import BranchPredictionUnit
+from repro.uarch.btu import BranchTraceUnit
+from repro.uarch.caches import CacheHierarchy, InstructionCache
+from repro.uarch.config import CoreConfig
+from repro.uarch.defenses.base import EnginePolicySpec
+from repro.uarch.defenses.cassandra import ReplayMismatchError
+from repro.uarch.stats import PipelineStats
+
+# Cassandra per-PC branch classes (resolved lazily per static branch).
+_CLS_NONCRYPTO = 0
+_CLS_SINGLE = 1
+_CLS_TRACED = 2
+_CLS_STALL = 3
+
+
+def crypto_pc_table(hint_table: Optional[HintTable], max_pc: int) -> bytearray:
+    """A flat ``pc -> in-crypto-range`` table for the integrity check."""
+    table = bytearray(max_pc + 2)
+    if hint_table is not None:
+        size = len(table)
+        for start, end in hint_table.crypto_ranges:
+            start = max(start, 0)
+            end = min(end, size)
+            for pc in range(start, end):
+                table[pc] = 1
+    return table
+
+
+def _classify_cassandra_branch(
+    pc: int,
+    flags: int,
+    crypto_pcs: bytearray,
+    hint_table: HintTable,
+    btu: BranchTraceUnit,
+    lite: bool,
+) -> Tuple[int, Optional[int]]:
+    """The Section 5.3 fetch-flow selection for one static crypto branch."""
+    if not (flags & F_CRYPTO or crypto_pcs[pc]):
+        return _CLS_NONCRYPTO, None
+    hint = hint_table.lookup(pc)
+    if hint is not None and hint.single_target:
+        return _CLS_SINGLE, (None if lite else hint.single_target_pc)
+    if not lite and hint is not None and hint.has_trace and btu.has_trace(pc):
+        return _CLS_TRACED, None
+    return _CLS_STALL, None
+
+
+def run_trace(
+    trace: LoweredTrace,
+    config: CoreConfig,
+    spec: EnginePolicySpec,
+    bpu: BranchPredictionUnit,
+    caches: CacheHierarchy,
+    icache: InstructionCache,
+    btu: BranchTraceUnit,
+    hint_table: Optional[HintTable],
+    stats: PipelineStats,
+    btu_flush_interval: Optional[int] = None,
+) -> None:
+    """Simulate ``trace`` under ``spec``, mutating units and ``stats``.
+
+    State semantics match the reference loop exactly: predictor/cache/BTU
+    contents carry over from whatever the units already hold (warm-up), and
+    the monotone counters in ``stats`` are incremented while the absolute
+    fields (``cycles``, ``instructions``, BPU totals, ``extra``) are
+    overwritten.
+    """
+    # ---------------- config / unit locals ---------------- #
+    fetch_width = config.fetch_width
+    frontend_depth = config.frontend_depth
+    rob_size = config.rob_size
+    issue_width = config.issue_width
+    commit_width = config.commit_width
+    mispredict_penalty = config.mispredict_penalty
+    sq_size = config.sq_size
+    store_forward_latency = config.store_forward_latency
+    word_bytes = config.word_bytes
+    lat_table = (
+        config.alu_latency,
+        config.mul_latency,
+        config.div_latency,
+        config.store_latency,
+        config.branch_resolve_latency,
+    )
+
+    # Inlined L1I (accessed once per instruction).
+    l1i_sets = icache.cache._sets
+    l1i_cfg = config.l1i
+    l1i_nsets = l1i_cfg.num_sets
+    l1i_assoc = l1i_cfg.associativity
+    l1i_line = l1i_cfg.line_bytes
+    i_bytes = icache.instruction_bytes
+    l1i_miss_latency = config.l2.latency
+    l1i_acc = l1i_hit = l1i_miss = 0
+
+    # Inlined L1D hit path; L2/L3 go through the shared Cache objects.
+    l1d_sets = caches.l1d._sets
+    l1d_cfg = config.l1d
+    l1d_nsets = l1d_cfg.num_sets
+    l1d_assoc = l1d_cfg.associativity
+    l1d_line = l1d_cfg.line_bytes
+    l1d_latency = l1d_cfg.latency
+    l2_latency = config.l2.latency
+    l3_latency = config.l3.latency
+    memory_latency = config.memory_latency
+    l2_access = caches.l2.access
+    l3_access = caches.l3.access
+    l1d_acc = l1d_hit = l1d_miss = 0
+
+    bpu_predict = bpu.predict_class
+    bpu_update = bpu.update_class
+    btu_lookup = btu.lookup
+    btu_commit = btu.commit
+    btu_flush = btu.flush
+
+    # ---------------- policy locals ---------------- #
+    gate_mask = spec.gate_mask
+    allow_fwd = spec.allow_store_forwarding
+    kind_cassandra = spec.kind == "cassandra"
+    lite = spec.lite
+    if kind_cassandra and hint_table is None:
+        raise ValueError("cassandra-kind engine specs require a hint table")
+    crypto_pcs = crypto_pc_table(hint_table, trace.max_pc) if kind_cassandra else b""
+    crypto_pcs_len = len(crypto_pcs)
+    branch_plan: Dict[int, Tuple[int, Optional[int]]] = {}
+
+    # ---------------- pipeline state ---------------- #
+    reg_ready = [0] * trace.num_regs
+    commit_cycles: list = []
+    cc_append = commit_cycles.append
+    store_inflight: Dict[int, Tuple[int, int]] = {}
+    issue_busy: Dict[int, int] = {}
+    fetch_cycle = 0
+    fetched_this_cycle = 0
+    fetch_not_before = 0
+    last_commit_cycle = 0
+    committed_this_cycle = 0
+    window_resolve_cycle = 0
+    next_btu_flush = btu_flush_interval if btu_flush_interval else None
+    index = 0
+
+    # ---------------- statistics locals ---------------- #
+    n_loads = n_stores = n_forwards = n_stl_blocked = 0
+    n_delayed = delay_cycles = 0
+    n_branches = n_crypto_branches = 0
+    squash_cycles = fetch_stall_cycles = 0
+    n_single_target = n_btu_replayed = n_btu_misses = n_btu_prefetches = 0
+    n_fetch_stall_branches = n_integrity = 0
+
+    for pc, npc, dst, s0, s1, s2, addr, fl, lc, bc in zip(*trace.columns()):
+        # ---------------------------- FETCH ---------------------------- #
+        candidate = fetch_cycle if fetch_cycle > fetch_not_before else fetch_not_before
+        line = (pc * i_bytes) // l1i_line
+        ways = l1i_sets[line % l1i_nsets]
+        tag = line // l1i_nsets
+        l1i_acc += 1
+        if tag in ways:
+            l1i_hit += 1
+            ways.remove(tag)
+            ways.append(tag)
+        else:
+            l1i_miss += 1
+            ways.append(tag)
+            if len(ways) > l1i_assoc:
+                del ways[0]
+            candidate += l1i_miss_latency
+        if candidate > fetch_cycle:
+            fetch_cycle = candidate
+            fetched_this_cycle = 0
+        if fetched_this_cycle >= fetch_width:
+            fetch_cycle += 1
+            fetched_this_cycle = 0
+        fetched_this_cycle += 1
+        this_fetch = fetch_cycle
+
+        # ------------------------- DISPATCH ---------------------------- #
+        dispatch_cycle = this_fetch + frontend_depth
+        if index >= rob_size:
+            bound = commit_cycles[index - rob_size]
+            if bound > dispatch_cycle:
+                dispatch_cycle = bound
+
+        # -------------------------- OPERANDS --------------------------- #
+        ready = dispatch_cycle
+        if s0 >= 0:
+            t = reg_ready[s0]
+            if t > ready:
+                ready = t
+            if s1 >= 0:
+                t = reg_ready[s1]
+                if t > ready:
+                    ready = t
+                if s2 >= 0:
+                    t = reg_ready[s2]
+                    if t > ready:
+                        ready = t
+
+        exec_latency = lat_table[lc]
+        if fl & F_LOAD:
+            n_loads += 1
+            inflight = store_inflight.get(addr)
+            # A prior store only forwards while it still occupies the
+            # store queue (it has not committed before this load reaches
+            # the backend); older stores are served by the cache.
+            if inflight is not None and inflight[1] <= dispatch_cycle:
+                inflight = None
+            if inflight is not None and allow_fwd:
+                n_forwards += 1
+                t = inflight[0]
+                if t > ready:
+                    ready = t
+                exec_latency = store_forward_latency
+            else:
+                if inflight is not None:
+                    n_stl_blocked += 1
+                    t = inflight[1]
+                    if t > ready:
+                        ready = t
+                address = addr * word_bytes
+                line = address // l1d_line
+                ways = l1d_sets[line % l1d_nsets]
+                tag = line // l1d_nsets
+                l1d_acc += 1
+                if tag in ways:
+                    l1d_hit += 1
+                    ways.remove(tag)
+                    ways.append(tag)
+                    exec_latency = l1d_latency
+                else:
+                    l1d_miss += 1
+                    ways.append(tag)
+                    if len(ways) > l1d_assoc:
+                        del ways[0]
+                    exec_latency = l1d_latency + l2_latency
+                    if not l2_access(address):
+                        exec_latency += l3_latency
+                        if not l3_access(address):
+                            exec_latency += memory_latency
+        elif fl & F_STORE:
+            n_stores += 1
+
+        # ------------------------ DEFENSE GATE -------------------------- #
+        if fl & gate_mask and window_resolve_cycle > ready:
+            n_delayed += 1
+            delay_cycles += window_resolve_cycle - ready
+            ready = window_resolve_cycle
+
+        # --------------------------- ISSUE ------------------------------ #
+        issue_cycle = ready
+        busy = issue_busy.get(issue_cycle, 0)
+        while busy >= issue_width:
+            issue_cycle += 1
+            busy = issue_busy.get(issue_cycle, 0)
+        issue_busy[issue_cycle] = busy + 1
+
+        complete_cycle = issue_cycle + exec_latency
+
+        if dst >= 0:
+            reg_ready[dst] = complete_cycle
+        if fl & F_STORE:
+            # Stores install the line; commit-time latency is hidden by the SQ.
+            address = addr * word_bytes
+            line = address // l1d_line
+            ways = l1d_sets[line % l1d_nsets]
+            tag = line // l1d_nsets
+            l1d_acc += 1
+            if tag in ways:
+                l1d_hit += 1
+                ways.remove(tag)
+                ways.append(tag)
+            else:
+                l1d_miss += 1
+                ways.append(tag)
+                if len(ways) > l1d_assoc:
+                    del ways[0]
+                if not l2_access(address):
+                    l3_access(address)
+
+        # --------------------------- COMMIT ----------------------------- #
+        commit_cycle = complete_cycle + 1
+        if commit_cycle < last_commit_cycle:
+            commit_cycle = last_commit_cycle
+        if commit_cycle == last_commit_cycle and committed_this_cycle >= commit_width:
+            commit_cycle += 1
+        if commit_cycle > last_commit_cycle:
+            last_commit_cycle = commit_cycle
+            committed_this_cycle = 0
+        committed_this_cycle += 1
+        cc_append(commit_cycle)
+        index += 1
+        if fl & F_STORE:
+            store_inflight[addr] = (complete_cycle, commit_cycle)
+            if len(store_inflight) > sq_size:
+                del store_inflight[next(iter(store_inflight))]
+        if kind_cassandra and fl & F_BRANCH and (fl & F_CRYPTO or crypto_pcs[pc]):
+            btu_commit(pc)
+
+        # -------------------------- BRANCHES ---------------------------- #
+        if fl & F_BRANCH:
+            n_branches += 1
+            if fl & F_CRYPTO:
+                n_crypto_branches += 1
+            resolve_cycle = complete_cycle
+
+            if kind_cassandra:
+                plan = branch_plan.get(pc)
+                if plan is None:
+                    plan = _classify_cassandra_branch(
+                        pc, fl, crypto_pcs, hint_table, btu, lite
+                    )
+                    branch_plan[pc] = plan
+                cls, single_target_pc = plan
+
+                if cls == _CLS_NONCRYPTO:
+                    predicted = bpu_predict(bc, pc, npc)
+                    bpu_update(bc, pc, npc, (fl & F_TAKEN) != 0, predicted)
+                    if (predicted < crypto_pcs_len and crypto_pcs[predicted]) or crypto_pcs[npc]:
+                        # Speculative redirection into crypto code is
+                        # forbidden (Scenarios 5 and 6 of Table 2).  The
+                        # reference loop counts this stall twice — once in
+                        # the fetch flow, once in branch accounting — and
+                        # parity preserves that.
+                        n_integrity += 2
+                        stall_target = resolve_cycle + 1
+                        d = stall_target - this_fetch
+                        if d > 0:
+                            fetch_stall_cycles += d
+                        if stall_target > fetch_not_before:
+                            fetch_not_before = stall_target
+                    else:
+                        if predicted != npc:
+                            redirect = resolve_cycle + mispredict_penalty
+                            d = redirect - this_fetch
+                            if d > 0:
+                                squash_cycles += d
+                            if redirect > fetch_not_before:
+                                fetch_not_before = redirect
+                        if resolve_cycle > window_resolve_cycle:
+                            window_resolve_cycle = resolve_cycle
+                elif cls == _CLS_SINGLE:
+                    n_single_target += 1
+                    if single_target_pc is not None and single_target_pc != npc:
+                        raise ReplayMismatchError(
+                            f"single-target hint for PC {pc} points at "
+                            f"{single_target_pc} but execution went to {npc}"
+                        )
+                elif cls == _CLS_TRACED:
+                    lookup = btu_lookup(pc)
+                    n_btu_replayed += 1
+                    if not lookup.hit:
+                        n_btu_misses += 1
+                    if lookup.prefetched:
+                        n_btu_prefetches += 1
+                    if lookup.target != npc:
+                        raise ReplayMismatchError(
+                            f"BTU replay for PC {pc} produced target {lookup.target} "
+                            f"but the sequential execution went to {npc}"
+                        )
+                    extra = lookup.extra_latency
+                    if extra:
+                        t = this_fetch + extra
+                        if t > fetch_not_before:
+                            fetch_not_before = t
+                else:  # _CLS_STALL: input-dependent branch or missing trace
+                    n_fetch_stall_branches += 1
+                    stall_target = resolve_cycle + 1
+                    d = stall_target - this_fetch
+                    if d > 0:
+                        fetch_stall_cycles += d
+                    if stall_target > fetch_not_before:
+                        fetch_not_before = stall_target
+            else:
+                predicted = bpu_predict(bc, pc, npc)
+                bpu_update(bc, pc, npc, (fl & F_TAKEN) != 0, predicted)
+                if predicted != npc:
+                    redirect = resolve_cycle + mispredict_penalty
+                    d = redirect - this_fetch
+                    if d > 0:
+                        squash_cycles += d
+                    if redirect > fetch_not_before:
+                        fetch_not_before = redirect
+                if resolve_cycle > window_resolve_cycle:
+                    window_resolve_cycle = resolve_cycle
+
+        # ----------------------- PERIODIC BTU FLUSH --------------------- #
+        if next_btu_flush is not None and last_commit_cycle >= next_btu_flush:
+            btu_flush()
+            next_btu_flush += btu_flush_interval  # type: ignore[operator]
+
+    # ---------------- statistics write-back ---------------- #
+    icache_stats = icache.cache.stats
+    icache_stats.accesses += l1i_acc
+    icache_stats.hits += l1i_hit
+    icache_stats.misses += l1i_miss
+    l1d_stats = caches.l1d.stats
+    l1d_stats.accesses += l1d_acc
+    l1d_stats.hits += l1d_hit
+    l1d_stats.misses += l1d_miss
+
+    stats.fetched_instructions += index
+    stats.renamed_instructions += index
+    stats.issued_instructions += index
+    stats.committed_instructions += index
+    stats.loads += n_loads
+    stats.stores += n_stores
+    stats.store_forwards += n_forwards
+    stats.stl_blocked += n_stl_blocked
+    stats.delayed_instructions += n_delayed
+    stats.delay_cycles += delay_cycles
+    stats.branches += n_branches
+    stats.crypto_branches += n_crypto_branches
+    stats.squash_cycles += squash_cycles
+    stats.fetch_stall_cycles += fetch_stall_cycles
+    stats.single_target_branches += n_single_target
+    stats.btu_replayed += n_btu_replayed
+    stats.btu_misses += n_btu_misses
+    stats.btu_prefetches += n_btu_prefetches
+    stats.fetch_stall_branches += n_fetch_stall_branches
+    stats.integrity_stall_branches += n_integrity
+
+    stats.instructions = index
+    stats.cycles = last_commit_cycle
+    stats.bpu_predicted = bpu.stats.lookups
+    stats.bpu_mispredicted = bpu.stats.total_mispredictions
+    stats.extra["l1d_miss_rate"] = caches.l1d.stats.miss_rate
+    stats.extra["l1i_miss_rate"] = icache.cache.stats.miss_rate
+    stats.extra["btu_occupancy"] = btu.occupancy()

@@ -1,0 +1,236 @@
+"""Lowering: from the object dynamic stream to a columnar timing trace.
+
+The sequential executor produces a list of
+:class:`~repro.arch.executor.DynamicInstruction` dataclasses.  Walking that
+list is what the timing model spends almost all of its time on — every
+instruction costs a dozen attribute lookups and property calls before any
+cycle arithmetic happens.  :func:`lower_execution` pays that object cost
+exactly once per workload, producing a :class:`LoweredTrace`: parallel lists
+of plain integers (opcode latency class, renamed register indices, memory
+word address, branch class, and a flag bitmask) that the engine loop in
+:mod:`repro.engine.engine` iterates with ``zip`` and no per-instruction
+dispatch.
+
+The lowering contract (see also the package docstring):
+
+* **Policy- and config-independent.**  A lowered trace encodes only what the
+  sequential execution determined: nothing in it depends on a
+  ``DefensePolicy`` or a ``CoreConfig``, so one lowering serves every point
+  of a sweep.  Latencies are stored as *classes* (``LAT_*``) and resolved
+  against a concrete config when the engine runs.
+* **Complete.**  Every field of ``DynamicInstruction`` the timing model
+  reads has a column or a flag bit here; the engine never touches the
+  original objects.
+* **Rename-stable.**  Architectural register names are mapped to dense
+  indices in first-appearance order, so two lowerings of the same execution
+  are identical and ``reg_ready`` tracking becomes a flat list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.arch.executor import DynamicInstruction, ExecutionResult
+from repro.isa.instructions import Opcode
+
+#: Bump when the columnar layout changes incompatibly (cache-key material).
+LOWERING_FORMAT_VERSION = 1
+
+# Flag bits (the ``flags`` column).
+F_LOAD = 1 << 0
+F_STORE = 1 << 1
+F_BRANCH = 1 << 2
+F_CRYPTO = 1 << 3
+F_SECRET = 1 << 4
+F_LEAK = 1 << 5
+F_TAKEN = 1 << 6
+
+# Latency classes (the ``lat_class`` column), resolved against a CoreConfig
+# by the engine: [alu, mul, div, store, branch_resolve].
+LAT_ALU = 0
+LAT_MUL = 1
+LAT_DIV = 2
+LAT_STORE = 3
+LAT_BRANCH = 4
+
+# Branch classes (the ``bclass`` column) consumed by the BPU's index-based
+# predict/update protocol.
+B_NONE = 0
+B_COND = 1
+B_JMP = 2
+B_CALL = 3
+B_CALLI = 4
+B_JMPI = 5
+B_RET = 6
+
+_BCLASS_OF_OPCODE: Dict[Opcode, int] = {
+    Opcode.BEQZ: B_COND,
+    Opcode.BNEZ: B_COND,
+    Opcode.JMP: B_JMP,
+    Opcode.CALL: B_CALL,
+    Opcode.CALLI: B_CALLI,
+    Opcode.JMPI: B_JMPI,
+    Opcode.RET: B_RET,
+}
+
+
+def bclass_of(opcode: Opcode) -> int:
+    """The branch class the BPU protocol uses for ``opcode`` (B_NONE if none)."""
+    return _BCLASS_OF_OPCODE.get(opcode, B_NONE)
+
+
+@dataclass
+class LoweredTrace:
+    """The columnar, policy-independent timing trace of one execution.
+
+    All columns have length :attr:`n`; ``-1`` encodes "absent" for register
+    indices and memory addresses.  Columns are plain Python lists of ints —
+    the fastest random-access sequence available without native extensions.
+    """
+
+    program_name: str
+    n: int
+    #: Dense register index -> architectural register name.
+    reg_names: List[str]
+    pcs: List[int]
+    next_pcs: List[int]
+    dst: List[int]
+    src0: List[int]
+    src1: List[int]
+    src2: List[int]
+    mem: List[int]
+    flags: List[int]
+    lat_class: List[int]
+    bclass: List[int]
+    #: Largest PC observed in ``pcs``/``next_pcs`` (sizing per-PC tables).
+    max_pc: int = 0
+    format_version: int = LOWERING_FORMAT_VERSION
+
+    @property
+    def num_regs(self) -> int:
+        return len(self.reg_names)
+
+    def columns(self) -> Tuple[List[int], ...]:
+        """The column tuple the engine zips over, in loop order."""
+        return (
+            self.pcs,
+            self.next_pcs,
+            self.dst,
+            self.src0,
+            self.src1,
+            self.src2,
+            self.mem,
+            self.flags,
+            self.lat_class,
+            self.bclass,
+        )
+
+
+def lower_dynamic(
+    dynamic: Sequence[DynamicInstruction], program_name: str = "program"
+) -> LoweredTrace:
+    """Lower a dynamic instruction stream into its columnar form."""
+    n = len(dynamic)
+    reg_index: Dict[str, int] = {}
+    reg_names: List[str] = []
+
+    def rename(reg: str) -> int:
+        index = reg_index.get(reg)
+        if index is None:
+            index = len(reg_names)
+            reg_index[reg] = index
+            reg_names.append(reg)
+        return index
+
+    pcs: List[int] = []
+    next_pcs: List[int] = []
+    dst_col: List[int] = []
+    src0: List[int] = []
+    src1: List[int] = []
+    src2: List[int] = []
+    mem: List[int] = []
+    flags_col: List[int] = []
+    lat_col: List[int] = []
+    bclass_col: List[int] = []
+    max_pc = 0
+
+    for dyn in dynamic:
+        opcode = dyn.opcode
+        flags = 0
+        mem_address = dyn.mem_address
+        if opcode is Opcode.LOAD and mem_address is not None:
+            flags |= F_LOAD
+        elif opcode is Opcode.STORE and mem_address is not None:
+            flags |= F_STORE
+        if dyn.is_branch:
+            flags |= F_BRANCH
+        if dyn.crypto:
+            flags |= F_CRYPTO
+        if dyn.secret_operand:
+            flags |= F_SECRET
+        if opcode is Opcode.LEAK:
+            flags |= F_LEAK
+        if dyn.taken:
+            flags |= F_TAKEN
+
+        if opcode is Opcode.MUL:
+            lat = LAT_MUL
+        elif opcode is Opcode.DIV or opcode is Opcode.MOD:
+            lat = LAT_DIV
+        elif opcode is Opcode.STORE:
+            lat = LAT_STORE
+        elif dyn.is_branch:
+            lat = LAT_BRANCH
+        else:
+            lat = LAT_ALU
+
+        srcs = dyn.srcs
+        n_srcs = len(srcs)
+        pcs.append(dyn.pc)
+        next_pcs.append(dyn.next_pc)
+        dst_col.append(rename(dyn.dst) if dyn.dst is not None else -1)
+        src0.append(rename(srcs[0]) if n_srcs > 0 else -1)
+        src1.append(rename(srcs[1]) if n_srcs > 1 else -1)
+        src2.append(rename(srcs[2]) if n_srcs > 2 else -1)
+        mem.append(mem_address if mem_address is not None else -1)
+        flags_col.append(flags)
+        lat_col.append(lat)
+        bclass_col.append(_BCLASS_OF_OPCODE.get(opcode, B_NONE))
+        if dyn.pc > max_pc:
+            max_pc = dyn.pc
+        if dyn.next_pc > max_pc:
+            max_pc = dyn.next_pc
+
+    return LoweredTrace(
+        program_name=program_name,
+        n=n,
+        reg_names=reg_names,
+        pcs=pcs,
+        next_pcs=next_pcs,
+        dst=dst_col,
+        src0=src0,
+        src1=src1,
+        src2=src2,
+        mem=mem,
+        flags=flags_col,
+        lat_class=lat_col,
+        bclass=bclass_col,
+        max_pc=max_pc,
+    )
+
+
+def lower_execution(result: ExecutionResult) -> LoweredTrace:
+    """Lower ``result.dynamic`` once, memoizing the trace on the result.
+
+    The memo lives on the :class:`ExecutionResult` instance itself, so every
+    policy / config / flush point that shares the execution also shares the
+    lowering — including the legacy per-point :func:`repro.uarch.core.simulate`
+    path.
+    """
+    cached = getattr(result, "_lowered_trace", None)
+    if cached is not None and cached.n == len(result.dynamic):
+        return cached
+    trace = lower_dynamic(result.dynamic, program_name=result.program.name)
+    result._lowered_trace = trace  # type: ignore[attr-defined]
+    return trace

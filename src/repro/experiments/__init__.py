@@ -14,6 +14,7 @@ a ``format_*`` helper producing the printed table; the benchmarks under
 | Section 7.5 (trace-generation runtime)  | :mod:`repro.experiments.trace_runtime` |
 | Section 8 Q3 (Cassandra-lite)           | :mod:`repro.experiments.cassandra_lite` |
 | Section 8 Q4 (BTU flush on interrupts)  | :mod:`repro.experiments.interrupts` |
+| CoreConfig design-space sweep (extra)   | :mod:`repro.experiments.sweep` |
 """
 
 from repro.experiments.runner import WorkloadArtifacts, prepare_workloads, DESIGN_BUILDERS
@@ -35,6 +36,7 @@ from repro.experiments import figure9  # noqa: E402,F401
 from repro.experiments import trace_runtime  # noqa: E402,F401
 from repro.experiments import cassandra_lite  # noqa: E402,F401
 from repro.experiments import interrupts  # noqa: E402,F401
+from repro.experiments import sweep  # noqa: E402,F401
 
 __all__ = [
     "WorkloadArtifacts",

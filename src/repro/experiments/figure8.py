@@ -6,10 +6,11 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.crypto.synthetic import build_synthetic, mix_labels
 from repro.experiments.registry import ExperimentSpec, register_experiment
-from repro.experiments.runner import artifacts_for_kernel, format_table
+from repro.experiments.runner import WorkloadArtifacts, artifacts_for_kernel, format_table
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.pipeline.artifacts import ArtifactCache
+    from repro.pipeline.pipeline import ExperimentPipeline
 
 #: The two crypto primitives of Figure 8 and their stack secrecy.
 FIGURE8_PRIMITIVES = ("chacha20", "curve25519")
@@ -20,23 +21,49 @@ def run_figure8(
     primitives: Sequence[str] = FIGURE8_PRIMITIVES,
     mixes: Optional[Sequence[str]] = None,
     cache: Optional["ArtifactCache"] = None,
+    jobs: int = 1,
+    pipeline: Optional["ExperimentPipeline"] = None,
 ) -> List[Dict[str, object]]:
     """Execution-time overhead (%) of each design over the unsafe baseline.
 
     The synthetic mixes are not part of the 22-workload registry, but their
     execution, tracing, and simulations flow through the same shared
     pipeline machinery, so an attached artifact cache persists them too.
+    All (mix × design) simulation points fan out through the same grouped
+    :func:`~repro.pipeline.parallel.simulate_points` batching as the
+    registry workloads instead of being simulated serially per mix.
     """
+    from repro.pipeline.parallel import SimulationPoint, simulate_points
+
+    if pipeline is not None:
+        cache = pipeline.cache if cache is None else cache
+        jobs = pipeline.jobs
     mixes = list(mixes) if mixes is not None else mix_labels()
+    artifacts: List[WorkloadArtifacts] = [
+        artifacts_for_kernel(
+            build_synthetic(primitive, mix),
+            suite="synthetic",
+            name=f"synthetic-{primitive}-{mix}",
+            cache=cache,
+        )
+        for primitive in primitives
+        for mix in mixes
+    ]
+    simulate_points(
+        artifacts,
+        (
+            SimulationPoint(workload=artifact.name, design=design)
+            for artifact in artifacts
+            for design in ("unsafe-baseline", *FIGURE8_DESIGNS)
+        ),
+        jobs=jobs,
+    )
+
     rows: List[Dict[str, object]] = []
+    artifacts_by_name = {artifact.name: artifact for artifact in artifacts}
     for primitive in primitives:
         for mix in mixes:
-            artifact = artifacts_for_kernel(
-                build_synthetic(primitive, mix),
-                suite="synthetic",
-                name=f"synthetic-{primitive}-{mix}",
-                cache=cache,
-            )
+            artifact = artifacts_by_name[f"synthetic-{primitive}-{mix}"]
             baseline = artifact.simulate("unsafe-baseline")
             row: Dict[str, object] = {"primitive": primitive, "mix": mix}
             for design in FIGURE8_DESIGNS:
@@ -59,6 +86,7 @@ register_experiment(
         format=format_figure8,
         uses_artifacts=False,
         wants_cache=True,
+        wants_pipeline=True,
     )
 )
 

@@ -33,11 +33,19 @@ class ExperimentSpec:
     wants_cache:
         Whether ``run`` accepts a ``cache=`` keyword for artifacts outside
         the workload registry (the Figure 8 synthetic mixes).
+    wants_pipeline:
+        Whether ``run`` accepts a ``pipeline=`` keyword (granting access to
+        the shared cache *and* the worker-pool ``jobs`` setting, e.g. for
+        fanning out non-registry simulation points).
     designs:
         Design points the experiment simulates on every workload
         (prefetched with default config/flush/warmup).
     flush_points:
         Extra ``(design, btu_flush_interval)`` points (the interrupt study).
+    extra_points:
+        Optional ``f(workload_names) -> [SimulationPoint]`` producing
+        additional prefetchable points that ``designs`` cannot express —
+        e.g. the config sweep's non-default ``CoreConfig`` points.
     jsonify:
         Optional converter to JSON-serializable data (defaults to the raw
         run() output, which for most experiments is already plain).
@@ -49,8 +57,10 @@ class ExperimentSpec:
     format: Callable[[Any], str]
     uses_artifacts: bool = True
     wants_cache: bool = False
+    wants_pipeline: bool = False
     designs: Tuple[str, ...] = ()
     flush_points: Tuple[Tuple[str, int], ...] = ()
+    extra_points: Optional[Callable[[Sequence[str]], List[Any]]] = None
     jsonify: Optional[Callable[[Any], Any]] = None
 
 

@@ -20,8 +20,10 @@ from repro.analysis.tracegen import TraceBundle, TraceParameters, generate_trace
 from repro.arch.executor import ExecutionResult
 from repro.crypto.programs.common import KernelProgram
 from repro.crypto.workloads import get_workload, workload_names
+from repro.engine.batch import BatchStats, PointSpec, simulate_batch
+from repro.engine.lowering import LOWERING_FORMAT_VERSION, LoweredTrace, lower_execution
 from repro.uarch.config import CoreConfig, GOLDEN_COVE_LIKE
-from repro.uarch.core import SimulationResult, simulate
+from repro.uarch.core import SimulationResult
 from repro.uarch.defenses import (
     CassandraLitePolicy,
     CassandraPolicy,
@@ -75,6 +77,21 @@ def simulation_key(
     return (design, config.identity(), btu_flush_interval, warmup_passes)
 
 
+@dataclass(frozen=True)
+class DesignPoint:
+    """One simulation point of a workload batch (no workload attached)."""
+
+    design: str
+    config: CoreConfig = GOLDEN_COVE_LIKE
+    btu_flush_interval: Optional[int] = None
+    warmup_passes: int = 1
+
+    def key(self) -> SimulationKey:
+        return simulation_key(
+            self.design, self.config, self.btu_flush_interval, self.warmup_passes
+        )
+
+
 @dataclass
 class WorkloadArtifacts:
     """Everything derived once per workload and shared across design points."""
@@ -99,34 +116,97 @@ class WorkloadArtifacts:
         warmup_passes: int = 1,
     ) -> SimulationResult:
         """Simulate one design point (memoized on the full argument set)."""
-        cache_key = simulation_key(design, config, btu_flush_interval, warmup_passes)
-        if cache_key in self.simulations:
-            return self.simulations[cache_key]
+        point = DesignPoint(design, config, btu_flush_interval, warmup_passes)
+        return self.simulate_batch([point])[point.key()]
 
-        sim_digest = None
+    def lowered_trace(self) -> LoweredTrace:
+        """The workload's columnar timing trace (computed once, disk-cached).
+
+        The lowering is policy- and config-independent, so it is keyed only
+        on the workload content digest plus the lowering format version.
+        """
+        cached = getattr(self.result, "_lowered_trace", None)
+        if cached is not None:
+            return cached
         if self.cache is not None and self.content_digest is not None:
             from repro.pipeline.hashing import stable_digest
 
-            sim_digest = stable_digest(self.content_digest, cache_key)
-            cached = self.cache.get("simulation", self.name, sim_digest)
-            if cached is not None:
-                self.simulations[cache_key] = cached
-                return cached
+            digest = stable_digest(
+                self.content_digest, ("lowered-trace", LOWERING_FORMAT_VERSION)
+            )
+            payload = self.cache.get("lowered-trace", self.name, digest)
+            if payload is not None:
+                self.result._lowered_trace = payload  # type: ignore[attr-defined]
+                return payload
+            trace = lower_execution(self.result)
+            self.cache.put("lowered-trace", self.name, digest, trace)
+            return trace
+        return lower_execution(self.result)
 
-        policy = DESIGN_BUILDERS[design](self.bundle)
-        simulation = simulate(
-            self.kernel.program,
-            policy=policy,
-            config=config,
-            bundle=self.bundle,
-            result=self.result,
-            btu_flush_interval=btu_flush_interval,
-            warmup_passes=warmup_passes,
-        )
-        self.simulations[cache_key] = simulation
-        if self.cache is not None and sim_digest is not None:
-            self.cache.put("simulation", self.name, sim_digest, simulation)
-        return simulation
+    def simulate_batch(
+        self,
+        points: Sequence[DesignPoint],
+        batch_stats: Optional[BatchStats] = None,
+    ) -> Dict[SimulationKey, SimulationResult]:
+        """Simulate many design points over one shared lowering and warm state.
+
+        Points already in the memo (or the disk cache) are returned without
+        re-simulation; the remainder run through
+        :func:`repro.engine.batch.simulate_batch`, which shares the columnar
+        trace, the per-workload setup, and the warm-up component snapshots
+        across every missing point.  Results are bit-identical to calling
+        :meth:`simulate` per point.
+        """
+        results: Dict[SimulationKey, SimulationResult] = {}
+        pending: List[DesignPoint] = []
+        pending_digests: Dict[SimulationKey, Optional[str]] = {}
+        for point in points:
+            cache_key = point.key()
+            if cache_key in results or cache_key in pending_digests:
+                continue
+            memoized = self.simulations.get(cache_key)
+            if memoized is not None:
+                results[cache_key] = memoized
+                continue
+            sim_digest = None
+            if self.cache is not None and self.content_digest is not None:
+                from repro.pipeline.hashing import stable_digest
+
+                sim_digest = stable_digest(self.content_digest, cache_key)
+                cached = self.cache.get("simulation", self.name, sim_digest)
+                if cached is not None:
+                    self.simulations[cache_key] = cached
+                    results[cache_key] = cached
+                    continue
+            pending.append(point)
+            pending_digests[cache_key] = sim_digest
+
+        if pending:
+            specs = [
+                PointSpec(
+                    policy=DESIGN_BUILDERS[point.design](self.bundle),
+                    config=point.config,
+                    btu_flush_interval=point.btu_flush_interval,
+                    warmup_passes=point.warmup_passes,
+                )
+                for point in pending
+            ]
+            simulations = simulate_batch(
+                self.result,
+                self.bundle,
+                specs,
+                trace=self.lowered_trace(),
+                program_name=self.kernel.program.name,
+                batch_stats=batch_stats,
+            )
+            for point, simulation in zip(pending, simulations):
+                cache_key = point.key()
+                self.simulations[cache_key] = simulation
+                results[cache_key] = simulation
+                sim_digest = pending_digests[cache_key]
+                if self.cache is not None and sim_digest is not None:
+                    self.cache.put("simulation", self.name, sim_digest, simulation)
+        return results
 
     def store_simulation(self, key: SimulationKey, result: SimulationResult) -> None:
         """Seed the memo with an externally computed result (parallel fan-out)."""

@@ -1,0 +1,113 @@
+"""Design-space sweep over ``CoreConfig`` (ROB size, widths, BTU sizing).
+
+The ROADMAP's open item: now that the simulation cache is config-aware and
+the engine batches points over one shared lowering, sweeping the core
+configuration is cheap — each workload lowers once, and every
+(config × design) point reuses it.  The sweep reports Cassandra's execution
+time normalized to the unsafe baseline *of the same configuration*, so it
+answers the paper-adjacent question "does Cassandra's advantage survive on
+smaller cores and smaller BTUs?".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.registry import ExperimentSpec, register_experiment
+from repro.experiments.runner import (
+    DesignPoint,
+    WorkloadArtifacts,
+    format_table,
+    geometric_mean,
+    prepare_workloads,
+)
+from repro.uarch.config import GOLDEN_COVE_LIKE, BtuConfig, CoreConfig
+
+#: Designs compared at every configuration point.
+SWEEP_DESIGNS = ("unsafe-baseline", "cassandra")
+
+#: The swept configurations, label -> CoreConfig.  ``golden-cove`` is the
+#: paper's Table 3 machine; the rest shrink one axis at a time.
+SWEEP_CONFIGS: Tuple[Tuple[str, CoreConfig], ...] = (
+    ("golden-cove", GOLDEN_COVE_LIKE),
+    ("rob-256", CoreConfig(rob_size=256)),
+    ("rob-128", CoreConfig(rob_size=128)),
+    (
+        "width-4",
+        CoreConfig(fetch_width=4, decode_width=4, issue_width=4, commit_width=4),
+    ),
+    ("btu-8", CoreConfig(btu=BtuConfig(entries=8))),
+    ("btu-4x8", CoreConfig(btu=BtuConfig(entries=4, elements_per_entry=8))),
+)
+
+
+def sweep_points(names: Sequence[str]) -> List[Any]:
+    """Prefetchable :class:`~repro.pipeline.parallel.SimulationPoint` list."""
+    from repro.pipeline.parallel import SimulationPoint
+
+    return [
+        SimulationPoint(workload=name, design=design, config=config)
+        for name in names
+        for _label, config in SWEEP_CONFIGS
+        for design in SWEEP_DESIGNS
+    ]
+
+
+def run_sweep(
+    names: Optional[Sequence[str]] = None,
+    artifacts: Optional[Sequence[WorkloadArtifacts]] = None,
+    configs: Sequence[Tuple[str, CoreConfig]] = SWEEP_CONFIGS,
+    designs: Sequence[str] = SWEEP_DESIGNS,
+) -> List[Dict[str, object]]:
+    """Per-config geomean cycles and Cassandra-vs-baseline normalized time."""
+    artifacts = list(artifacts) if artifacts is not None else prepare_workloads(names)
+    rows: List[Dict[str, object]] = []
+    for label, config in configs:
+        points = [DesignPoint(design=design, config=config) for design in designs]
+        per_design: Dict[str, List[float]] = {design: [] for design in designs}
+        for artifact in artifacts:
+            results = artifact.simulate_batch(points)
+            for point in points:
+                per_design[point.design].append(float(results[point.key()].cycles))
+        row: Dict[str, object] = {
+            "config": label,
+            "rob": config.rob_size,
+            "width": config.issue_width,
+            "btu": f"{config.btu.entries}x{config.btu.elements_per_entry}",
+        }
+        for design in designs:
+            row[f"{design}_cycles"] = geometric_mean(per_design[design])
+        baseline = float(row[f"{designs[0]}_cycles"])
+        for design in designs[1:]:
+            row[f"{design}_norm"] = (
+                float(row[f"{design}_cycles"]) / baseline if baseline else 0.0
+            )
+        rows.append(row)
+    return rows
+
+
+def format_sweep(rows: Sequence[Dict[str, object]]) -> str:
+    columns = [
+        "config",
+        "rob",
+        "width",
+        "btu",
+        *(f"{design}_cycles" for design in SWEEP_DESIGNS),
+        *(f"{design}_norm" for design in SWEEP_DESIGNS[1:]),
+    ]
+    return format_table(rows, columns)
+
+
+register_experiment(
+    ExperimentSpec(
+        name="sweep",
+        title="Design-space sweep: CoreConfig (ROB / width / BTU) x Cassandra",
+        run=run_sweep,
+        format=format_sweep,
+        extra_points=sweep_points,
+    )
+)
+
+
+if __name__ == "__main__":  # pragma: no cover - manual invocation
+    print(format_sweep(run_sweep()))

@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.analysis.tracegen import TraceParameters
 from repro.crypto.workloads import workload_names
 from repro.experiments.runner import (
+    DesignPoint,
     SimulationKey,
     WorkloadArtifacts,
     prepare_workload,
@@ -124,27 +125,56 @@ def prepare_workloads_parallel(
 # Parallel simulation
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
-class SimulationPoint:
-    """One (workload × design × config × flush × warmup) simulation task."""
+class SimulationPoint(DesignPoint):
+    """One (workload × design × config × flush × warmup) simulation task.
 
-    workload: str
-    design: str
-    config: CoreConfig = GOLDEN_COVE_LIKE
-    btu_flush_interval: Optional[int] = None
-    warmup_passes: int = 1
+    Extends the workload-agnostic :class:`~repro.experiments.runner.DesignPoint`
+    (whose fields and :meth:`~repro.experiments.runner.DesignPoint.key` it
+    inherits) with the workload it belongs to.  ``workload`` is
+    keyword-only in practice: it defaults only so the inherited defaulted
+    fields can precede it, and an empty workload is rejected.
+    """
 
-    def key(self) -> SimulationKey:
-        return simulation_key(
-            self.design, self.config, self.btu_flush_interval, self.warmup_passes
-        )
+    workload: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.workload:
+            raise ValueError("SimulationPoint requires a workload name")
 
 
 #: Artifacts visible to forked simulation workers (set only around the pool).
 _FORK_ARTIFACTS: Dict[str, WorkloadArtifacts] = {}
 
+#: One worker task: every pending point of one workload, so the worker's
+#: ``simulate_batch`` shares one lowering across them all (and warm-up state
+#: within each config).
+_BatchTask = Tuple[str, Tuple[SimulationPoint, ...]]
 
-def _simulate_point_task(point: SimulationPoint) -> Tuple[str, SimulationKey, SimulationResult]:
-    return _run_point(_FORK_ARTIFACTS[point.workload], point)
+
+def _simulate_batch_task(task: _BatchTask) -> Tuple[str, List[Tuple[SimulationKey, SimulationResult]]]:
+    name, points = task
+    results = _run_batch(_FORK_ARTIFACTS[name], points)
+    return name, results
+
+
+def _run_batch(
+    artifact: WorkloadArtifacts, points: Sequence[SimulationPoint]
+) -> List[Tuple[SimulationKey, SimulationResult]]:
+    """The batch body both execution modes share."""
+    return list(artifact.simulate_batch(points).items())
+
+
+def _group_points(pending: Sequence[SimulationPoint]) -> List[_BatchTask]:
+    """Group points by workload: one lowering per task, mixed configs inside.
+
+    The engine's ``simulate_batch`` keys its warm-state builders by config
+    internally, so a single per-workload task still shares warm-up within
+    each config while computing the (config-independent) lowering once.
+    """
+    groups: Dict[str, List[SimulationPoint]] = {}
+    for point in pending:
+        groups.setdefault(point.workload, []).append(point)
+    return [(workload, tuple(points)) for workload, points in groups.items()]
 
 
 def simulate_points(
@@ -155,7 +185,11 @@ def simulate_points(
     """Run simulation points, seeding each artifact's in-memory memo.
 
     Points already present in a memo are skipped.  Returns the number of
-    points actually simulated.  With ``jobs > 1`` the points run across
+    points actually simulated.  Pending points are grouped by workload and
+    each group runs through :meth:`WorkloadArtifacts.simulate_batch`, so
+    the columnar lowering is computed once per group and the warm-up
+    component snapshots are shared across every design and flush-interval
+    within each config.  With ``jobs > 1`` the groups fan out over
     forked workers that inherit the prepared artifacts read-only; the
     resulting ``SimulationResult``s are stored back on the parent's
     artifacts, so subsequent :meth:`WorkloadArtifacts.simulate` calls are
@@ -177,32 +211,21 @@ def simulate_points(
 
     jobs = jobs or default_jobs()
     context = _fork_context()
-    if jobs <= 1 or len(pending) <= 1 or context is None:
-        for point in pending:
-            _, key, result = _run_point(by_name[point.workload], point)
-            by_name[point.workload].store_simulation(key, result)
+    tasks = _group_points(pending)
+    if jobs <= 1 or len(tasks) <= 1 or context is None:
+        for name, group in tasks:
+            for key, result in _run_batch(by_name[name], group):
+                by_name[name].store_simulation(key, result)
         return len(pending)
 
     global _FORK_ARTIFACTS
     _FORK_ARTIFACTS = dict(by_name)
     try:
-        with context.Pool(processes=min(jobs, len(pending))) as pool:
-            outcomes = pool.map(_simulate_point_task, pending, chunksize=1)
+        with context.Pool(processes=min(jobs, len(tasks))) as pool:
+            outcomes = pool.map(_simulate_batch_task, tasks, chunksize=1)
     finally:
         _FORK_ARTIFACTS = {}
-    for name, key, result in outcomes:
-        by_name[name].store_simulation(key, result)
+    for name, results in outcomes:
+        for key, result in results:
+            by_name[name].store_simulation(key, result)
     return len(pending)
-
-
-def _run_point(
-    artifact: WorkloadArtifacts, point: SimulationPoint
-) -> Tuple[str, SimulationKey, SimulationResult]:
-    """The single simulate-one-point body both execution modes share."""
-    result = artifact.simulate(
-        point.design,
-        config=point.config,
-        btu_flush_interval=point.btu_flush_interval,
-        warmup_passes=point.warmup_passes,
-    )
-    return point.workload, point.key(), result

@@ -11,9 +11,10 @@ can charge (or, under Cassandra, avoid charging) BPU energy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.arch.executor import DynamicInstruction
+from repro.engine.lowering import B_CALL, B_CALLI, B_COND, B_JMP, B_JMPI, B_RET, bclass_of
 from repro.isa.instructions import Opcode
 from repro.uarch.config import CoreConfig
 
@@ -82,11 +83,18 @@ class BranchPredictionUnit:
 
     def predict(self, dyn: DynamicInstruction) -> int:
         """Predict the next PC for a dynamic branch instruction."""
-        self.stats.lookups += 1
-        opcode = dyn.opcode
-        pc = dyn.pc
+        return self.predict_class(bclass_of(dyn.opcode), dyn.pc, dyn.next_pc)
 
-        if opcode in (Opcode.BEQZ, Opcode.BNEZ):
+    def predict_class(self, bclass: int, pc: int, next_pc: int) -> int:
+        """Index-based prediction: the engine protocol over lowered columns.
+
+        ``bclass`` is one of the ``B_*`` branch classes of
+        :mod:`repro.engine.lowering`; behaviour is identical to the object
+        form, which delegates here.
+        """
+        self.stats.lookups += 1
+
+        if bclass == B_COND:
             self.stats.conditional_predictions += 1
             taken = self._pht[self._pht_index(pc)] >= 2
             loop = self._loops.get(pc)
@@ -105,13 +113,13 @@ class BranchPredictionUnit:
                 return pc + 1  # cannot redirect without a target
             return target
 
-        if opcode in (Opcode.JMP, Opcode.CALL):
+        if bclass == B_JMP or bclass == B_CALL:
             # Direct targets are available from the instruction bytes.
-            if opcode is Opcode.CALL:
+            if bclass == B_CALL:
                 self._push_rsb(pc + 1)
-            return dyn.next_pc
+            return next_pc
 
-        if opcode is Opcode.CALLI:
+        if bclass == B_CALLI:
             self.stats.btb_lookups += 1
             target = self._btb.get(pc)
             self._push_rsb(pc + 1)
@@ -120,7 +128,7 @@ class BranchPredictionUnit:
                 return pc + 1
             return target
 
-        if opcode is Opcode.JMPI:
+        if bclass == B_JMPI:
             self.stats.btb_lookups += 1
             target = self._btb.get(pc)
             if target is None:
@@ -128,33 +136,40 @@ class BranchPredictionUnit:
                 return pc + 1
             return target
 
-        if opcode is Opcode.RET:
+        if bclass == B_RET:
             self.stats.rsb_predictions += 1
             if self._rsb:
                 return self._rsb.pop()
             return pc + 1
 
-        return pc + 1  # pragma: no cover - non-branch opcodes
+        return pc + 1  # pragma: no cover - non-branch classes
 
     # ------------------------------------------------------------------ #
     # Update (at branch resolution)
     # ------------------------------------------------------------------ #
     def update(self, dyn: DynamicInstruction, predicted: int) -> bool:
         """Train the predictor; returns True when the prediction was correct."""
-        self.stats.updates += 1
-        correct = predicted == dyn.next_pc
-        opcode = dyn.opcode
+        return self.update_class(
+            bclass_of(dyn.opcode), dyn.pc, dyn.next_pc, bool(dyn.taken), predicted
+        )
 
-        if opcode in (Opcode.BEQZ, Opcode.BNEZ):
-            index = self._pht_index(dyn.pc)
+    def update_class(
+        self, bclass: int, pc: int, next_pc: int, taken: bool, predicted: int
+    ) -> bool:
+        """Index-based training; the object form delegates here."""
+        self.stats.updates += 1
+        correct = predicted == next_pc
+
+        if bclass == B_COND:
+            index = self._pht_index(pc)
             counter = self._pht[index]
-            if dyn.taken:
+            if taken:
                 self._pht[index] = min(counter + 1, 3)
             else:
                 self._pht[index] = max(counter - 1, 0)
-            self._history = ((self._history << 1) | int(bool(dyn.taken))) & self._history_mask
-            loop = self._loops.setdefault(dyn.pc, _LoopEntry())
-            if dyn.taken:
+            self._history = ((self._history << 1) | int(taken)) & self._history_mask
+            loop = self._loops.setdefault(pc, _LoopEntry())
+            if taken:
                 # Taken terminates the current body run (the loop exit).
                 if loop.last_trip == loop.current_run:
                     loop.confidence = min(loop.confidence + 1, 7)
@@ -162,16 +177,16 @@ class BranchPredictionUnit:
                     loop.confidence = 0
                     loop.last_trip = loop.current_run
                 loop.current_run = 0
-                self._btb_insert(dyn.pc, dyn.next_pc)
+                self._btb_insert(pc, next_pc)
             else:
                 loop.current_run += 1
             if not correct:
                 self.stats.conditional_mispredictions += 1
-        elif opcode in (Opcode.JMPI, Opcode.CALLI):
-            self._btb_insert(dyn.pc, dyn.next_pc)
+        elif bclass == B_JMPI or bclass == B_CALLI:
+            self._btb_insert(pc, next_pc)
             if not correct:
                 self.stats.indirect_mispredictions += 1
-        elif opcode is Opcode.RET:
+        elif bclass == B_RET:
             if not correct:
                 self.stats.rsb_mispredictions += 1
         return correct
@@ -197,3 +212,32 @@ class BranchPredictionUnit:
         self._btb.clear()
         self._rsb.clear()
         self._loops.clear()
+
+    # ------------------------------------------------------------------ #
+    # Warm-state snapshot / restore (shared warm-up across policies)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Tuple:
+        """An immutable-enough copy of the predictor's trained state.
+
+        Statistics are deliberately excluded: warm-up resets them anyway.
+        """
+        loops = {
+            pc: (entry.current_run, entry.last_trip, entry.confidence)
+            for pc, entry in self._loops.items()
+        }
+        return (list(self._pht), self._history, dict(self._btb), list(self._rsb), loops)
+
+    def restore_state(self, state: Tuple) -> None:
+        """Restore a snapshot taken by :meth:`snapshot_state`."""
+        pht, history, btb, rsb, loops = state
+        self._pht = list(pht)
+        self._history = history
+        self._btb = dict(btb)
+        self._rsb = list(rsb)
+        self._loops = {}
+        for pc, (current_run, last_trip, confidence) in loops.items():
+            entry = _LoopEntry()
+            entry.current_run = current_run
+            entry.last_trip = last_trip
+            entry.confidence = confidence
+            self._loops[pc] = entry

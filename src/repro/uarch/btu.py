@@ -180,6 +180,28 @@ class BranchTraceUnit:
         self._resident.clear()
 
     # ------------------------------------------------------------------ #
+    # Warm-state snapshot / restore (shared warm-up across policies)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Tuple[Dict[int, Tuple[int, int]], List[int]]:
+        """Replay positions + residency; the (immutable) targets are shared."""
+        positions = {
+            pc: (state.position, state.committed_position)
+            for pc, state in self._states.items()
+        }
+        return positions, list(self._resident)
+
+    def restore_state(self, snapshot: Tuple[Dict[int, Tuple[int, int]], List[int]]) -> None:
+        positions, resident = snapshot
+        for pc, (position, committed) in positions.items():
+            state = self._states[pc]
+            state.position = position
+            state.committed_position = committed
+        self._resident = list(resident)
+
+    def reset_stats(self) -> None:
+        self.stats = BtuStats()
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
     def occupancy(self) -> int:

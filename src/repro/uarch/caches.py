@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -23,13 +24,17 @@ class Cache:
     """A set-associative cache with LRU replacement.
 
     The model tracks tags only (no data); ``access`` returns whether the line
-    hit and installs it on a miss.
+    hit and installs it on a miss.  Sets are stored sparsely (a defaultdict
+    keyed by set index): the paper's L3 has tens of thousands of sets of
+    which small kernels touch a handful, so dense per-set lists made cache
+    construction and warm-state snapshots the dominant cost of a batched
+    sweep.  An absent key and an empty way-list are equivalent.
     """
 
     def __init__(self, config: CacheConfig) -> None:
         self.config = config
         self.stats = CacheStats()
-        self._sets: List[List[int]] = [[] for _ in range(config.num_sets)]
+        self._sets: Dict[int, List[int]] = defaultdict(list)
 
     def _locate(self, address: int) -> Tuple[int, int]:
         line = address // self.config.line_bytes
@@ -56,10 +61,25 @@ class Cache:
     def probe(self, address: int) -> bool:
         """Check residency without updating LRU or statistics."""
         index, tag = self._locate(address)
-        return tag in self._sets[index]
+        ways = self._sets.get(index)
+        return ways is not None and tag in ways
 
     def flush(self) -> None:
-        self._sets = [[] for _ in range(self.config.num_sets)]
+        self._sets = defaultdict(list)
+
+    def reset_stats(self) -> None:
+        """Fresh counters, warmed contents (warm-up / measured passes)."""
+        self.stats = CacheStats()
+
+    def snapshot_state(self) -> Dict[int, List[int]]:
+        """Copy the occupied sets (LRU order included); stats are excluded."""
+        return {index: list(ways) for index, ways in self._sets.items() if ways}
+
+    def restore_state(self, state: Dict[int, List[int]]) -> None:
+        restored: Dict[int, List[int]] = defaultdict(list)
+        for index, ways in state.items():
+            restored[index] = list(ways)
+        self._sets = restored
 
 
 class CacheHierarchy:
@@ -95,6 +115,23 @@ class CacheHierarchy:
         self.l2.flush()
         self.l3.flush()
 
+    def reset_stats(self) -> None:
+        self.l1d.reset_stats()
+        self.l2.reset_stats()
+        self.l3.reset_stats()
+
+    def snapshot_state(self) -> Tuple[Dict[int, List[int]], ...]:
+        return (
+            self.l1d.snapshot_state(),
+            self.l2.snapshot_state(),
+            self.l3.snapshot_state(),
+        )
+
+    def restore_state(self, state: Tuple[Dict[int, List[int]], ...]) -> None:
+        self.l1d.restore_state(state[0])
+        self.l2.restore_state(state[1])
+        self.l3.restore_state(state[2])
+
 
 class InstructionCache:
     """A lightweight L1I model charging miss latency per new line."""
@@ -114,3 +151,12 @@ class InstructionCache:
 
     def flush(self) -> None:
         self.cache.flush()
+
+    def reset_stats(self) -> None:
+        self.cache.reset_stats()
+
+    def snapshot_state(self) -> Dict[int, List[int]]:
+        return self.cache.snapshot_state()
+
+    def restore_state(self, state: Dict[int, List[int]]) -> None:
+        self.cache.restore_state(state)

@@ -16,7 +16,7 @@ Cassandra never pay it).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.tracegen import TraceBundle
 from repro.arch.executor import DynamicInstruction, ExecutionResult, SequentialExecutor
@@ -29,6 +29,13 @@ from repro.uarch.config import GOLDEN_COVE_LIKE, CoreConfig
 from repro.uarch.defenses.base import BranchFetchOutcome, DefensePolicy
 from repro.uarch.defenses.unsafe import UnsafeBaseline
 from repro.uarch.stats import PipelineStats
+
+if False:  # pragma: no cover - typing only; the engine is imported lazily
+    from repro.engine.lowering import LoweredTrace  # noqa: F401
+
+# ``repro.engine`` is imported inside methods: the engine modules import the
+# unit models from ``repro.uarch``, whose package __init__ imports this
+# module, so a top-level import here would be circular.
 
 
 @dataclass
@@ -89,17 +96,77 @@ class CoreModel:
 
         Used for warm-up passes: the paper simulates SimPoint regions of warm
         steady-state execution, so measured passes here start with trained
-        BPU/caches/BTU contents but fresh statistics.
+        BPU/caches/BTU contents but fresh statistics.  Cache counters are
+        reset too: the measured pass's ``l1d_miss_rate`` / ``l1i_miss_rate``
+        must describe the measured pass alone, not aggregate the warm-up
+        accesses (historically they did — see the regression test in
+        ``tests/uarch/test_core_and_defenses.py``).
         """
         self.stats = PipelineStats()
         self.bpu.stats = type(self.bpu.stats)()
-        self.btu.stats = type(self.btu.stats)()
+        self.btu.reset_stats()
+        self.caches.reset_stats()
+        self.icache.reset_stats()
 
     # ------------------------------------------------------------------ #
     # Main loop
     # ------------------------------------------------------------------ #
-    def run(self, dynamic: Sequence[DynamicInstruction]) -> SimulationResult:
-        """Simulate the dynamic instruction stream and return statistics."""
+    def run(
+        self, dynamic: Union[Sequence[DynamicInstruction], LoweredTrace]
+    ) -> SimulationResult:
+        """Simulate the dynamic instruction stream and return statistics.
+
+        Policies that provide an :meth:`~repro.uarch.defenses.base.DefensePolicy.engine_spec`
+        run on the columnar engine (lowering ``dynamic`` on the fly when it
+        is not already a :class:`LoweredTrace`); any other policy — e.g. a
+        user subclass overriding a hook — takes the object-based
+        :meth:`run_reference` loop.  Both produce bit-identical results for
+        the built-in policies, which the engine parity tests assert.
+        """
+        from repro.engine.engine import run_trace
+        from repro.engine.lowering import LoweredTrace, lower_dynamic
+
+        spec = self.policy.engine_spec()
+        if spec is None:
+            if isinstance(dynamic, LoweredTrace):
+                raise TypeError(
+                    f"policy {self.policy.name!r} has no engine spec and cannot "
+                    "consume a LoweredTrace; pass the dynamic instruction list"
+                )
+            return self.run_reference(dynamic)
+        trace = dynamic if isinstance(dynamic, LoweredTrace) else lower_dynamic(dynamic)
+        hint_table = self.bundle.hint_table if self.bundle is not None else None
+        run_trace(
+            trace,
+            self.config,
+            spec,
+            self.bpu,
+            self.caches,
+            self.icache,
+            self.btu,
+            hint_table,
+            self.stats,
+            btu_flush_interval=self.btu_flush_interval,
+        )
+        program_name = self.bundle.program.name if self.bundle is not None else "program"
+        return SimulationResult(
+            program_name=program_name,
+            policy_name=self.policy.name,
+            stats=self.stats,
+            config=self.config,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Reference loop (object-based)
+    # ------------------------------------------------------------------ #
+    def run_reference(self, dynamic: Sequence[DynamicInstruction]) -> SimulationResult:
+        """The object-based cycle-accounting loop (the engine's golden model).
+
+        This is the original per-``DynamicInstruction`` implementation; it
+        drives every policy through the full hook protocol and serves as the
+        behavioural reference the columnar engine is tested against, and as
+        the fallback for policies without an engine spec.
+        """
         config = self.config
         stats = self.stats
         policy = self.policy
@@ -326,9 +393,20 @@ def simulate(
         bundle=bundle,
         btu_flush_interval=btu_flush_interval,
     )
+    # Lower once per ExecutionResult (memoized on the result) so warm-up and
+    # measured passes — and every other policy sharing this execution —
+    # reuse the columnar trace.  Policies without an engine spec walk the
+    # object stream through the reference loop instead.
+    from repro.engine.lowering import lower_execution
+
+    stream: Union[Sequence[DynamicInstruction], "LoweredTrace"]
+    if core.policy.engine_spec() is not None:
+        stream = lower_execution(result)
+    else:
+        stream = result.dynamic
     for _ in range(max(warmup_passes, 0)):
-        core.run(result.dynamic)
+        core.run(stream)
         core.reset_stats()
-    simulation = core.run(result.dynamic)
+    simulation = core.run(stream)
     simulation.program_name = program.name
     return simulation

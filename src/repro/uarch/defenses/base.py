@@ -53,6 +53,49 @@ class BranchFetchOutcome:
     integrity_stall: bool = False
 
 
+@dataclass(frozen=True)
+class EnginePolicySpec:
+    """A policy lowered to flags the columnar engine can execute inline.
+
+    This is the index-based counterpart of the object hook protocol below:
+    instead of calling ``gates_issue(dyn)`` / ``allow_store_forwarding(dyn)``
+    / ``on_branch(dyn)`` per instruction, the engine tests ``gate_mask``
+    against the lowered ``flags`` column, uses ``allow_store_forwarding`` as
+    a loop constant, and selects its inline branch flow by ``kind``.
+
+    Attributes
+    ----------
+    kind:
+        ``"bpu"`` — every branch predicts through the BPU and opens a
+        speculation window (unsafe / SPT / ProSpeCT behaviour); or
+        ``"cassandra"`` — crypto branches take the BTU fetch flow, non-crypto
+        branches take the BPU flow with the crypto-PC integrity check.
+    gate_mask:
+        Lowered flag bits (``repro.engine.lowering.F_*``) whose instructions
+        must wait for older speculation windows to resolve before issuing.
+    allow_store_forwarding:
+        Whether loads may forward from in-flight stores.
+    lite:
+        Cassandra-lite: crypto branches are single-target or fetch-stall;
+        the BTU is never consulted.
+    """
+
+    kind: str
+    gate_mask: int = 0
+    allow_store_forwarding: bool = True
+    lite: bool = False
+
+    @property
+    def bpu_warm_class(self) -> str:
+        """Which branch subsequence trains the BPU during warm-up."""
+        return "noncrypto" if self.kind == "cassandra" else "all"
+
+    @property
+    def btu_warm_class(self) -> str:
+        """Whether warm-up advances the BTU replay state."""
+        return "replay" if self.kind == "cassandra" and not self.lite else "none"
+
+
 class DefensePolicy:
     """Base class: the unsafe behaviour with every hook overridable."""
 
@@ -64,6 +107,16 @@ class DefensePolicy:
     def attach(self, core: "CoreModel") -> None:
         """Called once by the core so the policy can reach shared units."""
         self.core = core
+
+    def engine_spec(self) -> Optional[EnginePolicySpec]:
+        """The policy lowered for the columnar engine, or ``None``.
+
+        Concrete policies return a spec *only for their exact type*: a
+        subclass that overrides any object hook inherits the ``None``
+        default and falls back to the object loop, so customized behaviour
+        is never silently replaced by the built-in fast path.
+        """
+        return None
 
     # ------------------------------------------------------------------ #
     # Hooks

@@ -19,7 +19,12 @@ from typing import Optional
 from repro.analysis.hints import BranchHint
 from repro.analysis.tracegen import TraceBundle
 from repro.arch.executor import DynamicInstruction
-from repro.uarch.defenses.base import BranchFetchOutcome, DefensePolicy, FetchMechanism
+from repro.uarch.defenses.base import (
+    BranchFetchOutcome,
+    DefensePolicy,
+    EnginePolicySpec,
+    FetchMechanism,
+)
 
 
 class ReplayMismatchError(RuntimeError):
@@ -42,6 +47,13 @@ class CassandraPolicy(DefensePolicy):
         self.protect_stl = protect_stl
         if protect_stl:
             self.name = "cassandra+stl"
+
+    def engine_spec(self) -> Optional[EnginePolicySpec]:
+        if type(self) is not CassandraPolicy:
+            return None
+        return EnginePolicySpec(
+            kind="cassandra", allow_store_forwarding=not self.protect_stl
+        )
 
     # ------------------------------------------------------------------ #
     # Fetch flows
@@ -131,6 +143,11 @@ class CassandraLitePolicy(CassandraPolicy):
     def __init__(self, bundle: TraceBundle) -> None:
         super().__init__(bundle, protect_stl=False)
         self.name = "cassandra-lite"
+
+    def engine_spec(self) -> Optional[EnginePolicySpec]:
+        if type(self) is not CassandraLitePolicy:
+            return None
+        return EnginePolicySpec(kind="cassandra", lite=True)
 
     def _crypto_fetch_flow(self, dyn: DynamicInstruction) -> BranchFetchOutcome:
         hint = self.hint_table.lookup(dyn.pc)

@@ -19,10 +19,18 @@ of the remaining non-crypto branches.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.analysis.tracegen import TraceBundle
 from repro.arch.executor import DynamicInstruction
+from repro.engine.lowering import F_SECRET
 from repro.isa.instructions import Opcode
-from repro.uarch.defenses.base import BranchFetchOutcome, DefensePolicy, FetchMechanism
+from repro.uarch.defenses.base import (
+    BranchFetchOutcome,
+    DefensePolicy,
+    EnginePolicySpec,
+    FetchMechanism,
+)
 from repro.uarch.defenses.cassandra import CassandraPolicy
 
 
@@ -40,6 +48,11 @@ class ProspectPolicy(DefensePolicy):
 
     name = "prospect"
     requires_traces = False
+
+    def engine_spec(self) -> Optional[EnginePolicySpec]:
+        if type(self) is not ProspectPolicy:
+            return None
+        return EnginePolicySpec(kind="bpu", gate_mask=F_SECRET)
 
     def on_branch(self, dyn: DynamicInstruction) -> BranchFetchOutcome:
         predicted = self.core.bpu.predict(dyn)
@@ -63,6 +76,11 @@ class CassandraProspectPolicy(CassandraPolicy):
     def __init__(self, bundle: TraceBundle) -> None:
         super().__init__(bundle, protect_stl=False)
         self.name = "cassandra+prospect"
+
+    def engine_spec(self) -> Optional[EnginePolicySpec]:
+        if type(self) is not CassandraProspectPolicy:
+            return None
+        return EnginePolicySpec(kind="cassandra", gate_mask=F_SECRET)
 
     def gates_issue(self, dyn: DynamicInstruction) -> bool:
         return dyn.secret_operand

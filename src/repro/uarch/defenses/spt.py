@@ -13,8 +13,16 @@ long-latency branch conditions.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.arch.executor import DynamicInstruction
-from repro.uarch.defenses.base import BranchFetchOutcome, DefensePolicy, FetchMechanism
+from repro.engine.lowering import F_LEAK, F_LOAD
+from repro.uarch.defenses.base import (
+    BranchFetchOutcome,
+    DefensePolicy,
+    EnginePolicySpec,
+    FetchMechanism,
+)
 
 
 class SptPolicy(DefensePolicy):
@@ -25,6 +33,15 @@ class SptPolicy(DefensePolicy):
 
     def __init__(self, protect_stl: bool = True) -> None:
         self.protect_stl = protect_stl
+
+    def engine_spec(self) -> Optional[EnginePolicySpec]:
+        if type(self) is not SptPolicy:
+            return None
+        return EnginePolicySpec(
+            kind="bpu",
+            gate_mask=F_LOAD | F_LEAK,
+            allow_store_forwarding=not self.protect_stl,
+        )
 
     def on_branch(self, dyn: DynamicInstruction) -> BranchFetchOutcome:
         predicted = self.core.bpu.predict(dyn)

@@ -2,8 +2,15 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.arch.executor import DynamicInstruction
-from repro.uarch.defenses.base import BranchFetchOutcome, DefensePolicy, FetchMechanism
+from repro.uarch.defenses.base import (
+    BranchFetchOutcome,
+    DefensePolicy,
+    EnginePolicySpec,
+    FetchMechanism,
+)
 
 
 class UnsafeBaseline(DefensePolicy):
@@ -11,6 +18,11 @@ class UnsafeBaseline(DefensePolicy):
 
     name = "unsafe-baseline"
     requires_traces = False
+
+    def engine_spec(self) -> Optional[EnginePolicySpec]:
+        if type(self) is not UnsafeBaseline:
+            return None
+        return EnginePolicySpec(kind="bpu")
 
     def on_branch(self, dyn: DynamicInstruction) -> BranchFetchOutcome:
         predicted = self.core.bpu.predict(dyn)

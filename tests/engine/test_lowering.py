@@ -1,0 +1,97 @@
+"""Invariants of the columnar lowering."""
+
+import pytest
+
+from repro.engine.lowering import (
+    F_BRANCH,
+    F_CRYPTO,
+    F_LOAD,
+    F_SECRET,
+    F_STORE,
+    F_TAKEN,
+    LAT_ALU,
+    LAT_BRANCH,
+    LAT_DIV,
+    LAT_MUL,
+    LAT_STORE,
+    B_NONE,
+    bclass_of,
+    lower_dynamic,
+    lower_execution,
+)
+from repro.experiments.runner import prepare_workload
+from repro.isa.instructions import Opcode
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    return prepare_workload("ChaCha20_ct")
+
+
+def test_lowering_matches_dynamic_stream(artifact):
+    dynamic = artifact.result.dynamic
+    trace = lower_dynamic(dynamic, program_name="x")
+    assert trace.n == len(dynamic)
+    for column in trace.columns():
+        assert len(column) == trace.n
+
+    rename = {name: index for index, name in enumerate(trace.reg_names)}
+    for i, dyn in enumerate(dynamic):
+        assert trace.pcs[i] == dyn.pc
+        assert trace.next_pcs[i] == dyn.next_pc
+        fl = trace.flags[i]
+        assert bool(fl & F_LOAD) == (dyn.is_load and dyn.mem_address is not None)
+        assert bool(fl & F_STORE) == (dyn.is_store and dyn.mem_address is not None)
+        assert bool(fl & F_BRANCH) == dyn.is_branch
+        assert bool(fl & F_CRYPTO) == dyn.crypto
+        assert bool(fl & F_SECRET) == dyn.secret_operand
+        assert bool(fl & F_TAKEN) == bool(dyn.taken)
+        if dyn.mem_address is not None:
+            assert trace.mem[i] == dyn.mem_address
+        else:
+            assert trace.mem[i] == -1
+        if dyn.dst is not None:
+            assert trace.reg_names[trace.dst[i]] == dyn.dst
+        else:
+            assert trace.dst[i] == -1
+        lowered_srcs = [
+            s for s in (trace.src0[i], trace.src1[i], trace.src2[i]) if s >= 0
+        ]
+        assert tuple(trace.reg_names[s] for s in lowered_srcs) == dyn.srcs
+        assert all(rename[name] == s for name, s in zip(dyn.srcs, lowered_srcs))
+        assert trace.bclass[i] == bclass_of(dyn.opcode)
+        if dyn.opcode is Opcode.MUL:
+            assert trace.lat_class[i] == LAT_MUL
+        elif dyn.opcode in (Opcode.DIV, Opcode.MOD):
+            assert trace.lat_class[i] == LAT_DIV
+        elif dyn.opcode is Opcode.STORE:
+            assert trace.lat_class[i] == LAT_STORE
+        elif dyn.is_branch:
+            assert trace.lat_class[i] == LAT_BRANCH
+        else:
+            assert trace.lat_class[i] == LAT_ALU
+    assert trace.max_pc == max(
+        max(trace.pcs, default=0), max(trace.next_pcs, default=0)
+    )
+
+
+def test_lowering_is_deterministic(artifact):
+    a = lower_dynamic(artifact.result.dynamic, "x")
+    b = lower_dynamic(artifact.result.dynamic, "x")
+    assert a.columns() == b.columns()
+    assert a.reg_names == b.reg_names
+
+
+def test_lower_execution_memoizes_on_result(artifact):
+    result = artifact.result
+    if hasattr(result, "_lowered_trace"):
+        del result._lowered_trace
+    first = lower_execution(result)
+    assert lower_execution(result) is first
+
+
+def test_non_branches_have_no_branch_class(artifact):
+    trace = lower_execution(artifact.result)
+    for fl, bc in zip(trace.flags, trace.bclass):
+        if not fl & F_BRANCH:
+            assert bc == B_NONE

@@ -107,3 +107,37 @@ def test_trace_runtime_rows(artifacts):
     assert len(rows) == len(TEST_WORKLOADS)
     assert all(row["E_kmers_compression"] >= 0 for row in rows)
     assert "A_detect_static_branches" in format_trace_runtime(rows)
+
+
+def test_figure8_parallel_fanout_matches_serial():
+    rows_serial = run_figure8(mixes=["25s/75c"], jobs=1)
+    rows_parallel = run_figure8(mixes=["25s/75c"], jobs=2)
+    assert rows_serial == rows_parallel
+
+
+def test_sweep_experiment(artifacts):
+    from repro.experiments.registry import get_experiment
+    from repro.experiments.sweep import SWEEP_CONFIGS, format_sweep, run_sweep, sweep_points
+
+    spec = get_experiment("sweep")
+    assert spec.extra_points is sweep_points
+
+    configs = SWEEP_CONFIGS[:2]  # golden-cove + rob-256 keeps the test fast
+    rows = run_sweep(artifacts=artifacts, configs=configs)
+    assert [row["config"] for row in rows] == [label for label, _ in configs]
+    for row in rows:
+        assert row["unsafe-baseline_cycles"] > 0
+        # Cassandra is not slower than the baseline on these kernels,
+        # whatever the configuration.
+        assert row["cassandra_norm"] <= 1.0 + 1e-9
+    # A smaller ROB can't be faster than the paper's Golden-Cove machine.
+    assert rows[1]["unsafe-baseline_cycles"] >= rows[0]["unsafe-baseline_cycles"]
+    assert "golden-cove" in format_sweep(rows)
+
+
+def test_sweep_points_cover_every_config_and_design():
+    from repro.experiments.sweep import SWEEP_CONFIGS, SWEEP_DESIGNS, sweep_points
+
+    points = sweep_points(["ChaCha20_ct"])
+    assert len(points) == len(SWEEP_CONFIGS) * len(SWEEP_DESIGNS)
+    assert len({point.key() for point in points}) == len(points)

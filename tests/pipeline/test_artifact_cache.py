@@ -44,13 +44,21 @@ def test_cold_vs_warm_round_trip(artifact_cache, tmp_path):
 def test_simulation_results_persist_across_processes(artifact_cache):
     first = prepare_workload(WORKLOAD, cache=artifact_cache)
     cycles = first.simulate("cassandra").cycles
-    assert artifact_cache.entry_count() == 2  # workload payload + simulation
+    # workload payload + lowered trace + simulation
+    assert artifact_cache.entry_count() == 3
 
     warm_cache = ArtifactCache(root=artifact_cache.root)
     warm = prepare_workload(WORKLOAD, cache=warm_cache)
     result = warm.simulate("cassandra")
     assert result.cycles == cycles
-    assert warm_cache.stats.hits == 2  # artifact payload + simulation payload
+    # artifact payload + simulation payload (the lowered trace is not even
+    # loaded: the memoized simulation short-circuits before lowering).
+    assert warm_cache.stats.hits == 2
+
+    # A simulation point outside the persisted set reuses the lowered trace
+    # from disk instead of re-lowering.
+    warm.simulate("unsafe-baseline")
+    assert warm_cache.stats.hits == 3
 
 
 def test_trace_parameter_change_misses(artifact_cache):

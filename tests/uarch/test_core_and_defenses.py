@@ -143,3 +143,40 @@ def test_fetch_mechanism_accounting(chacha_artifacts):
     assert sim.stats.single_target_branches > 0
     assert sim.stats.btu_replayed > 0
     assert FetchMechanism.BTU.value == "btu"
+
+
+def test_reset_stats_clears_cache_counters(chacha_artifacts):
+    """Regression: warm-up accesses must not leak into measured miss rates.
+
+    ``reset_stats`` historically reset the pipeline/BPU/BTU counters but not
+    the cache statistics, so ``l1d_miss_rate`` / ``l1i_miss_rate`` aggregated
+    every warm-up pass into the measured pass's report.
+    """
+    kernel, result, bundle = chacha_artifacts
+    core = CoreModel(policy=UnsafeBaseline())
+    core.run(result.dynamic)
+    assert core.caches.l1d.stats.accesses > 0
+    assert core.icache.cache.stats.accesses > 0
+    core.reset_stats()
+    assert core.caches.l1d.stats.accesses == 0
+    assert core.caches.l2.stats.accesses == 0
+    assert core.caches.l3.stats.accesses == 0
+    assert core.icache.cache.stats.accesses == 0
+
+    measured = core.run(result.dynamic)
+    # The measured pass's counters cover exactly one pass over the stream.
+    assert core.icache.cache.stats.accesses == result.instruction_count
+    assert measured.stats.extra["l1i_miss_rate"] == core.icache.cache.stats.miss_rate
+
+
+def test_measured_miss_rates_exclude_warmup(chacha_artifacts):
+    """The warm measured pass must report near-zero miss rates, not the
+    warm-up's compulsory misses."""
+    kernel, result, bundle = chacha_artifacts
+    cold = simulate(kernel.program, policy=UnsafeBaseline(), result=result, warmup_passes=0)
+    warm = simulate(kernel.program, policy=UnsafeBaseline(), result=result, warmup_passes=1)
+    assert warm.stats.extra["l1d_miss_rate"] <= cold.stats.extra["l1d_miss_rate"]
+    assert warm.stats.extra["l1i_miss_rate"] <= cold.stats.extra["l1i_miss_rate"]
+    # After one full warm-up pass over a fixed stream the instruction
+    # working set is resident: the measured pass misses (almost) never.
+    assert warm.stats.extra["l1i_miss_rate"] < cold.stats.extra["l1i_miss_rate"] / 2
