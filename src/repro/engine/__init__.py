@@ -1,10 +1,30 @@
-"""``repro.engine`` — the columnar simulation engine.
+"""``repro.engine`` — the columnar simulation engine and its kernel layer.
 
 This package lowers the timing model onto flat integer columns so that the
 policy-independent cost of walking a workload's dynamic instruction stream
-is paid once per workload instead of once per simulation point.
+is paid once per workload instead of once per simulation point, and then
+compiles the measured pass itself per (policy × config).
 
-The layer contract, bottom to top:
+The specialization chain, fastest to most general — **each layer is
+required to be bit-identical to the one below it, and the layer below is
+always the golden model**::
+
+    kernels.get_kernel()   generated per-(EnginePolicySpec × CoreConfig)
+        │                  Python kernels over flat-array state: geometry
+        │                  constants inlined, dead policy branches dropped,
+        │                  cache models deleted under no-eviction residency
+        │                  proofs, trace-property statistics precomputed.
+        ▼
+    engine.run_trace()     the PR-2 interpreter: one generic loop over the
+        │                  columns, object unit models, every policy
+        │                  decision a runtime test.
+        ▼
+    CoreModel.run_reference()
+                           the seed object-based loop driving the full
+                           DefensePolicy hook protocol — the behavioural
+                           reference everything above is tested against.
+
+Layer tour, bottom to top:
 
 1. :mod:`repro.engine.lowering` — :func:`~repro.engine.lowering.lower_execution`
    turns an :class:`~repro.arch.executor.ExecutionResult` into a
@@ -12,20 +32,36 @@ The layer contract, bottom to top:
    latency classes, renamed register indices, memory word addresses, branch
    classes, and a flag bitmask.  **The lowering is policy- and
    config-independent** — one lowering serves every (policy × config ×
-   flush-interval) point of a sweep, and it is cacheable on disk as the
-   ``lowered-trace`` artifact kind.
+   flush-interval) point of a sweep, it is cacheable on disk as the
+   ``lowered-trace`` artifact kind, and
+   :meth:`~repro.engine.lowering.LoweredTrace.to_bytes` preserializes it for
+   the multiprocessing fan-out (and, eventually, cross-host sharding).
 2. :mod:`repro.engine.engine` — :func:`~repro.engine.engine.run_trace`
    replays a lowered trace under an
    :class:`~repro.uarch.defenses.base.EnginePolicySpec` with cycle
-   accounting bit-identical to the object-based reference loop
-   (:meth:`repro.uarch.core.CoreModel.run_reference`).
-3. :mod:`repro.engine.warmup` — component-wise warm-state construction:
+   accounting bit-identical to the reference loop.
+3. :mod:`repro.engine.state` — flat-array models of the
+   icache / d-cache hierarchy / BPU / BTU whose snapshot/restore is a
+   handful of C-level copies; the object models in :mod:`repro.uarch`
+   remain the behavioural source of truth.
+4. :mod:`repro.engine.kernels` — :func:`~repro.engine.kernels.get_kernel`
+   generates and ``exec``-compiles one measured-pass kernel per
+   (policy spec × config), cached per process.  The
+   ``REPRO_ENGINE_KERNELS=off`` environment switch
+   (:func:`~repro.engine.kernels.kernels_enabled`) is the escape hatch back
+   to ``run_trace``.
+5. :mod:`repro.engine.warmup` — component-wise warm-state construction:
    the icache / d-cache / BPU / BTU training effect of an untimed warm-up
    pass is computed by cheap program-order replays, snapshotted once per
-   (workload × config), and restored into every policy's measured pass.
-4. :mod:`repro.engine.batch` — :func:`~repro.engine.batch.simulate_batch`:
-   one call simulates many (policy × flush-interval × warm-up) points over
-   a shared lowering and shared warm state, returning
+   (workload × config), and restored into every policy's measured pass —
+   as unit-object state for the interpreter, as flat arrays for the
+   kernels.  Its residency proofs (``icache_resident`` /
+   ``dcache_resident``) license the kernels' cache-free variants.
+6. :mod:`repro.engine.batch` — :func:`~repro.engine.batch.simulate_batch`:
+   one call simulates many (policy × config × flush-interval × warm-up)
+   points over a shared lowering, shared warm state, and shared
+   per-workload kernel inputs (plans, premasked columns, BTU payloads),
+   deduplicating points whose specs canonicalize identically — returning
    :class:`~repro.uarch.core.SimulationResult` objects bit-identical to the
    legacy per-point path.
 """
@@ -48,6 +84,11 @@ _LAZY_EXPORTS = {
     "BatchStats": ("repro.engine.batch", "BatchStats"),
     "PointSpec": ("repro.engine.batch", "PointSpec"),
     "simulate_batch": ("repro.engine.batch", "simulate_batch"),
+    "FlatState": ("repro.engine.state", "FlatState"),
+    "get_kernel": ("repro.engine.kernels", "get_kernel"),
+    "kernel_source": ("repro.engine.kernels", "kernel_source"),
+    "kernels_enabled": ("repro.engine.kernels", "kernels_enabled"),
+    "KERNELS_ENV": ("repro.engine.kernels", "KERNELS_ENV"),
 }
 
 __all__ = [

@@ -80,6 +80,37 @@ def bclass_of(opcode: Opcode) -> int:
     return _BCLASS_OF_OPCODE.get(opcode, B_NONE)
 
 
+def _build_opinfo() -> Dict[int, Tuple[bool, bool, bool, int, int]]:
+    """Predecode per-opcode facts, keyed by ``id(member)``.
+
+    Enum members are process-lifetime singletons, and ``Enum.__hash__`` is a
+    Python-level call — hashing members per dynamic instruction made the
+    opcode lookups one of the lowering's dominant costs.  An ``id``-keyed
+    dict turns each lookup into a C-level int hash.  Values:
+    ``(is_load, is_store, is_leak, static_lat, bclass)`` where
+    ``static_lat`` is the latency class fixed by the opcode alone (0 for
+    "ALU unless the instruction is a branch").
+    """
+    info: Dict[int, Tuple[bool, bool, bool, int, int]] = {}
+    for op in Opcode:
+        if op is Opcode.MUL:
+            lat = LAT_MUL
+        elif op is Opcode.DIV or op is Opcode.MOD:
+            lat = LAT_DIV
+        elif op is Opcode.STORE:
+            lat = LAT_STORE
+        else:
+            lat = LAT_ALU
+        info[id(op)] = (
+            op is Opcode.LOAD,
+            op is Opcode.STORE,
+            op is Opcode.LEAK,
+            lat,
+            _BCLASS_OF_OPCODE.get(op, B_NONE),
+        )
+    return info
+
+
 @dataclass
 class LoweredTrace:
     """The columnar, policy-independent timing trace of one execution.
@@ -126,22 +157,54 @@ class LoweredTrace:
             self.bclass,
         )
 
+    def to_bytes(self) -> bytes:
+        """Serialize the columns to a compact byte payload.
+
+        Used by the fork fan-out: the parent lowers once and ships the
+        preserialized payload, so each worker materializes the columns with
+        one C-level unpickle instead of re-walking the object stream (or
+        re-pickling ``DynamicInstruction`` objects).  The payload is also
+        host-portable, which the cross-host sharding direction needs.
+        """
+        import pickle
+
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def from_bytes(payload: bytes) -> "LoweredTrace":
+        """Rebuild a trace serialized by :meth:`to_bytes` (version-checked)."""
+        import pickle
+
+        trace = pickle.loads(payload)
+        if not isinstance(trace, LoweredTrace):
+            raise TypeError(f"payload does not hold a LoweredTrace: {type(trace)!r}")
+        if trace.format_version != LOWERING_FORMAT_VERSION:
+            raise ValueError(
+                f"lowered-trace payload has format {trace.format_version}, "
+                f"this build expects {LOWERING_FORMAT_VERSION}"
+            )
+        return trace
+
+
+_OPINFO = _build_opinfo()
+
 
 def lower_dynamic(
     dynamic: Sequence[DynamicInstruction], program_name: str = "program"
 ) -> LoweredTrace:
-    """Lower a dynamic instruction stream into its columnar form."""
+    """Lower a dynamic instruction stream into its columnar form.
+
+    This is the hot path of cold workload preparation (one walk over every
+    dynamic instruction), so the loop is tuned: opcode facts come from the
+    ``id``-keyed :func:`_build_opinfo` table, the register rename is inlined,
+    and the column appends are pre-bound.  The produced trace is
+    bit-identical to the straightforward formulation (the engine parity
+    tests would catch any drift).
+    """
     n = len(dynamic)
     reg_index: Dict[str, int] = {}
     reg_names: List[str] = []
-
-    def rename(reg: str) -> int:
-        index = reg_index.get(reg)
-        if index is None:
-            index = len(reg_names)
-            reg_index[reg] = index
-            reg_names.append(reg)
-        return index
+    rename_get = reg_index.get
 
     pcs: List[int] = []
     next_pcs: List[int] = []
@@ -153,55 +216,88 @@ def lower_dynamic(
     flags_col: List[int] = []
     lat_col: List[int] = []
     bclass_col: List[int] = []
-    max_pc = 0
+    pcs_append = pcs.append
+    next_pcs_append = next_pcs.append
+    dst_append = dst_col.append
+    src0_append = src0.append
+    src1_append = src1.append
+    src2_append = src2.append
+    mem_append = mem.append
+    flags_append = flags_col.append
+    lat_append = lat_col.append
+    bclass_append = bclass_col.append
+    opinfo = _OPINFO
 
     for dyn in dynamic:
-        opcode = dyn.opcode
-        flags = 0
+        is_load, is_store, is_leak, lat, bclass = opinfo[id(dyn.opcode)]
         mem_address = dyn.mem_address
-        if opcode is Opcode.LOAD and mem_address is not None:
-            flags |= F_LOAD
-        elif opcode is Opcode.STORE and mem_address is not None:
-            flags |= F_STORE
-        if dyn.is_branch:
+        is_branch = dyn.is_branch
+        flags = 0
+        if mem_address is None:
+            mem_address = -1
+        elif is_load:
+            flags = F_LOAD
+        elif is_store:
+            flags = F_STORE
+        if is_branch:
             flags |= F_BRANCH
+            if lat == LAT_ALU:
+                lat = LAT_BRANCH
         if dyn.crypto:
             flags |= F_CRYPTO
         if dyn.secret_operand:
             flags |= F_SECRET
-        if opcode is Opcode.LEAK:
+        if is_leak:
             flags |= F_LEAK
         if dyn.taken:
             flags |= F_TAKEN
 
-        if opcode is Opcode.MUL:
-            lat = LAT_MUL
-        elif opcode is Opcode.DIV or opcode is Opcode.MOD:
-            lat = LAT_DIV
-        elif opcode is Opcode.STORE:
-            lat = LAT_STORE
-        elif dyn.is_branch:
-            lat = LAT_BRANCH
+        dst = dyn.dst
+        if dst is None:
+            dst_i = -1
         else:
-            lat = LAT_ALU
-
+            dst_i = rename_get(dst)
+            if dst_i is None:
+                dst_i = len(reg_names)
+                reg_index[dst] = dst_i
+                reg_names.append(dst)
         srcs = dyn.srcs
+        s0 = s1 = s2 = -1
         n_srcs = len(srcs)
-        pcs.append(dyn.pc)
-        next_pcs.append(dyn.next_pc)
-        dst_col.append(rename(dyn.dst) if dyn.dst is not None else -1)
-        src0.append(rename(srcs[0]) if n_srcs > 0 else -1)
-        src1.append(rename(srcs[1]) if n_srcs > 1 else -1)
-        src2.append(rename(srcs[2]) if n_srcs > 2 else -1)
-        mem.append(mem_address if mem_address is not None else -1)
-        flags_col.append(flags)
-        lat_col.append(lat)
-        bclass_col.append(_BCLASS_OF_OPCODE.get(opcode, B_NONE))
-        if dyn.pc > max_pc:
-            max_pc = dyn.pc
-        if dyn.next_pc > max_pc:
-            max_pc = dyn.next_pc
+        if n_srcs:
+            reg = srcs[0]
+            s0 = rename_get(reg)
+            if s0 is None:
+                s0 = len(reg_names)
+                reg_index[reg] = s0
+                reg_names.append(reg)
+            if n_srcs > 1:
+                reg = srcs[1]
+                s1 = rename_get(reg)
+                if s1 is None:
+                    s1 = len(reg_names)
+                    reg_index[reg] = s1
+                    reg_names.append(reg)
+                if n_srcs > 2:
+                    reg = srcs[2]
+                    s2 = rename_get(reg)
+                    if s2 is None:
+                        s2 = len(reg_names)
+                        reg_index[reg] = s2
+                        reg_names.append(reg)
 
+        pcs_append(dyn.pc)
+        next_pcs_append(dyn.next_pc)
+        dst_append(dst_i)
+        src0_append(s0)
+        src1_append(s1)
+        src2_append(s2)
+        mem_append(mem_address)
+        flags_append(flags)
+        lat_append(lat)
+        bclass_append(bclass)
+
+    max_pc = max(max(pcs, default=0), max(next_pcs, default=0))
     return LoweredTrace(
         program_name=program_name,
         n=n,

@@ -1,0 +1,209 @@
+"""Flat-array microarchitectural state for the generated kernels.
+
+The object models in :mod:`repro.uarch` (``Cache``, ``BranchPredictionUnit``,
+``BranchTraceUnit``) are the golden reference: every behavioural question is
+settled by them.  The generated kernels of :mod:`repro.engine.kernels` do not
+call them — they iterate over the flat representations defined here, chosen
+so that
+
+* the hot per-instruction structures are plain integer lists a kernel indexes
+  with inlined geometry constants (no per-access dict hashing for the L1s,
+  no attribute lookups, no per-branch method calls); and
+* snapshot / restore for warm-up sharing is a handful of C-level
+  ``list(...)`` / ``dict(...)`` copies instead of rebuilding unit objects.
+
+Representations (all bit-equivalent to the object models by construction;
+``tests/engine/test_kernel_parity.py`` asserts it end to end):
+
+* **L1I / L1D** — one flat list of ``num_sets * associativity`` tags.  Each
+  set owns the segment ``[set*assoc, (set+1)*assoc)`` kept in LRU→MRU order
+  and left-padded with ``-1`` (tags are non-negative, so the padding can
+  never match).  A hit deletes the tag and re-inserts it at the segment's
+  MRU end; a miss shifts the whole segment left by one — which drops either
+  a pad or the true LRU victim — and installs at the MRU end.  Both are two
+  C-level ``del``/``insert`` memmoves and reproduce ``Cache.access`` exactly.
+* **L2 / L3** — sparse ``{set_index: [tags LRU→MRU]}`` dicts, the same shape
+  ``Cache`` uses internally (these levels are touched only on L1D misses,
+  and dense arrays for a 30 MB L3 would make per-point restore the dominant
+  cost again).
+* **BPU** — the PHT as a flat list, the history register as an int, the BTB
+  as a ``{pc: target}`` dict, the RSB as a list, and the loop predictor as
+  ``{pc: [current_run, last_trip, confidence]}`` rows (a list per branch
+  instead of a ``_LoopEntry`` object, so the kernel mutates indices, not
+  attributes).
+* **BTU** — the immutable replay payload (targets / element ids / long-trace
+  flags, extracted once per workload via
+  :meth:`repro.uarch.btu.BranchTraceUnit.replay_data`) is shared read-only by
+  every point; the mutable part is two ``{pc: int}`` position dicts plus the
+  residency list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.uarch.config import CoreConfig
+
+#: Immutable per-workload BTU replay payload:
+#: ``(targets, element_ids, long_trace)`` keyed by branch PC.
+BtuReplayData = Tuple[Dict[int, List[int]], Dict[int, List[int]], Dict[int, bool]]
+
+#: The empty payload used when a point has no trace bundle.
+EMPTY_BTU_DATA: BtuReplayData = ({}, {}, {})
+
+
+# --------------------------------------------------------------------------- #
+# Flat cache conversions
+# --------------------------------------------------------------------------- #
+def flat_cache_new(num_sets: int, associativity: int) -> List[int]:
+    """An empty flat cache: every segment all padding."""
+    return [-1] * (num_sets * associativity)
+
+
+def flat_cache_from_sets(
+    sets: Dict[int, List[int]], num_sets: int, associativity: int
+) -> List[int]:
+    """Convert a ``Cache.snapshot_state()`` dict into the flat layout.
+
+    Ways arrive LRU→MRU and are right-aligned into their segment so that the
+    kernel's shift-left-install keeps exactly the object model's eviction
+    order.
+    """
+    flat = [-1] * (num_sets * associativity)
+    for index, ways in sets.items():
+        n = len(ways)
+        if n > associativity:  # pragma: no cover - snapshot invariant
+            raise ValueError(f"set {index} holds {n} ways > associativity")
+        end = index * associativity + associativity
+        flat[end - n : end] = ways
+    return flat
+
+
+def flat_cache_to_sets(
+    flat: List[int], num_sets: int, associativity: int
+) -> Dict[int, List[int]]:
+    """The inverse conversion (occupied sets only), for tests and snapshots."""
+    sets: Dict[int, List[int]] = {}
+    for index in range(num_sets):
+        base = index * associativity
+        ways = [tag for tag in flat[base : base + associativity] if tag >= 0]
+        if ways:
+            sets[index] = ways
+    return sets
+
+
+def copy_sparse_sets(sets: Dict[int, List[int]]) -> Dict[int, List[int]]:
+    """A point-private copy of a sparse L2/L3 snapshot."""
+    return {index: list(ways) for index, ways in sets.items()}
+
+
+# --------------------------------------------------------------------------- #
+# Flat BPU conversions
+# --------------------------------------------------------------------------- #
+#: ``(pht, history, btb, rsb, loops_rows)`` — the kernel-side BPU state.
+FlatBpu = Tuple[List[int], int, Dict[int, int], List[int], Dict[int, List[int]]]
+
+
+def flat_bpu_new(config: CoreConfig) -> FlatBpu:
+    """A freshly constructed predictor (weakly-taken PHT, empty tables)."""
+    return ([2] * (1 << config.pht_bits), 0, {}, [], {})
+
+
+def flat_bpu_from_snapshot(snapshot: Tuple) -> FlatBpu:
+    """Convert a ``BranchPredictionUnit.snapshot_state()`` tuple."""
+    pht, history, btb, rsb, loops = snapshot
+    rows = {pc: [run, trip, conf] for pc, (run, trip, conf) in loops.items()}
+    return (list(pht), history, dict(btb), list(rsb), rows)
+
+
+def copy_flat_bpu(bpu: FlatBpu) -> FlatBpu:
+    pht, history, btb, rsb, loops = bpu
+    return (list(pht), history, dict(btb), list(rsb), {pc: list(row) for pc, row in loops.items()})
+
+
+# --------------------------------------------------------------------------- #
+# Flat BTU conversions
+# --------------------------------------------------------------------------- #
+#: ``(positions, committed, resident)`` — the mutable per-point BTU state.
+FlatBtu = Tuple[Dict[int, int], Dict[int, int], List[int]]
+
+
+def flat_btu_new(data: BtuReplayData) -> FlatBtu:
+    targets, _eids, _long = data
+    return ({pc: 0 for pc in targets}, {pc: 0 for pc in targets}, [])
+
+
+def flat_btu_from_snapshot(snapshot: Tuple) -> FlatBtu:
+    """Convert a ``BranchTraceUnit.snapshot_state()`` tuple."""
+    positions, resident = snapshot
+    pos = {pc: position for pc, (position, _committed) in positions.items()}
+    committed = {pc: comm for pc, (_position, comm) in positions.items()}
+    return (pos, committed, list(resident))
+
+
+def copy_flat_btu(btu: FlatBtu) -> FlatBtu:
+    pos, committed, resident = btu
+    return (dict(pos), dict(committed), list(resident))
+
+
+# --------------------------------------------------------------------------- #
+# The per-point state bundle
+# --------------------------------------------------------------------------- #
+class FlatState:
+    """All mutable microarchitectural state one kernel invocation touches.
+
+    Everything here is plain lists / dicts / ints; the kernel binds each
+    field to a local once and mutates in place (``history`` is written back
+    at the end of the run).  The BTU replay payload fields are shared
+    read-only across every point of a workload.
+    """
+
+    __slots__ = (
+        "l1i",
+        "l1d",
+        "l2",
+        "l3",
+        "pht",
+        "history",
+        "btb",
+        "rsb",
+        "loops",
+        "btu_targets",
+        "btu_eids",
+        "btu_long",
+        "btu_pos",
+        "btu_committed",
+        "btu_resident",
+    )
+
+    def __init__(self, config: CoreConfig, btu_data: Optional[BtuReplayData] = None) -> None:
+        data = btu_data if btu_data is not None else EMPTY_BTU_DATA
+        self.l1i = flat_cache_new(config.l1i.num_sets, config.l1i.associativity)
+        self.l1d = flat_cache_new(config.l1d.num_sets, config.l1d.associativity)
+        self.l2: Dict[int, List[int]] = {}
+        self.l3: Dict[int, List[int]] = {}
+        self.pht, self.history, self.btb, self.rsb, self.loops = flat_bpu_new(config)
+        self.btu_targets, self.btu_eids, self.btu_long = data
+        self.btu_pos, self.btu_committed, self.btu_resident = flat_btu_new(data)
+
+    # ------------------------------------------------------------------ #
+    # Warm-state restore (cheap array copies)
+    # ------------------------------------------------------------------ #
+    def restore_icache(self, flat: List[int]) -> None:
+        self.l1i[:] = flat
+
+    def restore_dcache(
+        self, l1d: List[int], l2: Dict[int, List[int]], l3: Dict[int, List[int]]
+    ) -> None:
+        self.l1d[:] = l1d
+        self.l2 = copy_sparse_sets(l2)
+        self.l3 = copy_sparse_sets(l3)
+
+    def restore_bpu(self, bpu: FlatBpu) -> None:
+        self.pht, self.history, self.btb, self.rsb, self.loops = copy_flat_bpu(bpu)
+
+    def restore_btu(self, btu: FlatBtu) -> None:
+        self.btu_pos, self.btu_committed, self.btu_resident = copy_flat_btu(btu)
+
+    def btu_occupancy(self) -> int:
+        return len(self.btu_resident)

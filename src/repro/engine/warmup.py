@@ -46,6 +46,12 @@ from repro.engine.engine import (
     crypto_pc_table,
 )
 from repro.engine.lowering import F_BRANCH, F_CRYPTO, F_LOAD, F_TAKEN, LoweredTrace
+from repro.engine.state import (
+    FlatState,
+    flat_bpu_from_snapshot,
+    flat_btu_from_snapshot,
+    flat_cache_from_sets,
+)
 from repro.uarch.bpu import BranchPredictionUnit
 from repro.uarch.btu import BranchTraceUnit
 from repro.uarch.caches import CacheHierarchy, InstructionCache
@@ -75,6 +81,8 @@ class WarmStateBuilder:
         self._branch_rows: List[Tuple[int, int, int, bool, bool]] = []
         self._mem_rows: List[Tuple[bool, int]] = []
         self._forwarding_shareable: Optional[bool] = None
+        self._icache_resident: Optional[bool] = None
+        self._dcache_resident: Optional[bool] = None
 
     # ------------------------------------------------------------------ #
     # Event-row extraction (one pass over the columns, shared by replays)
@@ -184,6 +192,118 @@ class WarmStateBuilder:
             return unit.snapshot_state()
 
         return self._snapshot("btu", "replay", passes, compute)
+
+    # ------------------------------------------------------------------ #
+    # Flat conversions (the generated-kernel path)
+    # ------------------------------------------------------------------ #
+    # Each flat snapshot is derived from the corresponding object snapshot
+    # (so the golden replay logic runs exactly once either way) and cached
+    # under its own key; per-point restoration is then just array copies.
+    def _flat_icache(self, passes: int):
+        cfg = self.config.l1i
+        return self._snapshot(
+            "flat-icache",
+            "seq",
+            passes,
+            lambda: flat_cache_from_sets(
+                self._icache_state(passes), cfg.num_sets, cfg.associativity
+            ),
+        )
+
+    def _flat_dcache(self, passes: int):
+        def compute():
+            l1d_sets, l2_sets, l3_sets = self._dcache_state(passes)
+            cfg = self.config.l1d
+            flat = flat_cache_from_sets(l1d_sets, cfg.num_sets, cfg.associativity)
+            return (flat, l2_sets, l3_sets)
+
+        return self._snapshot("flat-dcache", "seq", passes, compute)
+
+    def _flat_bpu(self, cls: str, passes: int):
+        return self._snapshot(
+            "flat-bpu",
+            cls,
+            passes,
+            lambda: flat_bpu_from_snapshot(self._bpu_state(cls, passes)),
+        )
+
+    def _flat_btu(self, passes: int):
+        return self._snapshot(
+            "flat-btu",
+            "replay",
+            passes,
+            lambda: flat_btu_from_snapshot(self._btu_state(passes)),
+        )
+
+    def warm_flat(
+        self,
+        spec: EnginePolicySpec,
+        passes: int,
+        state: FlatState,
+        need_icache: bool = True,
+        need_dcache: bool = True,
+    ) -> None:
+        """Restore the shared warm state into a kernel's :class:`FlatState`.
+
+        The flat counterpart of :meth:`warm_units`: identical component
+        selection, identical snapshots underneath, restoration by cheap
+        array/dict copies.  ``need_icache`` / ``need_dcache`` are cleared
+        for residency-proved kernels, whose measured pass never reads the
+        corresponding arrays — the warm replay for that component is then
+        skipped entirely.
+        """
+        if passes <= 0:
+            return
+        if need_icache:
+            state.restore_icache(self._flat_icache(passes))
+        if need_dcache:
+            l1d, l2_sets, l3_sets = self._flat_dcache(passes)
+            state.restore_dcache(l1d, l2_sets, l3_sets)
+        state.restore_bpu(self._flat_bpu(spec.bpu_warm_class, passes))
+        if spec.btu_warm_class == "replay":
+            state.restore_btu(self._flat_btu(passes))
+
+    # ------------------------------------------------------------------ #
+    # Residency proofs (the generated kernels' cache-elision licence)
+    # ------------------------------------------------------------------ #
+    # Both proofs are static per (trace, geometry): if every cache set is
+    # asked to hold at most ``associativity`` distinct lines over the whole
+    # trace, no eviction can ever happen — so once a warm pass has touched
+    # every line, a measured pass cannot miss, and the kernel may drop the
+    # cache model entirely (miss counters are analytically zero).  The
+    # d-cache proof additionally makes the shared warm state exact under
+    # store forwarding: a skipped forwarded-load access can only change LRU
+    # *order*, which is unobservable when no eviction ever consults it (the
+    # forwarded-from store already installed the line at every level).
+
+    def icache_resident(self) -> bool:
+        """No L1I eviction is possible for this program (4-byte slots)."""
+        if self._icache_resident is None:
+            cfg = self.config.l1i
+            per_set: Dict[int, set] = {}
+            for pc in set(self.trace.pcs):
+                line = (pc * 4) // cfg.line_bytes
+                per_set.setdefault(line % cfg.num_sets, set()).add(line // cfg.num_sets)
+            self._icache_resident = all(
+                len(tags) <= cfg.associativity for tags in per_set.values()
+            )
+        return self._icache_resident
+
+    def dcache_resident(self) -> bool:
+        """No L1D eviction is possible for this trace's data footprint."""
+        if self._dcache_resident is None:
+            cfg = self.config.l1d
+            word_bytes = self.config.word_bytes
+            per_set: Dict[int, set] = {}
+            for addr in set(self.trace.mem):
+                if addr < 0:
+                    continue
+                line = (addr * word_bytes) // cfg.line_bytes
+                per_set.setdefault(line % cfg.num_sets, set()).add(line // cfg.num_sets)
+            self._dcache_resident = all(
+                len(tags) <= cfg.associativity for tags in per_set.values()
+            )
+        return self._dcache_resident
 
     # ------------------------------------------------------------------ #
     # Exactness guard for forwarding-allowed policies

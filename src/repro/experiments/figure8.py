@@ -4,9 +4,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from repro.crypto.synthetic import build_synthetic, mix_labels
+from repro.crypto.synthetic import mix_labels
 from repro.experiments.registry import ExperimentSpec, register_experiment
-from repro.experiments.runner import WorkloadArtifacts, artifacts_for_kernel, format_table
+from repro.experiments.runner import WorkloadArtifacts, format_table
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.pipeline.artifacts import ArtifactCache
@@ -29,26 +29,37 @@ def run_figure8(
     The synthetic mixes are not part of the 22-workload registry, but their
     execution, tracing, and simulations flow through the same shared
     pipeline machinery, so an attached artifact cache persists them too.
-    All (mix × design) simulation points fan out through the same grouped
+    *Preparation* builds the mixes from picklable (primitive, mix)
+    :class:`~repro.pipeline.parallel.KernelSpec`\\ s inside worker processes
+    (one per mix) instead of serially in the parent, and all (mix × design)
+    simulation points fan out through the same grouped
     :func:`~repro.pipeline.parallel.simulate_points` batching as the
-    registry workloads instead of being simulated serially per mix.
+    registry workloads.
     """
-    from repro.pipeline.parallel import SimulationPoint, simulate_points
+    from repro.pipeline.parallel import (
+        KernelSpec,
+        SimulationPoint,
+        prepare_kernels_parallel,
+        simulate_points,
+    )
 
     if pipeline is not None:
         cache = pipeline.cache if cache is None else cache
         jobs = pipeline.jobs
     mixes = list(mixes) if mixes is not None else mix_labels()
-    artifacts: List[WorkloadArtifacts] = [
-        artifacts_for_kernel(
-            build_synthetic(primitive, mix),
-            suite="synthetic",
+    specs = [
+        KernelSpec(
+            kind="synthetic",
             name=f"synthetic-{primitive}-{mix}",
-            cache=cache,
+            args=(primitive, mix),
+            suite="synthetic",
         )
         for primitive in primitives
         for mix in mixes
     ]
+    artifacts: List[WorkloadArtifacts] = prepare_kernels_parallel(
+        specs, cache=cache, jobs=jobs
+    )
     simulate_points(
         artifacts,
         (

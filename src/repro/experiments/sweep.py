@@ -21,13 +21,17 @@ from repro.experiments.runner import (
     geometric_mean,
     prepare_workloads,
 )
-from repro.uarch.config import GOLDEN_COVE_LIKE, BtuConfig, CoreConfig
+from repro.uarch.config import GOLDEN_COVE_LIKE, BtuConfig, CacheConfig, CoreConfig
 
 #: Designs compared at every configuration point.
 SWEEP_DESIGNS = ("unsafe-baseline", "cassandra")
 
 #: The swept configurations, label -> CoreConfig.  ``golden-cove`` is the
-#: paper's Table 3 machine; the rest shrink one axis at a time.
+#: paper's Table 3 machine; the rest shrink one axis at a time: ROB depth,
+#: machine width, BTU sizing, cache geometry (a half-size direct-er-mapped
+#: L1D and a slimmer L2), and predictor sizing (PHT/history bits and
+#: BTB/RSB entries).  Every point rides the same grouped
+#: ``simulate_points`` fan-out and per-workload kernel batches.
 SWEEP_CONFIGS: Tuple[Tuple[str, CoreConfig], ...] = (
     ("golden-cove", GOLDEN_COVE_LIKE),
     ("rob-256", CoreConfig(rob_size=256)),
@@ -38,6 +42,14 @@ SWEEP_CONFIGS: Tuple[Tuple[str, CoreConfig], ...] = (
     ),
     ("btu-8", CoreConfig(btu=BtuConfig(entries=8))),
     ("btu-4x8", CoreConfig(btu=BtuConfig(entries=4, elements_per_entry=8))),
+    # Cache-geometry axis: a 32 KB / 8-way L1D (more conflict pressure on
+    # the same 64 sets) and a 512 KB / 8-way L2 with a faster hit.
+    ("l1d-32k-8w", CoreConfig(l1d=CacheConfig(32 * 1024, 64, 8, 5, name="L1D"))),
+    ("l2-512k", CoreConfig(l2=CacheConfig(512 * 1024, 64, 8, 12, name="L2"))),
+    # Predictor-sizing axis: a 1K-entry PHT with matching short history,
+    # and a small BTB/RSB (indirect and return pressure).
+    ("pht-10b", CoreConfig(pht_bits=10, global_history_bits=10)),
+    ("btb-512", CoreConfig(btb_entries=512, rsb_entries=8)),
 )
 
 

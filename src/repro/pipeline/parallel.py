@@ -6,11 +6,18 @@ Two axes parallelize independently:
   is pure and isolated, so workers compute ``(ExecutionResult, TraceBundle)``
   payloads and ship them back pickled (the ``KernelProgram`` itself holds
   unpicklable verify closures and is rebuilt in the parent, which is cheap).
+  Preparation covers both the 22-workload registry *and* non-registry
+  kernels described by a :class:`KernelSpec` — e.g. the Figure 8 synthetic
+  (primitive, mix) grid — so workers build the kernel from its spec instead
+  of the parent serializing an unpicklable program object.
 * **Simulation** — every (workload × design × config × flush × warmup) point
   is independent.  Workers are forked *after* the parent has prepared the
-  artifacts, so they inherit the prepared state by copy-on-write and only the
-  small task tuples and ``SimulationResult`` payloads cross process
-  boundaries.
+  artifacts, so they inherit the prepared state by copy-on-write; the parent
+  additionally lowers each workload once and publishes the columnar trace as
+  preserialized bytes (:meth:`LoweredTrace.to_bytes`), so workers
+  materialize the columns with one C-level unpickle instead of re-walking
+  the per-instruction object stream, and only the small task tuples and
+  ``SimulationResult`` payloads cross process boundaries.
 
 Both paths fall back to serial execution when ``jobs <= 1``, when there is
 only one task, or when the platform lacks the ``fork`` start method — results
@@ -22,14 +29,16 @@ from __future__ import annotations
 import multiprocessing
 import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.tracegen import TraceParameters
 from repro.crypto.workloads import workload_names
+from repro.engine.lowering import LoweredTrace
 from repro.experiments.runner import (
     DesignPoint,
     SimulationKey,
     WorkloadArtifacts,
+    artifacts_for_kernel,
     prepare_workload,
     simulation_key,
 )
@@ -75,11 +84,122 @@ def workload_artifact_digest(kernel, params: TraceParameters) -> str:
 # --------------------------------------------------------------------------- #
 # Parallel preparation
 # --------------------------------------------------------------------------- #
-def _prepare_task(task: Tuple[str, Optional[str], TraceParameters]):
-    name, cache_root, params = task
+@dataclass(frozen=True)
+class KernelSpec:
+    """A picklable description of how to (re)build one kernel program.
+
+    ``KernelProgram`` objects hold unpicklable verify closures, so the
+    parallel preparation ships *specs* instead: each worker rebuilds the
+    kernel from the spec (cheap), then runs the expensive execution +
+    Algorithm 2 tracing.  ``kind`` selects a builder from
+    :data:`KERNEL_BUILDERS`; ``args`` are its positional arguments.
+
+    * ``KernelSpec("registry", "SHA-256")`` — a registry workload;
+    * ``KernelSpec("synthetic", "synthetic-chacha20-90s/10c",
+      args=("chacha20", "90s/10c"))`` — a Figure 8 (primitive, mix) point.
+    """
+
+    kind: str
+    name: str
+    args: Tuple = ()
+    suite: str = ""
+
+    def build(self):
+        try:
+            builder = KERNEL_BUILDERS[self.kind]
+        except KeyError:
+            raise KeyError(
+                f"unknown kernel spec kind {self.kind!r}; "
+                f"known: {sorted(KERNEL_BUILDERS)}"
+            ) from None
+        return builder(self)
+
+
+def _build_registry_kernel(spec: KernelSpec):
+    from repro.crypto.workloads import get_workload
+
+    return get_workload(spec.name).kernel()
+
+
+def _build_synthetic_kernel(spec: KernelSpec):
+    from repro.crypto.synthetic import build_synthetic
+
+    return build_synthetic(*spec.args)
+
+
+KERNEL_BUILDERS: Dict[str, Callable[[KernelSpec], object]] = {
+    "registry": _build_registry_kernel,
+    "synthetic": _build_synthetic_kernel,
+}
+
+
+def _prepare_kernel_task(task: Tuple[KernelSpec, Optional[str], TraceParameters]):
+    spec, cache_root, params = task
     cache = ArtifactCache(root=cache_root) if cache_root else None
-    artifact = prepare_workload(name, cache=cache, trace_params=params)
-    return name, artifact.result, artifact.bundle
+    artifact = _prepare_from_spec(spec, cache=cache, params=params)
+    return spec.name, artifact.result, artifact.bundle
+
+
+def _prepare_from_spec(
+    spec: KernelSpec,
+    cache: Optional[ArtifactCache],
+    params: TraceParameters,
+) -> WorkloadArtifacts:
+    """Build + execute + trace one spec through the shared cache path."""
+    if spec.kind == "registry":
+        return prepare_workload(spec.name, cache=cache, trace_params=params)
+    return artifacts_for_kernel(
+        spec.build(),
+        suite=spec.suite or spec.kind,
+        name=spec.name,
+        cache=cache,
+        trace_params=params,
+    )
+
+
+def prepare_kernels_parallel(
+    specs: Sequence[KernelSpec],
+    cache: Optional[ArtifactCache] = None,
+    jobs: int = 0,
+    trace_params: Optional[TraceParameters] = None,
+) -> List[WorkloadArtifacts]:
+    """Prepare arbitrary kernel specs across worker processes.
+
+    Workers build each kernel from its spec, run the sequential execution
+    and Algorithm 2 tracing, warm the shared disk cache (when one is
+    configured), and return the ``(result, bundle)`` payloads; the parent
+    seeds its own cache with them and assembles the final
+    :class:`WorkloadArtifacts` — including the per-workload correctness
+    check — through the exact same serial code path.
+    """
+    specs = list(specs)
+    by_name = {spec.name: spec for spec in specs}
+    if len(by_name) != len(specs):
+        # Worker payloads come back keyed by name; a duplicate would seed
+        # one spec's artifacts under another spec's digest without error.
+        raise ValueError("kernel specs must have unique names")
+    params = trace_params or TraceParameters()
+    jobs = jobs or default_jobs()
+    context = _fork_context()
+    if jobs <= 1 or len(specs) <= 1 or context is None:
+        return [_prepare_from_spec(spec, cache=cache, params=params) for spec in specs]
+
+    cache_root = cache.root if cache is not None else None
+    tasks = [(spec, cache_root, params) for spec in specs]
+    with context.Pool(processes=min(jobs, len(tasks))) as pool:
+        payloads = pool.map(_prepare_kernel_task, tasks, chunksize=1)
+
+    # Seed the parent's in-memory memo so assembly below never recomputes;
+    # workers already persisted the payloads when the cache is disk-backed,
+    # so a second disk write here would be pure waste.
+    parent_cache = cache if cache is not None else ArtifactCache(root=None)
+    for name, result, bundle in payloads:
+        kernel = by_name[name].build()
+        digest = workload_artifact_digest(kernel, params)
+        parent_cache.memoize("workload-artifacts", name, digest, (result, bundle))
+    return [
+        _prepare_from_spec(spec, cache=parent_cache, params=params) for spec in specs
+    ]
 
 
 def prepare_workloads_parallel(
@@ -88,37 +208,18 @@ def prepare_workloads_parallel(
     jobs: int = 0,
     trace_params: Optional[TraceParameters] = None,
 ) -> List[WorkloadArtifacts]:
-    """Prepare workloads across worker processes.
+    """Prepare registry workloads across worker processes.
 
-    Workers warm the shared disk cache (when one is configured) and return
-    the ``(result, bundle)`` payloads; the parent seeds its own cache with
-    them and assembles the final :class:`WorkloadArtifacts` — including the
-    per-workload correctness check — through the exact same
-    :func:`prepare_workload` code path the serial mode uses.
+    A thin wrapper over :func:`prepare_kernels_parallel` with
+    ``registry``-kind specs, kept for the existing call sites.
     """
     chosen = list(names) if names is not None else workload_names()
-    params = trace_params or TraceParameters()
-    jobs = jobs or default_jobs()
-    context = _fork_context()
-    if jobs <= 1 or len(chosen) <= 1 or context is None:
-        return [prepare_workload(name, cache=cache, trace_params=params) for name in chosen]
-
-    cache_root = cache.root if cache is not None else None
-    tasks = [(name, cache_root, params) for name in chosen]
-    with context.Pool(processes=min(jobs, len(tasks))) as pool:
-        payloads = pool.map(_prepare_task, tasks, chunksize=1)
-
-    # Seed the parent's in-memory memo so assembly below never recomputes;
-    # workers already persisted the payloads when the cache is disk-backed,
-    # so a second disk write here would be pure waste.
-    parent_cache = cache if cache is not None else ArtifactCache(root=None)
-    from repro.crypto.workloads import get_workload
-
-    for name, result, bundle in payloads:
-        kernel = get_workload(name).kernel()
-        digest = workload_artifact_digest(kernel, params)
-        parent_cache.memoize("workload-artifacts", name, digest, (result, bundle))
-    return [prepare_workload(name, cache=parent_cache, trace_params=params) for name in chosen]
+    return prepare_kernels_parallel(
+        [KernelSpec(kind="registry", name=name) for name in chosen],
+        cache=cache,
+        jobs=jobs,
+        trace_params=trace_params,
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -145,15 +246,22 @@ class SimulationPoint(DesignPoint):
 #: Artifacts visible to forked simulation workers (set only around the pool).
 _FORK_ARTIFACTS: Dict[str, WorkloadArtifacts] = {}
 
-#: One worker task: every pending point of one workload, so the worker's
+#: One worker task: every pending point of one workload — so the worker's
 #: ``simulate_batch`` shares one lowering across them all (and warm-up state
-#: within each config).
-_BatchTask = Tuple[str, Tuple[SimulationPoint, ...]]
+#: within each config) — plus the workload's columnar trace preserialized by
+#: the parent.  Shipping the lowered columns as bytes means a worker's batch
+#: starts from one C-level unpickle instead of re-lowering the
+#: ``DynamicInstruction`` object stream per worker, and the same payload
+#: shape works where copy-on-write inheritance does not (spawn platforms,
+#: the cross-host sharding direction).
+_BatchTask = Tuple[str, Tuple[SimulationPoint, ...], bytes]
 
 
 def _simulate_batch_task(task: _BatchTask) -> Tuple[str, List[Tuple[SimulationKey, SimulationResult]]]:
-    name, points = task
-    results = _run_batch(_FORK_ARTIFACTS[name], points)
+    name, points, trace_payload = task
+    artifact = _FORK_ARTIFACTS[name]
+    artifact.result._lowered_trace = LoweredTrace.from_bytes(trace_payload)  # type: ignore[attr-defined]
+    results = _run_batch(artifact, points)
     return name, results
 
 
@@ -164,17 +272,25 @@ def _run_batch(
     return list(artifact.simulate_batch(points).items())
 
 
-def _group_points(pending: Sequence[SimulationPoint]) -> List[_BatchTask]:
-    """Group points by workload: one lowering per task, mixed configs inside.
+def _group_tasks(
+    groups: Dict[str, List[SimulationPoint]],
+    by_name: Dict[str, WorkloadArtifacts],
+) -> List[_BatchTask]:
+    """Worker tasks from per-workload groups: one lowering per task.
 
     The engine's ``simulate_batch`` keys its warm-state builders by config
     internally, so a single per-workload task still shares warm-up within
-    each config while computing the (config-independent) lowering once.
+    each config while computing the (config-independent) lowering once —
+    in the parent, whose preserialized columns every worker reuses.
     """
-    groups: Dict[str, List[SimulationPoint]] = {}
-    for point in pending:
-        groups.setdefault(point.workload, []).append(point)
-    return [(workload, tuple(points)) for workload, points in groups.items()]
+    return [
+        (
+            workload,
+            tuple(points),
+            by_name[workload].lowered_trace().to_bytes(),
+        )
+        for workload, points in groups.items()
+    ]
 
 
 def simulate_points(
@@ -211,13 +327,16 @@ def simulate_points(
 
     jobs = jobs or default_jobs()
     context = _fork_context()
-    tasks = _group_points(pending)
-    if jobs <= 1 or len(tasks) <= 1 or context is None:
-        for name, group in tasks:
+    groups: Dict[str, List[SimulationPoint]] = {}
+    for point in pending:
+        groups.setdefault(point.workload, []).append(point)
+    if jobs <= 1 or len(groups) <= 1 or context is None:
+        for name, group in groups.items():
             for key, result in _run_batch(by_name[name], group):
                 by_name[name].store_simulation(key, result)
         return len(pending)
 
+    tasks = _group_tasks(groups, by_name)
     global _FORK_ARTIFACTS
     _FORK_ARTIFACTS = dict(by_name)
     try:

@@ -182,6 +182,23 @@ class BranchTraceUnit:
     # ------------------------------------------------------------------ #
     # Warm-state snapshot / restore (shared warm-up across policies)
     # ------------------------------------------------------------------ #
+    def replay_data(self) -> Tuple[Dict[int, List[int]], Dict[int, List[int]], Dict[int, bool]]:
+        """The immutable replay payload the generated kernels share.
+
+        Returns ``(targets, element_ids, long_trace)`` keyed by branch PC —
+        exactly the per-branch data this unit decompressed in its
+        constructor.  The lists are the unit's own (they are never mutated
+        after construction), so extracting them once per workload lets every
+        simulation point reuse the expensive
+        :meth:`~BranchTraceUnit._element_ids` walk instead of re-running it
+        per point.
+        """
+        return (
+            {pc: state.targets for pc, state in self._states.items()},
+            {pc: state.element_ids for pc, state in self._states.items()},
+            dict(self._long_trace),
+        )
+
     def snapshot_state(self) -> Tuple[Dict[int, Tuple[int, int]], List[int]]:
         """Replay positions + residency; the (immutable) targets are shared."""
         positions = {

@@ -1,4 +1,4 @@
-"""Golden parity: the columnar engine vs the object-based reference loop.
+"""Golden parity: the batch paths vs the object-based reference loop.
 
 The hard acceptance criterion of the engine layer: ``simulate_batch`` must
 reproduce the seed model's cycles / IPC / statistic counters **bit-for-bit**
@@ -6,11 +6,17 @@ for every (workload × policy × flush-interval) of the quick suite.  The
 legacy side here is driven exclusively through
 :meth:`CoreModel.run_reference` — the original per-``DynamicInstruction``
 loop — with per-policy warm-up passes, exactly like the seed ``simulate()``.
+
+Every batch-driven test runs twice: once on the generated-kernel path (the
+default) and once with ``REPRO_ENGINE_KERNELS=off`` on the PR-2
+``run_trace`` interpreter, so both layers of the specialization chain stay
+pinned to the golden model.
 """
 
 import pytest
 
 from repro.engine.batch import BatchStats, PointSpec, simulate_batch
+from repro.engine.kernels import KERNELS_ENV
 from repro.experiments.runner import (
     DESIGN_BUILDERS,
     QUICK_WORKLOADS,
@@ -21,6 +27,13 @@ from repro.uarch.config import CoreConfig
 from repro.uarch.core import CoreModel
 
 ALL_DESIGNS = tuple(DESIGN_BUILDERS)
+
+
+@pytest.fixture(autouse=True, params=["kernels", "interpreter"])
+def engine_path(request, monkeypatch):
+    """Exercise both rungs of the chain: generated kernels and run_trace."""
+    monkeypatch.setenv(KERNELS_ENV, "on" if request.param == "kernels" else "off")
+    return request.param
 
 
 @pytest.fixture(scope="module")

@@ -1,13 +1,27 @@
-"""Warm-up sharing: once per (workload × config), not once per policy."""
+"""Warm-up sharing: once per (workload × config), not once per policy.
+
+These tests pin the PR-2 interpreter path's sharing machinery (component
+walks, snapshot round-trips, the forwarding exactness guard), so they run
+with ``REPRO_ENGINE_KERNELS=off``.  The generated-kernel path shares *more*
+(residency proofs skip whole component walks and measured-pass dedup skips
+whole points); its warm-up behaviour is asserted separately in
+``tests/engine/test_engine_kernels.py``.
+"""
 
 import pytest
 
 from repro.engine.batch import BatchStats, PointSpec, simulate_batch
+from repro.engine.kernels import KERNELS_ENV
 from repro.engine.warmup import WarmStateBuilder
 from repro.experiments.runner import DESIGN_BUILDERS, prepare_workload
 from repro.uarch.bpu import BranchPredictionUnit
 from repro.uarch.caches import Cache, CacheHierarchy
 from repro.uarch.config import GOLDEN_COVE_LIKE, CoreConfig
+
+
+@pytest.fixture(autouse=True)
+def _interpreter_path(monkeypatch):
+    monkeypatch.setenv(KERNELS_ENV, "off")
 
 ALL_DESIGNS = tuple(DESIGN_BUILDERS)
 

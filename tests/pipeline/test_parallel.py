@@ -1,7 +1,10 @@
 """Parallel preparation and simulation must match the serial path exactly."""
 
+import pytest
+
 from repro.experiments.runner import prepare_workload, simulation_key
 from repro.pipeline import ExperimentPipeline, SimulationPoint, prepare_workloads_parallel, simulate_points
+from repro.pipeline.parallel import KernelSpec, prepare_kernels_parallel
 from repro.uarch.config import CoreConfig
 
 NAMES = ["ChaCha20_ct", "SHA-256"]
@@ -72,6 +75,58 @@ def test_pipeline_single_artifact_prepares_only_that_workload(artifact_cache):
     artifact = pipeline.artifact(NAMES[0])
     assert artifact.name == NAMES[0]
     assert pipeline.stats()["prepared"] == 1  # the other workload stayed cold
+
+
+def test_synthetic_kernel_specs_prepare_in_workers():
+    """Figure 8's (primitive, mix) grid builds inside workers, not the parent."""
+    specs = [
+        KernelSpec(
+            kind="synthetic",
+            name=f"synthetic-chacha20-{mix}",
+            args=("chacha20", mix),
+            suite="synthetic",
+        )
+        for mix in ("90s/10c", "all-crypto")
+    ]
+    parallel = prepare_kernels_parallel(specs, jobs=2)
+    serial = prepare_kernels_parallel(specs, jobs=1)
+    assert [a.name for a in parallel] == [a.name for a in serial]
+    for par, ser in zip(parallel, serial):
+        assert par.suite == "synthetic"
+        assert par.result.instruction_count == ser.result.instruction_count
+        assert set(par.bundle.branches) == set(ser.bundle.branches)
+        assert (
+            par.simulate("cassandra+prospect").cycles
+            == ser.simulate("cassandra+prospect").cycles
+        )
+
+
+def test_kernel_spec_rejects_unknown_kind():
+    with pytest.raises(KeyError):
+        KernelSpec(kind="nope", name="x").build()
+
+
+def test_lowered_trace_bytes_roundtrip():
+    """The fork fan-out's preserialized payload reproduces every column."""
+    from repro.engine.lowering import LOWERING_FORMAT_VERSION, LoweredTrace
+
+    artifact = prepare_workload(NAMES[0])
+    trace = artifact.lowered_trace()
+    clone = LoweredTrace.from_bytes(trace.to_bytes())
+    assert clone is not trace
+    assert clone.columns() == trace.columns()
+    assert clone.reg_names == trace.reg_names
+    assert clone.max_pc == trace.max_pc
+    assert clone.format_version == LOWERING_FORMAT_VERSION
+
+    stale = LoweredTrace.from_bytes(trace.to_bytes())
+    stale.format_version = LOWERING_FORMAT_VERSION + 1
+    with pytest.raises(ValueError):
+        LoweredTrace.from_bytes(stale.to_bytes())
+    with pytest.raises(TypeError):
+        import pickle
+
+        LoweredTrace.from_bytes(pickle.dumps({"not": "a trace"}))
 
 
 def test_code_fingerprint_is_stable_and_in_digests():
