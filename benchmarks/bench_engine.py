@@ -15,6 +15,16 @@ interrupt study's BTU-flush point — three ways:
   kernels active (flat-array state, residency proofs, static counters,
   measured-pass dedup).
 
+A fourth timed phase, **service**, answers "what does the declarative
+``repro.api`` layer cost?": the same per-workload point set expressed as
+:class:`~repro.api.request.SimulationRequest` batches through a
+:class:`~repro.api.service.SimulationService` with the serial backend
+(memos cleared per repetition, kernels active).  The difference against the
+direct ``simulate_batch`` kernel phase is reported as
+``service_overhead_seconds`` / ``service_overhead_pct`` and can be gated
+with ``--max-service-overhead-pct`` (the CI bound asserts the facade adds
+under 2%).
+
 Preparation (sequential execution + trace generation) is shared and
 untimed, exactly as in the PR-2 protocol.  The columnar lowering — also
 byte-identical shared input for the engine and kernel paths — is timed once
@@ -50,7 +60,7 @@ from repro.pipeline.artifacts import ArtifactCache
 from repro.uarch.core import CoreModel
 
 #: Schema of the report (and of trajectory entries).  Bump on layout change.
-BENCH_SCHEMA_VERSION = 2
+BENCH_SCHEMA_VERSION = 3
 
 ALL_DESIGNS = tuple(DESIGN_BUILDERS)
 
@@ -99,6 +109,33 @@ def run_batch(
     return {point: sim.stats.as_dict() for point, sim in zip(POINTS, simulations)}
 
 
+def run_service(service, artifact) -> Dict[tuple, Dict[str, object]]:
+    """The same point set through the declarative request surface.
+
+    One :class:`SimulationRequest` batch per workload, serial backend,
+    kernels active — so the delta against :func:`run_batch` in ``on`` mode
+    is purely the api layer: request expansion, memo bookkeeping, and
+    ResultSet assembly.
+    """
+    from repro.api import SimulationRequest
+
+    os.environ[KERNELS_ENV] = "on"
+    requests = [
+        SimulationRequest(
+            workload=artifact.name,
+            design=design,
+            btu_flush_interval=flush,
+            warmup_passes=warmups,
+        )
+        for design, flush, warmups in POINTS
+    ]
+    results = service.run(requests)
+    return {
+        point: result.stats.as_dict()
+        for point, (_request, result) in zip(POINTS, results)
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default="BENCH_engine.json", metavar="PATH")
@@ -125,6 +162,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=float,
         default=0.0,
         help="fail unless the kernels-over-engine speedup reaches this (0 disables)",
+    )
+    parser.add_argument(
+        "--max-service-overhead-pct",
+        type=float,
+        default=0.0,
+        help="fail if the SimulationService layer adds more than this percent "
+        "over calling simulate_batch directly (0 disables)",
     )
     parser.add_argument(
         "--trajectory",
@@ -170,8 +214,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                     )
     parity_seconds = time.perf_counter() - parity_start
 
+    # The service phase drives the same artifacts through the declarative
+    # layer: adopt them into a pipeline (no re-preparation) behind a
+    # serial-backend service, and clear the simulation memos before every
+    # repetition so each run recomputes exactly what run_batch recomputes.
+    from repro.api import SerialBackend, SimulationService
+    from repro.pipeline.pipeline import ExperimentPipeline
+
+    service_pipeline = ExperimentPipeline(names=[], cache=None, jobs=1)
+    service_pipeline.adopt(artifacts)
+    service = SimulationService(service_pipeline, backend=SerialBackend())
+
     per_workload = []
     legacy_total = engine_total = kernel_total = lowering_total = 0.0
+    service_total = 0.0
     for artifact in artifacts:
         # The lowering is byte-identical shared input for both batch paths:
         # timed once, then left memoized for the phase timings below.
@@ -198,9 +254,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                 inner_kernel = batch_stats
         assert kernel_seconds is not None and inner_kernel is not None
 
+        # Service phase: same points, same kernels, plus the api layer.
+        # The artifact-level disk cache is detached for the duration so a
+        # --cache-dir run does not short-circuit the comparison.
+        saved_cache = artifact.cache
+        artifact.cache = None
+        try:
+            service_runs = []
+            for _ in range(repeat):
+                artifact.simulations.clear()
+                service_runs.append(_timed(lambda: run_service(service, artifact)))
+            service_seconds = min(service_runs)
+        finally:
+            artifact.cache = saved_cache
+            artifact.simulations.clear()
+
         legacy_total += legacy_seconds
         engine_total += engine_seconds
         kernel_total += kernel_seconds
+        service_total += service_seconds
         lowering_total += lowering_seconds
         per_workload.append(
             {
@@ -211,6 +283,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "legacy_seconds": round(legacy_seconds, 4),
                 "engine_seconds": round(engine_seconds, 4),
                 "kernel_seconds": round(kernel_seconds, 4),
+                "service_seconds": round(service_seconds, 4),
+                # What the declarative request layer adds on top of the
+                # direct simulate_batch call for the same points.
+                "service_overhead_seconds": round(
+                    max(service_seconds - kernel_seconds, 0.0), 4
+                ),
                 # The kernel path's time outside generated-kernel execution:
                 # warm-state restores, shared column/plan construction,
                 # result assembly.  This is the short-trace overhead floor
@@ -235,6 +313,10 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     speedup = legacy_total / engine_total if engine_total else 0.0
     kernel_speedup = engine_total / kernel_total if kernel_total else 0.0
+    service_overhead = max(service_total - kernel_total, 0.0)
+    service_overhead_pct = (
+        service_overhead / kernel_total * 100.0 if kernel_total else 0.0
+    )
     report = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "suite": "quick",
@@ -251,6 +333,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "legacy_seconds": round(legacy_total, 3),
         "engine_seconds": round(engine_total, 3),
         "kernel_seconds": round(kernel_total, 3),
+        "service_seconds": round(service_total, 3),
+        "service_overhead_seconds": round(service_overhead, 4),
+        "service_overhead_pct": round(service_overhead_pct, 2),
         "speedup": round(speedup, 2),
         "kernel_speedup": round(kernel_speedup, 2),
         "parity": "ok" if not mismatches else "MISMATCH",
@@ -268,6 +353,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "legacy_seconds": report["legacy_seconds"],
             "engine_seconds": report["engine_seconds"],
             "kernel_seconds": report["kernel_seconds"],
+            "service_seconds": report["service_seconds"],
+            "service_overhead_pct": report["service_overhead_pct"],
             "speedup": report["speedup"],
             "kernel_speedup": report["kernel_speedup"],
             "parity": report["parity"],
@@ -285,7 +372,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     print(
         f"legacy {legacy_total:.2f}s  engine {engine_total:.2f}s  "
-        f"kernels {kernel_total:.2f}s  engine-speedup {speedup:.2f}x  "
+        f"kernels {kernel_total:.2f}s  service {service_total:.2f}s "
+        f"(+{service_overhead_pct:.2f}%)  engine-speedup {speedup:.2f}x  "
         f"kernel-speedup {kernel_speedup:.2f}x  "
         f"parity {'ok' if not mismatches else 'MISMATCH'}"
     )
@@ -302,6 +390,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"kernel speedup {kernel_speedup:.2f}x below required "
             f"{args.min_kernel_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.max_service_overhead_pct
+        and service_overhead_pct > args.max_service_overhead_pct
+    ):
+        print(
+            f"service overhead {service_overhead_pct:.2f}% above allowed "
+            f"{args.max_service_overhead_pct:.2f}%",
             file=sys.stderr,
         )
         return 1

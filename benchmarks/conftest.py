@@ -3,8 +3,9 @@
 Each benchmark regenerates one of the paper's tables or figures on a reduced
 but representative workload set (one or two workloads per suite), so the full
 ``pytest benchmarks/ --benchmark-only`` run completes in minutes.  The
-benchmark bodies call the same experiment entry points a user would; the
-printed tables are the reproduced artefacts.
+benchmark bodies call the same experiment entry points a user would — every
+one takes the uniform :class:`~repro.api.service.ExperimentContext` — and
+the printed tables are the reproduced artefacts.
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+from repro.api import SimulationService  # noqa: E402
 from repro.pipeline import ArtifactCache, ExperimentPipeline, default_jobs  # noqa: E402
 
 #: Workloads used by the benchmark harness: a slice of each suite.
@@ -34,8 +36,8 @@ BENCH_WORKLOADS = [
 
 
 @pytest.fixture(scope="session")
-def bench_artifacts():
-    """Workload artefacts shared by all benchmarks (built once per session).
+def bench_service():
+    """The simulation service shared by all benchmarks (built once per session).
 
     Preparation goes through the shared pipeline: fan-out across CPU cores,
     and — when ``REPRO_CACHE_DIR`` points at a directory — the on-disk
@@ -45,4 +47,16 @@ def bench_artifacts():
     cache_root = os.environ.get("REPRO_CACHE_DIR")
     cache = ArtifactCache(root=cache_root) if cache_root else None
     pipeline = ExperimentPipeline(names=BENCH_WORKLOADS, cache=cache, jobs=default_jobs())
-    return pipeline.artifacts()
+    return SimulationService(pipeline)
+
+
+@pytest.fixture(scope="session")
+def bench_context(bench_service):
+    """The uniform experiment context every benchmark body receives."""
+    return bench_service.context()
+
+
+@pytest.fixture(scope="session")
+def bench_artifacts(bench_service):
+    """Prepared workload artefacts, for benchmarks that read them directly."""
+    return bench_service.artifacts()

@@ -3,9 +3,9 @@
 from repro.experiments.cassandra_lite import format_cassandra_lite, run_cassandra_lite
 
 
-def test_bench_cassandra_lite(benchmark, bench_artifacts):
+def test_bench_cassandra_lite(benchmark, bench_context):
     rows = benchmark.pedantic(
-        run_cassandra_lite, kwargs={"artifacts": bench_artifacts}, rounds=1, iterations=1
+        run_cassandra_lite, kwargs={"ctx": bench_context}, rounds=1, iterations=1
     )
     print("\n=== Q3: Cassandra-lite vs Cassandra (normalized to the unsafe baseline) ===")
     print(format_cassandra_lite(rows))

@@ -3,9 +3,9 @@
 from repro.experiments.figure7 import format_figure7, run_figure7, summarize_speedup
 
 
-def test_bench_figure7(benchmark, bench_artifacts):
+def test_bench_figure7(benchmark, bench_context):
     rows = benchmark.pedantic(
-        run_figure7, kwargs={"artifacts": bench_artifacts}, rounds=1, iterations=1
+        run_figure7, kwargs={"ctx": bench_context}, rounds=1, iterations=1
     )
     print("\n=== Figure 7: execution time normalized to the unsafe baseline ===")
     print(format_figure7(rows))

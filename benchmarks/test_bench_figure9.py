@@ -8,8 +8,8 @@ from repro.experiments.figure9 import (
 )
 
 
-def test_bench_figure9(benchmark, bench_artifacts):
-    report = benchmark(run_figure9, artifacts=bench_artifacts)
+def test_bench_figure9(benchmark, bench_context):
+    report = benchmark(run_figure9, ctx=bench_context)
     print("\n=== Figure 9: power and area normalized to the unsafe baseline ===")
     print(format_figure9(report))
     reduction = power_reduction_percent(report)

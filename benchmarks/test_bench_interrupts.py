@@ -3,9 +3,9 @@
 from repro.experiments.interrupts import format_interrupt_study, run_interrupt_study
 
 
-def test_bench_interrupts(benchmark, bench_artifacts):
+def test_bench_interrupts(benchmark, bench_context):
     rows = benchmark.pedantic(
-        run_interrupt_study, kwargs={"artifacts": bench_artifacts}, rounds=1, iterations=1
+        run_interrupt_study, kwargs={"ctx": bench_context}, rounds=1, iterations=1
     )
     print("\n=== Q4: periodic BTU flushes (context switches between crypto apps) ===")
     print(format_interrupt_study(rows))

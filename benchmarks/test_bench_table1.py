@@ -3,8 +3,8 @@
 from repro.experiments.table1 import format_table1, run_table1
 
 
-def test_bench_table1(benchmark, bench_artifacts):
-    rows = benchmark(run_table1, artifacts=bench_artifacts, invocations=128)
+def test_bench_table1(benchmark, bench_context):
+    rows = benchmark(run_table1, ctx=bench_context, invocations=128)
     print("\n=== Table 1: branch analysis of cryptographic programs ===")
     print(format_table1(rows))
     all_row = rows[-1]

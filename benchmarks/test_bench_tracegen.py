@@ -5,9 +5,9 @@ from repro.crypto.workloads import get_workload
 from repro.experiments.trace_runtime import format_trace_runtime, run_trace_runtime
 
 
-def test_bench_tracegen_runtime_breakdown(benchmark, bench_artifacts):
+def test_bench_tracegen_runtime_breakdown(benchmark, bench_context):
     rows = benchmark.pedantic(
-        run_trace_runtime, kwargs={"artifacts": bench_artifacts}, rounds=1, iterations=1
+        run_trace_runtime, kwargs={"ctx": bench_context}, rounds=1, iterations=1
     )
     print("\n=== Section 7.5: trace-generation runtime per step (seconds) ===")
     print(format_trace_runtime(rows))

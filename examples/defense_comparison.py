@@ -9,15 +9,27 @@ different set, e.g.::
     python examples/defense_comparison.py AES_CTR kyber512 SHAKE
 
 Equivalent to ``python -m repro figure7 cassandra-lite interrupts``; the
-explicit pipeline calls below show what the CLI does under the hood.
+explicit api calls below show what the CLI does under the hood: one
+:class:`SimulationService`, the union of the three experiments' scenario
+matrices prefetched through the execution backend, then each experiment
+rendering over warm memos via the shared :class:`ExperimentContext`.
 """
 
 import sys
 
-from repro.experiments.cassandra_lite import format_cassandra_lite, run_cassandra_lite
-from repro.experiments.figure7 import FIGURE7_DESIGNS, format_figure7, run_figure7, summarize_speedup
-from repro.experiments.interrupts import DEFAULT_FLUSH_INTERVAL, format_interrupt_study, run_interrupt_study
-from repro.pipeline import ArtifactCache, ExperimentPipeline, SimulationPoint, default_cache_dir, default_jobs
+from repro.api import SimulationService, expand_many
+from repro.experiments.cassandra_lite import (
+    cassandra_lite_matrix,
+    format_cassandra_lite,
+    run_cassandra_lite,
+)
+from repro.experiments.figure7 import figure7_matrix, format_figure7, run_figure7, summarize_speedup
+from repro.experiments.interrupts import (
+    format_interrupt_study,
+    interrupts_matrix,
+    run_interrupt_study,
+)
+from repro.pipeline import ArtifactCache, default_cache_dir, default_jobs
 
 DEFAULT_WORKLOADS = [
     "ChaCha20_ct",
@@ -32,33 +44,33 @@ DEFAULT_WORKLOADS = [
 def main() -> None:
     names = sys.argv[1:] or DEFAULT_WORKLOADS
     print(f"preparing workloads: {', '.join(names)}")
-    pipeline = ExperimentPipeline(
+    service = SimulationService(
         names=names,
         cache=ArtifactCache(root=default_cache_dir()),
         jobs=default_jobs(),
     )
-    artifacts = pipeline.artifacts()
+    ctx = service.context()
 
-    # Fan every design point the three studies need out over the worker
-    # pool; the experiment bodies below then run over warm memos.
-    designs = set(FIGURE7_DESIGNS) | {"cassandra-lite"}
-    pipeline.prefetch_designs(sorted(designs))
-    pipeline.prefetch(
-        SimulationPoint(workload=name, design="cassandra", btu_flush_interval=DEFAULT_FLUSH_INTERVAL)
-        for name in names
+    # Fan the union of every point the three studies declare out over the
+    # worker pool; the experiment bodies below then run over warm memos.
+    ctx.run(
+        expand_many(
+            [figure7_matrix(), cassandra_lite_matrix(), interrupts_matrix()],
+            default_workloads=service.workloads,
+        )
     )
 
     print("\n=== Figure 7: normalized execution time ===")
-    rows = run_figure7(artifacts=artifacts)
+    rows = run_figure7(ctx=ctx)
     print(format_figure7(rows))
     print(f"\nCassandra geomean speedup: {summarize_speedup(rows):.2f}% "
           f"(the paper reports 1.85% on full-size workloads)")
 
     print("\n=== Q3: Cassandra-lite (single-target branches only) ===")
-    print(format_cassandra_lite(run_cassandra_lite(artifacts=artifacts)))
+    print(format_cassandra_lite(run_cassandra_lite(ctx=ctx)))
 
     print("\n=== Q4: flushing the BTU on context switches ===")
-    print(format_interrupt_study(run_interrupt_study(artifacts=artifacts)))
+    print(format_interrupt_study(run_interrupt_study(ctx=ctx)))
 
 
 if __name__ == "__main__":

@@ -1,17 +1,18 @@
 #!/usr/bin/env python3
 """Quickstart: analyse and protect one cryptographic kernel with Cassandra.
 
-The script walks through the full pipeline on the BearSSL-style ChaCha20
-workload:
+The script walks through the full stack on the BearSSL-style ChaCha20
+workload, through the declarative ``repro.api`` surface:
 
-1. prepare the workload through the shared experiment pipeline (build the
-   constant-time ISA kernel, check it against RFC 8439, sequentially
-   execute it, and run the paper's Algorithm 2 branch analysis) — all of
-   which lands in the on-disk artifact cache, so a rerun of this script
-   (or of ``python -m repro``) skips the heavy work entirely;
+1. build a :class:`SimulationService` over the shared, disk-cached
+   pipeline and prepare the workload (build the constant-time ISA kernel,
+   check it against RFC 8439, sequentially execute it, and run the paper's
+   Algorithm 2 branch analysis) — all of which lands in the on-disk
+   artifact cache, so a rerun of this script (or of ``python -m repro``)
+   skips the heavy work entirely;
 2. inspect the compressed branch traces and per-branch hints;
-3. simulate the kernel on the out-of-order core under the unsafe baseline
-   and under Cassandra, and compare cycles.
+3. declare a two-design :class:`ScenarioMatrix`, run it, and compare the
+   unsafe baseline against Cassandra through the typed :class:`ResultSet`.
 
 Run with::
 
@@ -19,25 +20,26 @@ Run with::
 
 then run it again and watch the preparation time drop to the cache-load
 cost.  ``python -m repro --list`` shows the full experiment suite that
-shares the same pipeline.
+shares the same service.
 """
 
 import time
 
-from repro.pipeline import ArtifactCache, ExperimentPipeline, default_cache_dir
+from repro.api import ScenarioMatrix, SimulationService
+from repro.pipeline import ArtifactCache, default_cache_dir
 
 
 def main() -> None:
-    # 1. Prepare the workload through the shared, disk-cached pipeline.
-    pipeline = ExperimentPipeline(
+    # 1. Prepare the workload through the shared, disk-cached service.
+    service = SimulationService(
         names=["ChaCha20_ct"],
         cache=ArtifactCache(root=default_cache_dir()),
     )
     started = time.perf_counter()
-    artifact = pipeline.artifact("ChaCha20_ct")
+    artifact = service.artifact("ChaCha20_ct")
     prepare_seconds = time.perf_counter() - started
     kernel, result = artifact.kernel, artifact.result
-    cached = pipeline.cache.stats.hits > 0
+    cached = service.pipeline.cache.stats.hits > 0
     print(f"workload          : {kernel.name} ({kernel.description})")
     print(f"prepared in       : {prepare_seconds:.3f}s "
           f"({'warm artifact cache' if cached else 'cold: executed + traced'})")
@@ -62,16 +64,17 @@ def main() -> None:
             f" (compression {data.kmers.compression_rate:6.1f}x)"
         )
 
-    # 3. Timing simulation: unsafe baseline vs Cassandra (memoized per design
-    # point and persisted in the same artifact cache).
-    baseline = artifact.simulate("unsafe-baseline")
-    cassandra = artifact.simulate("cassandra")
+    # 3. Timing simulation: one declarative matrix, one typed result set
+    # (each point memoized and persisted in the same artifact cache).
+    results = service.run(ScenarioMatrix(designs=("unsafe-baseline", "cassandra")))
+    baseline = results.one(design="unsafe-baseline")
+    cassandra = results.one(design="cassandra")
     print("\n--- timing simulation (Golden-Cove-like core) ---")
     print(f"unsafe baseline   : {baseline.cycles} cycles (IPC {baseline.ipc:.2f}, "
           f"{baseline.stats.bpu_mispredicted} mispredictions)")
     print(f"cassandra         : {cassandra.cycles} cycles (IPC {cassandra.ipc:.2f}, "
           f"{cassandra.stats.btu_replayed} BTU replays, 0 mispredictions)")
-    delta = (1 - cassandra.cycles / baseline.cycles) * 100
+    delta = (1 - results.normalized_time("cassandra")) * 100
     print(f"speedup           : {delta:.2f}% while enforcing sequential execution")
 
 

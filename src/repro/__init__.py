@@ -15,6 +15,9 @@ The package is organised around the paper's artefacts:
 * :mod:`repro.formal` — the executable contract model (Appendix A).
 * :mod:`repro.attacks` — Spectre-style gadgets and the Table 2 scenarios.
 * :mod:`repro.experiments` — harnesses regenerating every table and figure.
+* :mod:`repro.api` — the declarative request surface: ``SimulationRequest``
+  / ``ScenarioMatrix`` in, typed ``ResultSet`` out, with pluggable
+  execution backends (serial / fork / subprocess shard).
 """
 
 __version__ = "1.0.0"

@@ -1,0 +1,87 @@
+"""``repro.api`` — the declarative request surface over the whole stack.
+
+Everything the paper's evaluation does is one sentence in this vocabulary:
+*declare* the scenario cross-product, *run* it through a service, *query*
+the typed results.  The same request objects drive the in-process serial
+path, the fork fan-out, and the subprocess shard backend whose wire format
+the future multi-host backend reuses.
+
+A worked example — Cassandra vs the unsafe baseline on two workloads, with
+the interrupt study's BTU-flush override riding along::
+
+    from repro.api import ScenarioMatrix, SimulationService
+
+    service = SimulationService(names=["ChaCha20_ct", "SHA-256"], jobs=4)
+    matrix = ScenarioMatrix(
+        designs=("unsafe-baseline", "cassandra"),
+    ).extended(
+        ScenarioMatrix(designs=("cassandra",), flush_intervals=(2_000,))
+    )
+    results = service.run(matrix)
+
+    for workload, group in results.group_by("workload").items():
+        slowdown = group.normalized_time("cassandra", btu_flush_interval=None)
+        flushed = group.cycles(design="cassandra", btu_flush_interval=2_000)
+        print(workload, slowdown, flushed)
+    print(results.geomean_normalized_time("cassandra", btu_flush_interval=None))
+
+The pieces:
+
+* :class:`SimulationRequest` / :class:`WorkloadRef` — one frozen, hashable,
+  JSON-round-trippable simulation point (workload × design ×
+  :class:`CoreConfig` × BTU-flush × warm-up).
+* :class:`ScenarioMatrix` — declarative cross-products with axis overrides,
+  expanding to set-ordered unique request lists.
+* :class:`SimulationService` — the facade wrapping the shared
+  :class:`~repro.pipeline.pipeline.ExperimentPipeline`: prepares on demand,
+  dispatches to a backend, answers with a :class:`ResultSet`.
+* :class:`ExecutionBackend` — :class:`SerialBackend`,
+  :class:`ForkPoolBackend`, :class:`SubprocessShardBackend`; all
+  bit-identical, selectable via ``python -m repro --backend``.
+* :class:`ResultSet` — query / group-by / normalized-time / geomean /
+  export over (request, result) pairs.
+* :class:`ExperimentContext` — the uniform object every registered
+  experiment's ``run(ctx)`` receives.
+"""
+
+from repro.api.backends import (
+    BACKENDS,
+    ExecutionBackend,
+    ForkPoolBackend,
+    SerialBackend,
+    SubprocessShardBackend,
+    make_backend,
+)
+from repro.api.matrix import EMPTY_MATRIX, ScenarioMatrix, expand_many
+from repro.api.request import (
+    REQUEST_FORMAT_VERSION,
+    SimulationRequest,
+    WorkloadRef,
+)
+from repro.api.results import ResultSet
+from repro.api.service import (
+    ExperimentContext,
+    SimulationService,
+    build_service,
+    default_context,
+)
+
+__all__ = [
+    "BACKENDS",
+    "EMPTY_MATRIX",
+    "ExecutionBackend",
+    "ExperimentContext",
+    "ForkPoolBackend",
+    "REQUEST_FORMAT_VERSION",
+    "ResultSet",
+    "ScenarioMatrix",
+    "SerialBackend",
+    "SimulationRequest",
+    "SimulationService",
+    "SubprocessShardBackend",
+    "WorkloadRef",
+    "build_service",
+    "default_context",
+    "expand_many",
+    "make_backend",
+]

@@ -1,0 +1,265 @@
+"""Pluggable execution backends for :class:`SimulationService`.
+
+A backend's contract is narrow: given the prepared artifacts and a request
+list, make sure every request's :class:`SimulationResult` ends up in its
+artifact's in-memory memo, and report how many points were actually
+computed (memoized points are free).  Three implementations ship:
+
+* :class:`SerialBackend` — everything in the calling process, one grouped
+  batch per workload (the reference semantics).
+* :class:`ForkPoolBackend` — the pipeline's fork-based grouped fan-out:
+  workers inherit prepared artifacts copy-on-write and receive the
+  preserialized columnar trace.
+* :class:`SubprocessShardBackend` — fresh worker *subprocesses* fed
+  self-contained :class:`~repro.api.shard.ShardTask` payloads over pipes:
+  nothing is inherited, everything crosses the wire, which makes it the
+  in-machine rehearsal of the multi-host backend the ROADMAP names.
+
+All three produce bit-identical results (``tests/api/test_backends.py``
+asserts it); they differ only in where the batches run.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import subprocess
+import sys
+import threading
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
+
+from repro.api.request import SimulationRequest
+from repro.api.shard import ShardTask, read_frame, write_frame
+
+if TYPE_CHECKING:  # pragma: no cover - types only (import cycle guard: the
+    # experiments package's modules import repro.api at module scope)
+    from repro.experiments.runner import WorkloadArtifacts
+
+
+class ExecutionBackend:
+    """Where (and how) a service's pending simulation points execute."""
+
+    #: CLI name (``--backend <name>``).
+    name: str = "base"
+
+    def execute(
+        self,
+        artifacts: Mapping[str, WorkloadArtifacts],
+        requests: Sequence[SimulationRequest],
+        jobs: int,
+    ) -> int:
+        """Ensure every request's result is memoized; return points computed."""
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """Grouped per-workload batches in the calling process."""
+
+    name = "serial"
+
+    def execute(self, artifacts, requests, jobs):
+        from repro.pipeline.parallel import simulate_points
+
+        return simulate_points(
+            list(artifacts.values()), [request.point() for request in requests], jobs=1
+        )
+
+
+class ForkPoolBackend(ExecutionBackend):
+    """The fork-based grouped fan-out of :mod:`repro.pipeline.parallel`.
+
+    Falls back to the serial path (bit-identically) when ``jobs <= 1``,
+    when only one workload group is pending, or when the platform lacks
+    the ``fork`` start method.
+    """
+
+    name = "fork"
+
+    def execute(self, artifacts, requests, jobs):
+        from repro.pipeline.parallel import simulate_points
+
+        return simulate_points(
+            list(artifacts.values()),
+            [request.point() for request in requests],
+            jobs=max(jobs, 1),
+        )
+
+
+class SubprocessShardBackend(ExecutionBackend):
+    """Self-contained per-workload shard tasks over worker-process pipes.
+
+    The parent resolves memo/disk-cache hits, serializes one
+    :class:`ShardTask` per pending workload group — columnar trace bytes,
+    pickled trace bundle, JSON requests — and drives up to ``jobs``
+    ``python -m repro.api.shard`` workers over stdin/stdout pipes.  Results
+    come back pickled, are seeded into the artifact memos, and persisted to
+    the disk cache (workers have no cache handle, by design: the wire
+    payloads must be sufficient).
+    """
+
+    name = "shard"
+
+    def execute(self, artifacts, requests, jobs):
+        pending = self._pending_groups(artifacts, requests)
+        if not pending:
+            return 0
+        outcomes = self._run_workers(artifacts, pending, jobs)
+        computed = 0
+        for workload, results in outcomes.items():
+            artifact = artifacts[workload]
+            for request, result in zip(pending[workload], results):
+                artifact.persist_simulation(request.key(), result)
+                computed += 1
+        return computed
+
+    # ------------------------------------------------------------------ #
+    # Task construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _pending_groups(
+        artifacts: Mapping[str, WorkloadArtifacts],
+        requests: Sequence[SimulationRequest],
+    ) -> Dict[str, List[SimulationRequest]]:
+        """Per-workload request groups still missing after cache probes."""
+        groups: Dict[str, List[SimulationRequest]] = {}
+        seen = set()
+        for request in requests:
+            name = request.workload.name
+            if name not in artifacts:
+                raise KeyError(f"no prepared artifact for workload {name!r}")
+            identity = (name, request.key())
+            if identity in seen:
+                continue
+            seen.add(identity)
+            if artifacts[name].cached_simulation(request.key()) is None:
+                groups.setdefault(name, []).append(request)
+        return groups
+
+    @staticmethod
+    def _build_task(
+        artifact: WorkloadArtifacts, group: Sequence[SimulationRequest]
+    ) -> ShardTask:
+        return ShardTask(
+            workload=artifact.name,
+            program_name=artifact.kernel.program.name,
+            request_payloads=tuple(request.to_json() for request in group),
+            trace_bytes=artifact.lowered_trace().to_bytes(),
+            bundle_bytes=pickle.dumps(artifact.bundle, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Worker management
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _worker_command() -> List[str]:
+        # Equivalent to ``python -m repro.api.shard`` but avoids runpy's
+        # double-import warning (the package __init__ already imports shard).
+        return [
+            sys.executable,
+            "-c",
+            "import sys; from repro.api.shard import main; sys.exit(main())",
+        ]
+
+    @staticmethod
+    def _worker_env() -> Dict[str, str]:
+        """The parent's environment with ``repro``'s source tree importable."""
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ)
+        parts = [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        env["PYTHONPATH"] = os.pathsep.join(parts)
+        return env
+
+    def _run_workers(
+        self,
+        artifacts: Mapping[str, "WorkloadArtifacts"],
+        pending: Dict[str, List[SimulationRequest]],
+        jobs: int,
+    ) -> Dict[str, List["SimulationResult"]]:  # noqa: F821
+        """Drive up to ``jobs`` worker processes off one shared task queue.
+
+        Dispatch is dynamic — each worker pulls the next pending task as
+        soon as it answers the previous one — so a skewed group (one
+        workload carrying most of the points) cannot strand the other
+        workers idle the way a static partition would.  Each task's wire
+        payload is built when a worker pulls it, so peak parent memory is
+        ~``jobs`` frames rather than the whole suite's.
+        """
+        workers = max(1, min(jobs, len(pending)))
+        task_iter = iter(list(pending))
+        outcomes: Dict[str, List] = {}
+        errors: List[BaseException] = []
+        lock = threading.Lock()
+
+        def next_name() -> Optional[str]:
+            with lock:
+                return next(task_iter, None)
+
+        def drive() -> None:
+            process = subprocess.Popen(
+                self._worker_command(),
+                stdin=subprocess.PIPE,
+                stdout=subprocess.PIPE,
+                env=self._worker_env(),
+            )
+            try:
+                while True:
+                    name = next_name()
+                    if name is None:
+                        break
+                    task = self._build_task(artifacts[name], pending[name])
+                    write_frame(process.stdin, task.to_bytes())
+                    payload = read_frame(process.stdout)
+                    if payload is None:
+                        raise RuntimeError(
+                            f"shard worker exited while computing {name!r} "
+                            f"(exit code {process.poll()})"
+                        )
+                    results = pickle.loads(payload)
+                    with lock:
+                        outcomes[name] = results
+                process.stdin.close()
+                if process.wait() != 0:
+                    raise RuntimeError(
+                        f"shard worker exited with code {process.returncode}"
+                    )
+            except BaseException as exc:  # noqa: BLE001 - reraised in the parent
+                process.kill()
+                process.wait()
+                with lock:
+                    errors.append(exc)
+            finally:
+                for stream in (process.stdin, process.stdout):
+                    if stream and not stream.closed:
+                        stream.close()
+
+        threads = [
+            threading.Thread(target=drive, daemon=True) for _ in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return outcomes
+
+
+#: CLI backend name → factory.
+BACKENDS = {
+    backend.name: backend
+    for backend in (SerialBackend, ForkPoolBackend, SubprocessShardBackend)
+}
+
+
+def make_backend(name: Optional[str]) -> ExecutionBackend:
+    """Instantiate a backend by CLI name (default: the fork fan-out)."""
+    if name is None:
+        return ForkPoolBackend()
+    try:
+        return BACKENDS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; available: {sorted(BACKENDS)}"
+        ) from None

@@ -1,0 +1,160 @@
+"""Declarative scenario cross-products that expand into request sets.
+
+A :class:`ScenarioMatrix` names the axes of an evaluation — designs ×
+configs × BTU-flush intervals × warm-up passes, optionally pinned to an
+explicit workload set — and expands into the corresponding
+:class:`~repro.api.request.SimulationRequest` list.  Axis overrides that a
+plain cross-product cannot express (the interrupt study flushes *only* the
+``cassandra`` design) compose via :meth:`ScenarioMatrix.extended`, and
+expansion is set-ordered unique: however many experiments share a design,
+each point appears once, which is what deduplicates the CLI's prefetch
+union.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.api.request import SimulationRequest, WorkloadRef
+from repro.uarch.config import GOLDEN_COVE_LIKE, CoreConfig
+
+
+@dataclass(frozen=True)
+class ScenarioMatrix:
+    """A declarative cross-product of simulation axes.
+
+    ``workloads=None`` (the default) leaves the workload axis open: the
+    expanding caller — normally the
+    :class:`~repro.api.service.SimulationService` — supplies its configured
+    workload set.  A matrix with explicit :class:`WorkloadRef`\\ s (the
+    Figure 8 synthetic mixes) expands over those instead.
+
+    ``extend`` holds override sub-matrices whose expansions are appended
+    (and deduplicated) after the main product — the escape hatch for axes
+    that apply to a subset of designs only.
+    """
+
+    workloads: Optional[Tuple[WorkloadRef, ...]] = None
+    designs: Tuple[str, ...] = ()
+    configs: Tuple[CoreConfig, ...] = (GOLDEN_COVE_LIKE,)
+    flush_intervals: Tuple[Optional[int], ...] = (None,)
+    warmup_passes: Tuple[int, ...] = (1,)
+    extend: Tuple["ScenarioMatrix", ...] = ()
+
+    def __post_init__(self) -> None:
+        # Tolerate lists/generators at construction; store hashable tuples.
+        for name in ("workloads", "designs", "configs", "flush_intervals",
+                     "warmup_passes", "extend"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+        if self.workloads is not None:
+            object.__setattr__(
+                self,
+                "workloads",
+                tuple(
+                    WorkloadRef.registry(ref) if isinstance(ref, str) else ref
+                    for ref in self.workloads
+                ),
+            )
+
+    def extended(self, *overrides: "ScenarioMatrix") -> "ScenarioMatrix":
+        """This matrix plus override sub-matrices (appended on expansion)."""
+        return replace(self, extend=self.extend + tuple(overrides))
+
+    def expand(
+        self, default_workloads: Sequence[Union[WorkloadRef, str]] = ()
+    ) -> List[SimulationRequest]:
+        """The matrix's unique request list, in deterministic axis order.
+
+        The product iterates workload-major (workload, design, config,
+        flush, warm-up) so per-workload batches stay contiguous; override
+        matrices follow the main product.  Duplicates — within the product,
+        against an override, or between overrides — are dropped while the
+        first occurrence keeps its position (set-ordered unique).
+        """
+        refs = self.workloads
+        if refs is None:
+            refs = tuple(
+                WorkloadRef.registry(ref) if isinstance(ref, str) else ref
+                for ref in default_workloads
+            )
+        seen: Dict[SimulationRequest, None] = {}
+        for ref in refs:
+            for design in self.designs:
+                for config in self.configs:
+                    for flush in self.flush_intervals:
+                        for passes in self.warmup_passes:
+                            seen.setdefault(
+                                SimulationRequest(
+                                    workload=ref,
+                                    design=design,
+                                    config=config,
+                                    btu_flush_interval=flush,
+                                    warmup_passes=passes,
+                                )
+                            )
+        for override in self.extend:
+            for request in override.expand(default_workloads):
+                seen.setdefault(request)
+        return list(seen)
+
+    def is_empty(self) -> bool:
+        """True when expansion can never produce a request."""
+        return not self.designs and all(sub.is_empty() for sub in self.extend)
+
+    def summary(self) -> Dict[str, Any]:
+        """A small JSON-able description (for ``--list --format json``)."""
+        report: Dict[str, Any] = {
+            "workloads": (
+                "pipeline-default"
+                if self.workloads is None
+                else [ref.name for ref in self.workloads]
+            ),
+            "designs": list(self.designs),
+            "configs": len(self.configs),
+            "flush_intervals": list(self.flush_intervals),
+            "warmup_passes": list(self.warmup_passes),
+        }
+        if self.extend:
+            report["extend"] = [sub.summary() for sub in self.extend]
+        if self._workloads_open():
+            # One representative workload is enough to count unique points.
+            report["requests_per_workload"] = len(self.expand([WorkloadRef.registry("_")]))
+        else:
+            # Fully pinned (this matrix and every extend): the count is exact.
+            report["requests"] = len(self.expand())
+        return report
+
+    def _workloads_open(self) -> bool:
+        """Whether any level of this matrix expands over default workloads.
+
+        A pinned matrix with an open override still depends on the
+        caller's workload set — counting its expansion over no defaults
+        would silently undercount it.
+        """
+        return self.workloads is None or any(
+            sub._workloads_open() for sub in self.extend
+        )
+
+
+#: The matrix of experiments that consume no simulations (Tables 1/2, the
+#: trace-runtime study): expansion is always empty.
+EMPTY_MATRIX = ScenarioMatrix()
+
+
+def expand_many(
+    matrices: Iterable[Union[ScenarioMatrix, SimulationRequest]],
+    default_workloads: Sequence[Union[WorkloadRef, str]] = (),
+) -> List[SimulationRequest]:
+    """The set-ordered unique union of several matrices' (or bare requests')
+    expansions — the CLI's prefetch union, deduplicated by construction."""
+    seen: Dict[SimulationRequest, None] = {}
+    for item in matrices:
+        if isinstance(item, SimulationRequest):
+            seen.setdefault(item)
+            continue
+        for request in item.expand(default_workloads):
+            seen.setdefault(request)
+    return list(seen)

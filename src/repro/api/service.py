@@ -1,0 +1,250 @@
+""":class:`SimulationService` — the one front door for simulation requests.
+
+The service wraps an :class:`~repro.pipeline.pipeline.ExperimentPipeline`
+(preparation, artifact cache, worker budget) behind a declarative surface:
+callers hand it :class:`~repro.api.request.SimulationRequest` iterables or
+:class:`~repro.api.matrix.ScenarioMatrix` declarations, pick an
+:class:`~repro.api.backends.ExecutionBackend`, and receive a typed
+:class:`~repro.api.results.ResultSet`.  Experiments never touch points,
+memos, or pools directly — they run against an :class:`ExperimentContext`
+whose :meth:`~ExperimentContext.run` dispatches through the service (and is
+a pure memo lookup for anything the CLI already prefetched).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.api.backends import ExecutionBackend, make_backend
+from repro.api.matrix import ScenarioMatrix, expand_many
+from repro.api.request import SimulationRequest, WorkloadRef
+from repro.api.results import ResultSet
+
+if TYPE_CHECKING:  # pragma: no cover - types only.  The pipeline and runner
+    # modules import the experiments package, whose modules import repro.api
+    # at module scope; runtime imports below are deferred to break the cycle.
+    from repro.experiments.runner import WorkloadArtifacts
+    from repro.pipeline.artifacts import ArtifactCache
+    from repro.pipeline.pipeline import ExperimentPipeline
+
+#: What :meth:`SimulationService.run` accepts.
+RequestsLike = Union[
+    ScenarioMatrix,
+    SimulationRequest,
+    Iterable[Union[ScenarioMatrix, SimulationRequest]],
+]
+
+
+class SimulationService:
+    """Prepare on demand, execute through a backend, answer with a ResultSet."""
+
+    def __init__(
+        self,
+        pipeline: Optional[ExperimentPipeline] = None,
+        *,
+        names: Optional[Sequence[str]] = None,
+        cache: Optional[ArtifactCache] = None,
+        jobs: int = 1,
+        backend: Optional[Union[str, ExecutionBackend]] = None,
+    ) -> None:
+        if pipeline is None:
+            from repro.pipeline.pipeline import ExperimentPipeline
+
+            pipeline = ExperimentPipeline(names=names, cache=cache, jobs=jobs)
+        self.pipeline = pipeline
+        self.backend = (
+            backend if isinstance(backend, ExecutionBackend) else make_backend(backend)
+        )
+        #: Artifacts for non-registry workload refs, keyed by workload name.
+        self._extra: Dict[str, WorkloadArtifacts] = {}
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def workloads(self) -> List[str]:
+        """The registry workload names requests expand over by default."""
+        return list(self.pipeline.names)
+
+    @property
+    def jobs(self) -> int:
+        return self.pipeline.jobs
+
+    def stats(self) -> Dict[str, object]:
+        report = dict(self.pipeline.stats())
+        report["backend"] = self.backend.name
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Artifacts
+    # ------------------------------------------------------------------ #
+    def artifacts(self) -> List[WorkloadArtifacts]:
+        """Every registry workload's artifacts, preparing the missing ones."""
+        return self.pipeline.artifacts()
+
+    def artifact(self, ref: Union[WorkloadRef, str]) -> WorkloadArtifacts:
+        """One workload's artifacts (registry name or any :class:`WorkloadRef`)."""
+        if isinstance(ref, str):
+            if ref in self._extra:
+                return self._extra[ref]
+            return self.pipeline.artifact(ref)
+        if ref.kind == "registry":
+            return self.pipeline.artifact(ref.name)
+        return self._artifacts_for_refs([ref])[ref.name]
+
+    def _artifacts_for_refs(
+        self, refs: Sequence[WorkloadRef]
+    ) -> Dict[str, WorkloadArtifacts]:
+        """Artifacts for a mixed registry/non-registry ref set, by name.
+
+        Registry refs prepare through the pipeline (parallel across the
+        missing ones); non-registry refs build from their kernel specs over
+        the same fan-out and artifact cache, then stay memoized on the
+        service.
+        """
+        from repro.pipeline.parallel import prepare_kernels_parallel
+
+        registry = [ref.name for ref in refs if ref.kind == "registry"]
+        other = [
+            ref for ref in refs if ref.kind != "registry" and ref.name not in self._extra
+        ]
+        by_name: Dict[str, WorkloadArtifacts] = {}
+        if registry:
+            for artifact in self.pipeline.artifacts_for(registry):
+                by_name[artifact.name] = artifact
+        if other:
+            prepared = prepare_kernels_parallel(
+                [ref.kernel_spec() for ref in other],
+                cache=self.pipeline.cache,
+                jobs=self.pipeline.jobs,
+            )
+            for artifact in prepared:
+                self._extra[artifact.name] = artifact
+        for ref in refs:
+            if ref.kind != "registry":
+                by_name[ref.name] = self._extra[ref.name]
+        return by_name
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def expand(self, what: RequestsLike) -> List[SimulationRequest]:
+        """The set-ordered unique request list ``what`` denotes.
+
+        Matrices with an open workload axis expand over the service's
+        configured workload set; duplicate requests — within one matrix or
+        across several — collapse to their first occurrence.
+        """
+        if isinstance(what, (ScenarioMatrix, SimulationRequest)):
+            what = [what]
+        return expand_many(what, default_workloads=self.pipeline.names)
+
+    def run(self, what: RequestsLike) -> ResultSet:
+        """Expand, prepare, execute through the backend, and answer.
+
+        Already-memoized (or disk-cached) points cost a lookup; the rest
+        are grouped per workload and dispatched to the configured backend.
+        The returned :class:`ResultSet` follows the expanded request order.
+        """
+        requests = self.expand(what)
+        if not requests:
+            return ResultSet()
+        unique_refs: Dict[str, WorkloadRef] = {}
+        for request in requests:
+            unique_refs.setdefault(request.workload.name, request.workload)
+        artifacts = self._artifacts_for_refs(list(unique_refs.values()))
+        # Resolve memo and disk-cache hits in the parent so every backend
+        # sees the same pending set (and ``points_simulated`` means the
+        # same thing — genuinely computed — regardless of backend).
+        pending = [
+            request
+            for request in requests
+            if artifacts[request.workload.name].cached_simulation(request.key()) is None
+        ]
+        computed = 0
+        if pending:
+            computed = self.backend.execute(artifacts, pending, jobs=self.pipeline.jobs)
+        self.pipeline.points_simulated += computed
+        entries = []
+        for request in requests:
+            artifact = artifacts[request.workload.name]
+            result = artifact.cached_simulation(request.key())
+            if result is None:  # pragma: no cover - a backend contract breach
+                raise RuntimeError(
+                    f"backend {self.backend.name!r} failed to produce a result "
+                    f"for {request!r}"
+                )
+            entries.append((request, result))
+        return ResultSet(entries)
+
+    def context(self) -> "ExperimentContext":
+        """The uniform context object experiments run against."""
+        return ExperimentContext(self)
+
+
+class ExperimentContext:
+    """What an experiment's ``run(ctx)`` receives: one object, whole API.
+
+    Wraps a service with accumulated results: every :meth:`run` call merges
+    its answer into :attr:`results`, so an experiment (or the CLI's
+    prefetch) can consult everything simulated so far without re-querying.
+    """
+
+    def __init__(self, service: SimulationService) -> None:
+        self.service = service
+        self.results = ResultSet()
+
+    @property
+    def workloads(self) -> List[str]:
+        return self.service.workloads
+
+    @property
+    def jobs(self) -> int:
+        return self.service.jobs
+
+    def artifacts(self) -> List[WorkloadArtifacts]:
+        return self.service.artifacts()
+
+    def artifact(self, ref: Union[WorkloadRef, str]) -> WorkloadArtifacts:
+        return self.service.artifact(ref)
+
+    def run(self, what: RequestsLike) -> ResultSet:
+        """Dispatch through the service; memo hits are effectively free."""
+        answer = self.service.run(what)
+        self.results = self.results.merged(answer)
+        return answer
+
+
+def build_service(
+    workloads: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    jobs: int = 0,
+    backend: Optional[Union[str, ExecutionBackend]] = None,
+) -> SimulationService:
+    """Construct a service from CLI-style options (the CLI's front door)."""
+    from repro.pipeline.pipeline import build_pipeline
+
+    pipeline = build_pipeline(
+        workloads=workloads, cache_dir=cache_dir, use_cache=use_cache, jobs=jobs
+    )
+    return SimulationService(pipeline, backend=backend)
+
+
+def default_context(
+    ctx: Optional[ExperimentContext] = None,
+    names: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    backend: Optional[Union[str, ExecutionBackend]] = None,
+) -> ExperimentContext:
+    """``ctx`` itself, or a fresh uncached context over ``names``.
+
+    The standalone path for ``run_<experiment>()`` calls and
+    ``python -m repro.experiments.<module>`` invocations: no disk cache,
+    serial-by-default preparation — exactly what the pre-service
+    ``prepare_workloads(names)`` default did.
+    """
+    if ctx is not None:
+        return ctx
+    service = SimulationService(names=list(names) if names else None, jobs=jobs, backend=backend)
+    return service.context()

@@ -1,0 +1,147 @@
+"""The shard wire format and worker: simulation batches over pipes.
+
+This module defines the task/wire shape the distributed-sharding direction
+reuses: one :class:`ShardTask` per workload carries the preserialized
+columnar trace (:meth:`LoweredTrace.to_bytes`), the pickled
+:class:`TraceBundle` the Cassandra-family policies replay, and the JSON
+:class:`~repro.api.request.SimulationRequest` batch to time over it.  A
+worker needs *nothing* from the parent's address space — no fork
+copy-on-write, no shared memory — so the same payloads that cross a pipe
+today can cross a socket to another host tomorrow.
+
+Framing is length-prefixed (8-byte big-endian size, then the payload); a
+worker (``python -m repro.api.shard``) loops read-task → simulate →
+write-results until EOF on stdin.  Responses are the pickled
+:class:`~repro.uarch.core.SimulationResult` list in task-request order.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import sys
+from dataclasses import dataclass
+from typing import BinaryIO, List, Optional, Tuple
+
+#: Framing header: payload byte count as an unsigned 64-bit big-endian int.
+_HEADER = struct.Struct(">Q")
+
+#: Bump when the task layout changes; workers reject other versions.
+SHARD_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One worker task: every request of one workload, plus its inputs."""
+
+    workload: str
+    program_name: str
+    #: JSON-serialized :class:`SimulationRequest`\ s (the portable half of
+    #: the wire format; see :meth:`SimulationRequest.to_json`).
+    request_payloads: Tuple[str, ...]
+    #: The workload's columnar trace, preserialized by the parent.
+    trace_bytes: bytes
+    #: The pickled :class:`TraceBundle` (hint table + hardware traces).
+    bundle_bytes: bytes
+
+    def requests(self) -> List["SimulationRequest"]:  # noqa: F821
+        from repro.api.request import SimulationRequest
+
+        return [SimulationRequest.from_json(text) for text in self.request_payloads]
+
+    def to_bytes(self) -> bytes:
+        return pickle.dumps(
+            (
+                SHARD_FORMAT_VERSION,
+                self.workload,
+                self.program_name,
+                self.request_payloads,
+                self.trace_bytes,
+                self.bundle_bytes,
+            ),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "ShardTask":
+        decoded = pickle.loads(payload)
+        if not isinstance(decoded, tuple) or decoded[0] != SHARD_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported shard task payload (want version {SHARD_FORMAT_VERSION})"
+            )
+        _, workload, program_name, request_payloads, trace_bytes, bundle_bytes = decoded
+        return cls(
+            workload=workload,
+            program_name=program_name,
+            request_payloads=tuple(request_payloads),
+            trace_bytes=trace_bytes,
+            bundle_bytes=bundle_bytes,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Framing
+# --------------------------------------------------------------------------- #
+def write_frame(stream: BinaryIO, payload: bytes) -> None:
+    stream.write(_HEADER.pack(len(payload)))
+    stream.write(payload)
+    stream.flush()
+
+
+def read_frame(stream: BinaryIO) -> Optional[bytes]:
+    """The next frame's payload, or ``None`` on a clean EOF."""
+    header = stream.read(_HEADER.size)
+    if not header:
+        return None
+    if len(header) != _HEADER.size:
+        raise EOFError("truncated shard frame header")
+    (size,) = _HEADER.unpack(header)
+    payload = b""
+    while len(payload) < size:
+        chunk = stream.read(size - len(payload))
+        if not chunk:
+            raise EOFError("truncated shard frame payload")
+        payload += chunk
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# Worker
+# --------------------------------------------------------------------------- #
+def run_task(task: ShardTask) -> List["SimulationResult"]:  # noqa: F821
+    """Simulate one task's request batch from its wire payloads alone."""
+    from repro.engine.batch import PointSpec, simulate_batch
+    from repro.engine.lowering import LoweredTrace
+    from repro.experiments.runner import DESIGN_BUILDERS
+
+    bundle = pickle.loads(task.bundle_bytes) if task.bundle_bytes else None
+    trace = LoweredTrace.from_bytes(task.trace_bytes)
+    requests = task.requests()
+    specs = [
+        PointSpec(
+            policy=DESIGN_BUILDERS[request.design](bundle),
+            config=request.config,
+            btu_flush_interval=request.btu_flush_interval,
+            warmup_passes=request.warmup_passes,
+        )
+        for request in requests
+    ]
+    return simulate_batch(
+        None, bundle, specs, trace=trace, program_name=task.program_name
+    )
+
+
+def main() -> int:
+    """The worker loop: framed tasks on stdin, framed result lists on stdout."""
+    stdin = sys.stdin.buffer
+    stdout = sys.stdout.buffer
+    while True:
+        payload = read_frame(stdin)
+        if payload is None:
+            return 0
+        results = run_task(ShardTask.from_bytes(payload))
+        write_frame(stdout, pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the shard backend
+    sys.exit(main())

@@ -1,19 +1,23 @@
 """The ``python -m repro`` command line interface.
 
-Runs any subset of the paper's eight experiments in one pass over shared
-pipeline artifacts::
+Runs any subset of the paper's experiments in one pass over a shared
+:class:`~repro.api.service.SimulationService`::
 
     python -m repro --list
+    python -m repro --list --format json
     python -m repro table1 figure7 --workloads quick --jobs 4
     python -m repro all --format json > results.json
-    python -m repro interrupts --workloads ChaCha20_ct,SHA-256 --no-cache
+    python -m repro figure7 --workloads quick --backend shard --jobs 2
 
 Each workload is built, sequentially executed, and trace-analysed exactly
 once per invocation regardless of how many experiments consume it; with the
 on-disk cache (the default) that work persists across invocations, so a
-warm rerun skips straight to the timing simulations.  Independent
-(workload × design) simulation points for every selected experiment are
-prefetched across ``--jobs`` worker processes before the experiments render.
+warm rerun skips straight to the timing simulations.  Every selected
+experiment declares its simulation points as a
+:class:`~repro.api.matrix.ScenarioMatrix`; the CLI expands the set-ordered
+unique union — experiments sharing designs prefetch each point once — and
+dispatches it through the selected execution backend (``--backend
+serial|fork|shard``) before the experiments render over warm memos.
 """
 
 from __future__ import annotations
@@ -24,16 +28,18 @@ import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.api import build_service, expand_many
+from repro.api.backends import BACKENDS
 from repro.experiments import resolve_experiments
-from repro.experiments.registry import EXPERIMENT_REGISTRY, ExperimentSpec
-from repro.pipeline import SimulationPoint, build_pipeline, default_cache_dir
+from repro.experiments.registry import EXPERIMENT_REGISTRY
+from repro.pipeline import default_cache_dir
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the paper's tables and figures over a shared, "
-        "disk-cached, parallel experiment pipeline.",
+        "disk-cached, parallel simulation service.",
     )
     parser.add_argument(
         "experiments",
@@ -57,6 +63,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker processes for preparation and simulation (default: auto)",
     )
     parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="fork",
+        help="execution backend for simulation points (default: fork)",
+    )
+    parser.add_argument(
         "--cache-dir",
         default=None,
         metavar="DIR",
@@ -74,69 +86,52 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _list_experiments() -> str:
+def _list_experiments(fmt: str) -> str:
+    if fmt == "json":
+        return json.dumps(
+            [spec.describe() for spec in EXPERIMENT_REGISTRY.values()], indent=2
+        )
     width = max(len(name) for name in EXPERIMENT_REGISTRY)
     lines = ["available experiments:"]
     for name, spec in EXPERIMENT_REGISTRY.items():
         lines.append(f"  {name.ljust(width)}  {spec.title}")
-    lines.append(f"  {'all'.ljust(width)}  every experiment above, sharing one pipeline")
+    lines.append(f"  {'all'.ljust(width)}  every experiment above, sharing one service")
     return "\n".join(lines)
-
-
-def _prefetch_points(specs: Sequence[ExperimentSpec], names: Sequence[str]) -> List[SimulationPoint]:
-    """The union of simulation points the selected experiments will consume."""
-    points: List[SimulationPoint] = []
-    for spec in specs:
-        if not spec.uses_artifacts:
-            continue
-        for name in names:
-            for design in spec.designs:
-                points.append(SimulationPoint(workload=name, design=design))
-            for design, flush_interval in spec.flush_points:
-                points.append(
-                    SimulationPoint(
-                        workload=name, design=design, btu_flush_interval=flush_interval
-                    )
-                )
-        if spec.extra_points is not None:
-            points.extend(spec.extra_points(names))
-    return points
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.list:
-        print(_list_experiments())
+        print(_list_experiments(args.format))
         return 0
 
     try:
         specs = resolve_experiments(args.experiments)
-        pipeline = build_pipeline(
+        service = build_service(
             workloads=args.workloads,
             cache_dir=args.cache_dir,
             use_cache=not args.no_cache,
             jobs=args.jobs,
+            backend=args.backend,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
 
     started = time.perf_counter()
-    artifacts = None
-    if any(spec.uses_artifacts for spec in specs):
-        artifacts = pipeline.artifacts()
-        pipeline.prefetch(_prefetch_points(specs, pipeline.names))
+    ctx = service.context()
+    # Prefetch the set-ordered unique union of every selected experiment's
+    # declared points through the backend; the experiments' own ctx.run
+    # calls below then resolve from warm memos.
+    union = expand_many(
+        [spec.matrix for spec in specs], default_workloads=service.workloads
+    )
+    if union:
+        ctx.run(union)
 
     report: Dict[str, Any] = {}
     for spec in specs:
-        if spec.uses_artifacts:
-            data = spec.run(artifacts=artifacts)
-        elif spec.wants_pipeline:
-            data = spec.run(pipeline=pipeline)
-        elif spec.wants_cache:
-            data = spec.run(cache=pipeline.cache)
-        else:
-            data = spec.run()
+        data = spec.run(ctx)
         if args.format == "text":
             print(f"== {spec.name}: {spec.title} ==")
             print(spec.format(data))
@@ -145,11 +140,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             report[spec.name] = spec.jsonify(data) if spec.jsonify else data
 
     elapsed = time.perf_counter() - started
-    stats = dict(pipeline.stats())
+    stats = dict(service.stats())
     stats["total_seconds"] = round(elapsed, 3)
     if args.format == "json":
         payload: Dict[str, Any] = {
-            "workloads": list(pipeline.names),
+            "workloads": list(service.workloads),
             "experiments": report,
             "stats": stats,
         }
@@ -165,6 +160,7 @@ def _summarize_stats(stats: Dict[str, Any]) -> str:
         f"{stats['workloads']} workloads",
         f"{stats['points_simulated']} points simulated",
         f"{stats['jobs']} jobs",
+        f"backend {stats['backend']}",
         f"{stats['total_seconds']}s total",
         f"prepare {stats['prepare_seconds']}s",
     ]

@@ -171,7 +171,7 @@ def _apply_kernel_counters(
 
 
 def simulate_batch(
-    result: ExecutionResult,
+    result: Optional[ExecutionResult],
     bundle: Optional[TraceBundle],
     points: Sequence[PointSpec],
     config: CoreConfig = GOLDEN_COVE_LIKE,
@@ -179,18 +179,27 @@ def simulate_batch(
     program_name: Optional[str] = None,
     batch_stats: Optional[BatchStats] = None,
 ) -> List["SimulationResult"]:  # noqa: F821 - imported lazily (cycle guard)
-    """Simulate every point over one shared lowering; results in point order."""
+    """Simulate every point over one shared lowering; results in point order.
+
+    ``result`` may be ``None`` when an explicit ``trace`` is supplied — the
+    shard-worker wire format ships only the preserialized columns, never the
+    ``DynamicInstruction`` object stream — in which case every point's policy
+    must lower to an engine spec (the object-loop fallback replays
+    ``result.dynamic``, which does not exist on the wire).
+    """
     from repro.uarch.core import CoreModel, SimulationResult  # lazy: core imports the engine
 
     stats = batch_stats if batch_stats is not None else BatchStats()
     use_kernels = kernels_enabled()
 
     if trace is None:
+        if result is None:
+            raise ValueError("simulate_batch needs an ExecutionResult or an explicit trace")
         already_lowered = getattr(result, "_lowered_trace", None) is not None
         trace = lower_execution(result)
         if not already_lowered:
             stats.lowerings += 1
-    else:
+    elif result is not None:
         # Seed the memo so per-point paths sharing this result reuse it too.
         result._lowered_trace = trace  # type: ignore[attr-defined]
 
@@ -401,6 +410,12 @@ def simulate_batch(
         if spec is None:
             # Object-loop fallback: warm up and measure exactly like the
             # legacy per-point path.
+            if result is None:
+                raise ValueError(
+                    f"policy {point.policy.name!r} has no engine spec and the "
+                    "object-loop fallback needs the ExecutionResult, which a "
+                    "trace-only (wire) batch does not carry"
+                )
             stats.fallback_points += 1
             core = CoreModel(
                 config=point_config,

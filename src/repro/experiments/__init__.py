@@ -1,8 +1,12 @@
 """Experiment harnesses regenerating every table and figure of the paper.
 
-Each module exposes a ``run_*`` function returning plain data structures and
-a ``format_*`` helper producing the printed table; the benchmarks under
-``benchmarks/`` and the examples under ``examples/`` drive these functions.
+Each module declares its simulation points as a
+:class:`~repro.api.matrix.ScenarioMatrix`, exposes a ``run_*`` function
+taking the uniform :class:`~repro.api.service.ExperimentContext` (built on
+demand when omitted) and returning plain data structures, and a
+``format_*`` helper producing the printed table; the benchmarks under
+``benchmarks/`` and the examples under ``examples/`` drive these functions
+through a shared :class:`~repro.api.service.SimulationService`.
 
 | Paper artefact | Module |
 | -------------- | ------ |

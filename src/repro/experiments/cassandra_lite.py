@@ -4,34 +4,39 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.matrix import ScenarioMatrix
+from repro.api.service import ExperimentContext, default_context
 from repro.experiments.registry import ExperimentSpec, register_experiment
-from repro.experiments.runner import (
-    WorkloadArtifacts,
-    format_table,
-    geometric_mean,
-    prepare_workloads,
-)
+from repro.experiments.runner import format_table, geometric_mean
+
+CASSANDRA_LITE_DESIGNS = ("unsafe-baseline", "cassandra", "cassandra-lite")
+
+
+def cassandra_lite_matrix() -> ScenarioMatrix:
+    return ScenarioMatrix(designs=CASSANDRA_LITE_DESIGNS)
 
 
 def run_cassandra_lite(
+    ctx: Optional[ExperimentContext] = None,
     names: Optional[Sequence[str]] = None,
-    artifacts: Optional[Sequence[WorkloadArtifacts]] = None,
 ) -> List[Dict[str, object]]:
     """Per-workload slowdown of Cassandra-lite over full Cassandra, plus the
     per-suite geomean slowdowns the paper quotes (BearSSL / OpenSSL / PQC)."""
-    artifacts = list(artifacts) if artifacts is not None else prepare_workloads(names)
+    ctx = default_context(ctx, names=names)
+    results = ctx.run(cassandra_lite_matrix())
     rows: List[Dict[str, object]] = []
     per_suite: Dict[str, List[float]] = {}
-    for artifact in artifacts:
-        cassandra = artifact.simulate("cassandra").cycles
-        lite = artifact.simulate("cassandra-lite").cycles
-        baseline = artifact.simulate("unsafe-baseline").cycles
+    for workload, group in results.group_by("workload").items():
+        baseline = group.cycles(design="unsafe-baseline")
+        cassandra = group.cycles(design="cassandra")
+        lite = group.cycles(design="cassandra-lite")
         ratio = lite / cassandra
-        per_suite.setdefault(artifact.suite, []).append(ratio)
+        suite = ctx.artifact(workload).suite
+        per_suite.setdefault(suite, []).append(ratio)
         rows.append(
             {
-                "workload": artifact.name,
-                "suite": artifact.suite,
+                "workload": workload,
+                "suite": suite,
                 "cassandra": cassandra / baseline,
                 "cassandra-lite": lite / baseline,
                 "lite_over_cassandra": ratio,
@@ -62,7 +67,7 @@ register_experiment(
         title="Section 8 Q3: Cassandra-lite versus full Cassandra",
         run=run_cassandra_lite,
         format=format_cassandra_lite,
-        designs=("unsafe-baseline", "cassandra", "cassandra-lite"),
+        matrix=cassandra_lite_matrix(),
     )
 )
 

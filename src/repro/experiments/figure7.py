@@ -4,35 +4,37 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.matrix import ScenarioMatrix
+from repro.api.service import ExperimentContext, default_context
 from repro.experiments.registry import ExperimentSpec, register_experiment
-from repro.experiments.runner import (
-    WorkloadArtifacts,
-    format_table,
-    geometric_mean,
-    prepare_workloads,
-)
+from repro.experiments.runner import format_table
 
 #: The four designs of Figure 7, in plotting order.
 FIGURE7_DESIGNS = ("unsafe-baseline", "cassandra", "cassandra+stl", "spt")
 
 
+def figure7_matrix(designs: Sequence[str] = FIGURE7_DESIGNS) -> ScenarioMatrix:
+    return ScenarioMatrix(designs=tuple(designs))
+
+
 def run_figure7(
+    ctx: Optional[ExperimentContext] = None,
     names: Optional[Sequence[str]] = None,
-    artifacts: Optional[Sequence[WorkloadArtifacts]] = None,
     designs: Sequence[str] = FIGURE7_DESIGNS,
 ) -> List[Dict[str, object]]:
     """Normalized execution time per workload and design, plus the geomean."""
-    artifacts = list(artifacts) if artifacts is not None else prepare_workloads(names)
+    ctx = default_context(ctx, names=names)
+    results = ctx.run(figure7_matrix(designs))
     rows: List[Dict[str, object]] = []
-    for artifact in artifacts:
-        baseline = artifact.simulate("unsafe-baseline")
+    for workload, group in results.group_by("workload").items():
+        baseline = group.cycles(design="unsafe-baseline")
         row: Dict[str, object] = {
-            "workload": artifact.name,
-            "suite": artifact.suite,
-            "baseline_cycles": baseline.cycles,
+            "workload": workload,
+            "suite": ctx.artifact(workload).suite,
+            "baseline_cycles": baseline,
         }
         for design in designs:
-            row[design] = artifact.simulate(design).cycles / baseline.cycles
+            row[design] = group.normalized_time(design)
         rows.append(row)
     geomean_row: Dict[str, object] = {
         "workload": "geomean",
@@ -40,9 +42,7 @@ def run_figure7(
         "baseline_cycles": "",
     }
     for design in designs:
-        geomean_row[design] = geometric_mean(
-            float(row[design]) for row in rows if isinstance(row[design], float)
-        )
+        geomean_row[design] = results.geomean_normalized_time(design)
     rows.append(geomean_row)
     return rows
 
@@ -65,7 +65,7 @@ register_experiment(
         title="Figure 7: normalized execution time of the four design points",
         run=run_figure7,
         format=format_figure7,
-        designs=FIGURE7_DESIGNS,
+        matrix=figure7_matrix(),
     )
 )
 

@@ -2,84 +2,62 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.api.matrix import ScenarioMatrix
+from repro.api.request import WorkloadRef
+from repro.api.service import ExperimentContext, default_context
 from repro.crypto.synthetic import mix_labels
 from repro.experiments.registry import ExperimentSpec, register_experiment
-from repro.experiments.runner import WorkloadArtifacts, format_table
-
-if TYPE_CHECKING:  # pragma: no cover - types only
-    from repro.pipeline.artifacts import ArtifactCache
-    from repro.pipeline.pipeline import ExperimentPipeline
+from repro.experiments.runner import format_table
 
 #: The two crypto primitives of Figure 8 and their stack secrecy.
 FIGURE8_PRIMITIVES = ("chacha20", "curve25519")
 FIGURE8_DESIGNS = ("prospect", "cassandra+prospect")
 
 
-def run_figure8(
+def figure8_matrix(
     primitives: Sequence[str] = FIGURE8_PRIMITIVES,
     mixes: Optional[Sequence[str]] = None,
-    cache: Optional["ArtifactCache"] = None,
-    jobs: int = 1,
-    pipeline: Optional["ExperimentPipeline"] = None,
-) -> List[Dict[str, object]]:
-    """Execution-time overhead (%) of each design over the unsafe baseline.
+) -> ScenarioMatrix:
+    """The (primitive × mix) synthetic grid under baseline + both designs.
 
-    The synthetic mixes are not part of the 22-workload registry, but their
-    execution, tracing, and simulations flow through the same shared
-    pipeline machinery, so an attached artifact cache persists them too.
-    *Preparation* builds the mixes from picklable (primitive, mix)
-    :class:`~repro.pipeline.parallel.KernelSpec`\\ s inside worker processes
-    (one per mix) instead of serially in the parent, and all (mix × design)
-    simulation points fan out through the same grouped
-    :func:`~repro.pipeline.parallel.simulate_points` batching as the
-    registry workloads.
+    The synthetic mixes are not part of the 22-workload registry, so the
+    matrix pins its own workload axis with ``synthetic``-kind refs; the
+    service builds them from their kernel specs inside worker processes and
+    persists them through the same artifact cache as registry workloads.
     """
-    from repro.pipeline.parallel import (
-        KernelSpec,
-        SimulationPoint,
-        prepare_kernels_parallel,
-        simulate_points,
+    mixes = list(mixes) if mixes is not None else mix_labels()
+    return ScenarioMatrix(
+        workloads=tuple(
+            WorkloadRef.synthetic(primitive, mix)
+            for primitive in primitives
+            for mix in mixes
+        ),
+        designs=("unsafe-baseline", *FIGURE8_DESIGNS),
     )
 
-    if pipeline is not None:
-        cache = pipeline.cache if cache is None else cache
-        jobs = pipeline.jobs
+
+def run_figure8(
+    ctx: Optional[ExperimentContext] = None,
+    primitives: Sequence[str] = FIGURE8_PRIMITIVES,
+    mixes: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+) -> List[Dict[str, object]]:
+    """Execution-time overhead (%) of each design over the unsafe baseline."""
+    ctx = default_context(ctx, jobs=jobs)
     mixes = list(mixes) if mixes is not None else mix_labels()
-    specs = [
-        KernelSpec(
-            kind="synthetic",
-            name=f"synthetic-{primitive}-{mix}",
-            args=(primitive, mix),
-            suite="synthetic",
-        )
-        for primitive in primitives
-        for mix in mixes
-    ]
-    artifacts: List[WorkloadArtifacts] = prepare_kernels_parallel(
-        specs, cache=cache, jobs=jobs
-    )
-    simulate_points(
-        artifacts,
-        (
-            SimulationPoint(workload=artifact.name, design=design)
-            for artifact in artifacts
-            for design in ("unsafe-baseline", *FIGURE8_DESIGNS)
-        ),
-        jobs=jobs,
-    )
+    results = ctx.run(figure8_matrix(primitives, mixes))
 
     rows: List[Dict[str, object]] = []
-    artifacts_by_name = {artifact.name: artifact for artifact in artifacts}
     for primitive in primitives:
         for mix in mixes:
-            artifact = artifacts_by_name[f"synthetic-{primitive}-{mix}"]
-            baseline = artifact.simulate("unsafe-baseline")
+            name = f"synthetic-{primitive}-{mix}"
+            group = results.where(workload=name)
+            baseline = group.cycles(design="unsafe-baseline")
             row: Dict[str, object] = {"primitive": primitive, "mix": mix}
             for design in FIGURE8_DESIGNS:
-                sim = artifact.simulate(design)
-                row[design] = (sim.cycles / baseline.cycles - 1.0) * 100.0
+                row[design] = (group.cycles(design=design) / baseline - 1.0) * 100.0
             rows.append(row)
     return rows
 
@@ -95,9 +73,8 @@ register_experiment(
         title="Figure 8: ProSpeCT vs Cassandra+ProSpeCT on the synthetic mixes",
         run=run_figure8,
         format=format_figure8,
-        uses_artifacts=False,
-        wants_cache=True,
-        wants_pipeline=True,
+        matrix=figure8_matrix(),
+        needs_artifacts=False,
     )
 )
 

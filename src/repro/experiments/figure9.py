@@ -4,17 +4,26 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.matrix import ScenarioMatrix
+from repro.api.service import ExperimentContext, default_context
 from repro.experiments.registry import ExperimentSpec, register_experiment
-from repro.experiments.runner import WorkloadArtifacts, format_table, prepare_workloads
+from repro.experiments.runner import format_table
 from repro.power.model import PowerAreaModel
+
+FIGURE9_DESIGNS = ("unsafe-baseline", "cassandra")
+
+
+def figure9_matrix() -> ScenarioMatrix:
+    return ScenarioMatrix(designs=FIGURE9_DESIGNS)
 
 
 def run_figure9(
+    ctx: Optional[ExperimentContext] = None,
     names: Optional[Sequence[str]] = None,
-    artifacts: Optional[Sequence[WorkloadArtifacts]] = None,
 ) -> Dict[str, Dict[str, float]]:
     """Aggregate per-unit power (averaged over workloads) and area."""
-    artifacts = list(artifacts) if artifacts is not None else prepare_workloads(names)
+    ctx = default_context(ctx, names=names)
+    results = ctx.run(figure9_matrix())
     model = PowerAreaModel()
 
     unit_names = [
@@ -30,16 +39,17 @@ def run_figure9(
     }
     totals = {"unsafe-baseline": 0.0, "cassandra": 0.0}
 
-    for artifact in artifacts:
-        baseline_power = model.power(artifact.simulate("unsafe-baseline").stats, with_btu=False)
-        cassandra_power = model.power(artifact.simulate("cassandra").stats, with_btu=True)
+    groups = results.group_by("workload")
+    for group in groups.values():
+        baseline_power = model.power(group.one(design="unsafe-baseline").stats, with_btu=False)
+        cassandra_power = model.power(group.one(design="cassandra").stats, with_btu=True)
         for unit in unit_names:
             power_sums["unsafe-baseline"][unit] += baseline_power.per_unit.get(unit, 0.0)
             power_sums["cassandra"][unit] += cassandra_power.per_unit.get(unit, 0.0)
         totals["unsafe-baseline"] += baseline_power.total
         totals["cassandra"] += cassandra_power.total
 
-    count = max(len(artifacts), 1)
+    count = max(len(groups), 1)
     baseline_total = totals["unsafe-baseline"] / count
 
     report: Dict[str, Dict[str, float]] = {}
@@ -91,7 +101,7 @@ register_experiment(
         title="Figure 9: power and area of Cassandra vs the unsafe baseline",
         run=run_figure9,
         format=format_figure9,
-        designs=("unsafe-baseline", "cassandra"),
+        matrix=figure9_matrix(),
     )
 )
 

@@ -4,13 +4,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.matrix import ScenarioMatrix
+from repro.api.service import ExperimentContext, default_context
 from repro.experiments.registry import ExperimentSpec, register_experiment
-from repro.experiments.runner import (
-    WorkloadArtifacts,
-    format_table,
-    geometric_mean,
-    prepare_workloads,
-)
+from repro.experiments.runner import format_table, geometric_mean
 
 #: Cycles between BTU flushes.  The paper flushes at 250 Hz on a GHz-class
 #: core (millions of cycles); our workloads are far shorter, so the default
@@ -18,21 +15,33 @@ from repro.experiments.runner import (
 DEFAULT_FLUSH_INTERVAL = 2_000
 
 
+def interrupts_matrix(flush_interval: int = DEFAULT_FLUSH_INTERVAL) -> ScenarioMatrix:
+    """Baseline + Cassandra, with the flush axis applied to Cassandra only.
+
+    The flushed point is an axis override (a flat cross-product would also
+    flush the baseline, which the study never simulates).
+    """
+    return ScenarioMatrix(designs=("unsafe-baseline", "cassandra")).extended(
+        ScenarioMatrix(designs=("cassandra",), flush_intervals=(flush_interval,))
+    )
+
+
 def run_interrupt_study(
+    ctx: Optional[ExperimentContext] = None,
     names: Optional[Sequence[str]] = None,
-    artifacts: Optional[Sequence[WorkloadArtifacts]] = None,
     flush_interval: int = DEFAULT_FLUSH_INTERVAL,
 ) -> List[Dict[str, object]]:
     """Cassandra vs Cassandra with periodic BTU flushes, normalized to baseline."""
-    artifacts = list(artifacts) if artifacts is not None else prepare_workloads(names)
+    ctx = default_context(ctx, names=names)
+    results = ctx.run(interrupts_matrix(flush_interval))
     rows: List[Dict[str, object]] = []
-    for artifact in artifacts:
-        baseline = artifact.simulate("unsafe-baseline").cycles
-        cassandra = artifact.simulate("cassandra").cycles
-        flushed = artifact.simulate("cassandra", btu_flush_interval=flush_interval).cycles
+    for workload, group in results.group_by("workload").items():
+        baseline = group.cycles(design="unsafe-baseline")
+        cassandra = group.cycles(design="cassandra", btu_flush_interval=None)
+        flushed = group.cycles(design="cassandra", btu_flush_interval=flush_interval)
         rows.append(
             {
-                "workload": artifact.name,
+                "workload": workload,
                 "cassandra": cassandra / baseline,
                 "cassandra+flush": flushed / baseline,
                 "flush_penalty_pct": (flushed / cassandra - 1.0) * 100.0,
@@ -59,8 +68,7 @@ register_experiment(
         title="Section 8 Q4: BTU flush at timer-interrupt frequency",
         run=run_interrupt_study,
         format=format_interrupt_study,
-        designs=("unsafe-baseline", "cassandra"),
-        flush_points=(("cassandra", DEFAULT_FLUSH_INTERVAL),),
+        matrix=interrupts_matrix(),
     )
 )
 

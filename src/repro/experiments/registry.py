@@ -1,16 +1,22 @@
 """Registry of the paper's experiments for the ``python -m repro`` CLI.
 
-Each experiment module registers one :class:`ExperimentSpec` describing how
-to run it against shared pipeline artifacts, how to format its output, and —
-crucially for the parallel fan-out — which simulation points it will consume,
-so the CLI can prefetch the union of all selected experiments' points across
-worker processes before any experiment runs serially over warm memos.
+Each experiment module registers one :class:`ExperimentSpec` declaring its
+:class:`~repro.api.matrix.ScenarioMatrix` — the full set of simulation
+points it consumes, as a declarative cross-product — and a ``run(ctx)``
+entry point receiving the uniform
+:class:`~repro.api.service.ExperimentContext`.  The CLI expands the union
+of all selected specs' matrices (set-ordered unique, so shared designs are
+prefetched once), runs it through the
+:class:`~repro.api.service.SimulationService` backend, and then each
+experiment's own ``ctx.run`` calls resolve from warm memos.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.api.matrix import EMPTY_MATRIX, ScenarioMatrix
 
 
 @dataclass(frozen=True)
@@ -24,28 +30,21 @@ class ExperimentSpec:
     title:
         The paper artefact this reproduces, for ``--list`` and headers.
     run:
-        ``run(artifacts=...)`` when ``uses_artifacts``, else ``run()``.
-        Returns the experiment's plain data structure.
+        ``run(ctx)`` — every experiment takes the one uniform
+        :class:`~repro.api.service.ExperimentContext` and returns its plain
+        data structure.
     format:
         Renders the data structure as the printed table.
-    uses_artifacts:
-        Whether the experiment consumes shared workload artifacts.
-    wants_cache:
-        Whether ``run`` accepts a ``cache=`` keyword for artifacts outside
-        the workload registry (the Figure 8 synthetic mixes).
-    wants_pipeline:
-        Whether ``run`` accepts a ``pipeline=`` keyword (granting access to
-        the shared cache *and* the worker-pool ``jobs`` setting, e.g. for
-        fanning out non-registry simulation points).
-    designs:
-        Design points the experiment simulates on every workload
-        (prefetched with default config/flush/warmup).
-    flush_points:
-        Extra ``(design, btu_flush_interval)`` points (the interrupt study).
-    extra_points:
-        Optional ``f(workload_names) -> [SimulationPoint]`` producing
-        additional prefetchable points that ``designs`` cannot express —
-        e.g. the config sweep's non-default ``CoreConfig`` points.
+    matrix:
+        The experiment's declared simulation points.  The CLI prefetches
+        the union of the selected experiments' matrices through the
+        service backend before any experiment renders.
+    needs_artifacts:
+        Whether the experiment reads the *registry* workload set's prepared
+        artifacts (``ctx.artifacts()``).  False for Table 2 (a pure
+        semantics study touching no artifacts) and for Figure 8, whose
+        matrix pins its own synthetic workload axis instead of expanding
+        over the registry set.
     jsonify:
         Optional converter to JSON-serializable data (defaults to the raw
         run() output, which for most experiments is already plain).
@@ -55,13 +54,18 @@ class ExperimentSpec:
     title: str
     run: Callable[..., Any]
     format: Callable[[Any], str]
-    uses_artifacts: bool = True
-    wants_cache: bool = False
-    wants_pipeline: bool = False
-    designs: Tuple[str, ...] = ()
-    flush_points: Tuple[Tuple[str, int], ...] = ()
-    extra_points: Optional[Callable[[Sequence[str]], List[Any]]] = None
+    matrix: ScenarioMatrix = EMPTY_MATRIX
+    needs_artifacts: bool = True
     jsonify: Optional[Callable[[Any], Any]] = None
+
+    def describe(self) -> Dict[str, Any]:
+        """The machine-readable registry row (``--list --format json``)."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "needs_artifacts": self.needs_artifacts,
+            "matrix": self.matrix.summary(),
+        }
 
 
 #: Name → spec, in registration (paper artefact) order.

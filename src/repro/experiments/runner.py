@@ -119,6 +119,44 @@ class WorkloadArtifacts:
         point = DesignPoint(design, config, btu_flush_interval, warmup_passes)
         return self.simulate_batch([point])[point.key()]
 
+    def _simulation_digest(self, key: SimulationKey) -> Optional[str]:
+        """The disk-cache digest of one simulation point (None when uncached)."""
+        if self.cache is None or self.content_digest is None:
+            return None
+        from repro.pipeline.hashing import stable_digest
+
+        return stable_digest(self.content_digest, key)
+
+    def cached_simulation(self, key: SimulationKey) -> Optional[SimulationResult]:
+        """A memoized or disk-cached result for ``key``, or ``None``.
+
+        Disk hits are seeded into the in-memory memo.  Execution backends
+        that cannot reach the artifact cache from their workers (the
+        subprocess shard backend) use this to resolve hits in the parent
+        before shipping the remaining points over the wire.
+        """
+        memoized = self.simulations.get(key)
+        if memoized is not None:
+            return memoized
+        digest = self._simulation_digest(key)
+        if digest is not None:
+            cached = self.cache.get("simulation", self.name, digest)
+            if cached is not None:
+                self.simulations[key] = cached
+                return cached
+        return None
+
+    def persist_simulation(self, key: SimulationKey, result: SimulationResult) -> None:
+        """Seed the memo *and* the disk cache with an external result.
+
+        The counterpart of :meth:`store_simulation` for backends whose
+        workers computed the result outside this process's cache handle.
+        """
+        self.simulations[key] = result
+        digest = self._simulation_digest(key)
+        if digest is not None:
+            self.cache.put("simulation", self.name, digest, result)
+
     def lowered_trace(self) -> LoweredTrace:
         """The workload's columnar timing trace (computed once, disk-cached).
 
@@ -168,11 +206,8 @@ class WorkloadArtifacts:
             if memoized is not None:
                 results[cache_key] = memoized
                 continue
-            sim_digest = None
-            if self.cache is not None and self.content_digest is not None:
-                from repro.pipeline.hashing import stable_digest
-
-                sim_digest = stable_digest(self.content_digest, cache_key)
+            sim_digest = self._simulation_digest(cache_key)
+            if sim_digest is not None:
                 cached = self.cache.get("simulation", self.name, sim_digest)
                 if cached is not None:
                     self.simulations[cache_key] = cached

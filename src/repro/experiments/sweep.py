@@ -7,20 +7,20 @@ configuration is cheap — each workload lowers once, and every
 time normalized to the unsafe baseline *of the same configuration*, so it
 answers the paper-adjacent question "does Cassandra's advantage survive on
 smaller cores and smaller BTUs?".
+
+The whole sweep is one :class:`~repro.api.matrix.ScenarioMatrix` with a
+populated config axis — the CLI prefetches it through the service backend
+like every other experiment's points.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.matrix import ScenarioMatrix
+from repro.api.service import ExperimentContext, default_context
 from repro.experiments.registry import ExperimentSpec, register_experiment
-from repro.experiments.runner import (
-    DesignPoint,
-    WorkloadArtifacts,
-    format_table,
-    geometric_mean,
-    prepare_workloads,
-)
+from repro.experiments.runner import format_table
 from repro.uarch.config import GOLDEN_COVE_LIKE, BtuConfig, CacheConfig, CoreConfig
 
 #: Designs compared at every configuration point.
@@ -30,8 +30,7 @@ SWEEP_DESIGNS = ("unsafe-baseline", "cassandra")
 #: paper's Table 3 machine; the rest shrink one axis at a time: ROB depth,
 #: machine width, BTU sizing, cache geometry (a half-size direct-er-mapped
 #: L1D and a slimmer L2), and predictor sizing (PHT/history bits and
-#: BTB/RSB entries).  Every point rides the same grouped
-#: ``simulate_points`` fan-out and per-workload kernel batches.
+#: BTB/RSB entries).
 SWEEP_CONFIGS: Tuple[Tuple[str, CoreConfig], ...] = (
     ("golden-cove", GOLDEN_COVE_LIKE),
     ("rob-256", CoreConfig(rob_size=256)),
@@ -53,34 +52,28 @@ SWEEP_CONFIGS: Tuple[Tuple[str, CoreConfig], ...] = (
 )
 
 
-def sweep_points(names: Sequence[str]) -> List[Any]:
-    """Prefetchable :class:`~repro.pipeline.parallel.SimulationPoint` list."""
-    from repro.pipeline.parallel import SimulationPoint
-
-    return [
-        SimulationPoint(workload=name, design=design, config=config)
-        for name in names
-        for _label, config in SWEEP_CONFIGS
-        for design in SWEEP_DESIGNS
-    ]
+def sweep_matrix(
+    configs: Sequence[Tuple[str, CoreConfig]] = SWEEP_CONFIGS,
+    designs: Sequence[str] = SWEEP_DESIGNS,
+) -> ScenarioMatrix:
+    return ScenarioMatrix(
+        designs=tuple(designs),
+        configs=tuple(config for _label, config in configs),
+    )
 
 
 def run_sweep(
+    ctx: Optional[ExperimentContext] = None,
     names: Optional[Sequence[str]] = None,
-    artifacts: Optional[Sequence[WorkloadArtifacts]] = None,
     configs: Sequence[Tuple[str, CoreConfig]] = SWEEP_CONFIGS,
     designs: Sequence[str] = SWEEP_DESIGNS,
 ) -> List[Dict[str, object]]:
     """Per-config geomean cycles and Cassandra-vs-baseline normalized time."""
-    artifacts = list(artifacts) if artifacts is not None else prepare_workloads(names)
+    ctx = default_context(ctx, names=names)
+    results = ctx.run(sweep_matrix(configs, designs))
     rows: List[Dict[str, object]] = []
     for label, config in configs:
-        points = [DesignPoint(design=design, config=config) for design in designs]
-        per_design: Dict[str, List[float]] = {design: [] for design in designs}
-        for artifact in artifacts:
-            results = artifact.simulate_batch(points)
-            for point in points:
-                per_design[point.design].append(float(results[point.key()].cycles))
+        scoped = results.where(config=config)
         row: Dict[str, object] = {
             "config": label,
             "rob": config.rob_size,
@@ -88,7 +81,7 @@ def run_sweep(
             "btu": f"{config.btu.entries}x{config.btu.elements_per_entry}",
         }
         for design in designs:
-            row[f"{design}_cycles"] = geometric_mean(per_design[design])
+            row[f"{design}_cycles"] = scoped.geomean_cycles(design=design)
         baseline = float(row[f"{designs[0]}_cycles"])
         for design in designs[1:]:
             row[f"{design}_norm"] = (
@@ -116,7 +109,7 @@ register_experiment(
         title="Design-space sweep: CoreConfig (ROB / width / BTU) x Cassandra",
         run=run_sweep,
         format=format_sweep,
-        extra_points=sweep_points,
+        matrix=sweep_matrix(),
     )
 )
 

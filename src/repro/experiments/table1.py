@@ -5,8 +5,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.stats import combine_stats, stats_from_bundle_scaled
+from repro.api.service import ExperimentContext, default_context
 from repro.experiments.registry import ExperimentSpec, register_experiment
-from repro.experiments.runner import WorkloadArtifacts, format_table, prepare_workloads
+from repro.experiments.runner import format_table
 
 #: Number of back-to-back primitive invocations the Table 1 traces model.
 #: The paper profiles full benchmark executions (traces of up to 90 M
@@ -16,15 +17,19 @@ DEFAULT_INVOCATIONS = 256
 
 
 def run_table1(
+    ctx: Optional[ExperimentContext] = None,
     names: Optional[Sequence[str]] = None,
-    artifacts: Optional[Sequence[WorkloadArtifacts]] = None,
     invocations: int = DEFAULT_INVOCATIONS,
 ) -> List[Dict[str, object]]:
-    """Compute the Table 1 rows (one per workload plus the ``All`` row)."""
-    artifacts = list(artifacts) if artifacts is not None else prepare_workloads(names)
+    """Compute the Table 1 rows (one per workload plus the ``All`` row).
+
+    A pure trace-analysis study: no simulation requests, only the prepared
+    artifacts' trace bundles.
+    """
+    ctx = default_context(ctx, names=names)
     all_stats = []
     rows: List[Dict[str, object]] = []
-    for artifact in artifacts:
+    for artifact in ctx.artifacts():
         stats = (
             stats_from_bundle_scaled(artifact.bundle, invocations)
             if invocations > 1

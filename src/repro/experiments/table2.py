@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from dataclasses import asdict
 
@@ -11,8 +11,12 @@ from repro.experiments.registry import ExperimentSpec, register_experiment
 from repro.experiments.runner import format_table
 
 
-def run_table2() -> List[ScenarioResult]:
-    """Evaluate every scenario under the unsafe and Cassandra semantics."""
+def run_table2(ctx: Optional[object] = None) -> List[ScenarioResult]:
+    """Evaluate every scenario under the unsafe and Cassandra semantics.
+
+    A pure semantics study: the uniform context is accepted (the CLI passes
+    one to every experiment) but unused — no artifacts, no simulations.
+    """
     return evaluate_scenarios()
 
 
@@ -36,7 +40,7 @@ register_experiment(
         title="Table 2: the eight control-flow security scenarios",
         run=run_table2,
         format=format_table2,
-        uses_artifacts=False,
+        needs_artifacts=False,
         jsonify=lambda results: [asdict(result) for result in results],
     )
 )

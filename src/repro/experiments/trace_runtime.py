@@ -4,18 +4,19 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.api.service import ExperimentContext, default_context
 from repro.experiments.registry import ExperimentSpec, register_experiment
-from repro.experiments.runner import WorkloadArtifacts, format_table, prepare_workloads
+from repro.experiments.runner import format_table
 
 
 def run_trace_runtime(
+    ctx: Optional[ExperimentContext] = None,
     names: Optional[Sequence[str]] = None,
-    artifacts: Optional[Sequence[WorkloadArtifacts]] = None,
 ) -> List[Dict[str, object]]:
     """Per-workload wall-clock time of each step of Algorithm 2."""
-    artifacts = list(artifacts) if artifacts is not None else prepare_workloads(names)
+    ctx = default_context(ctx, names=names)
     rows: List[Dict[str, object]] = []
-    for artifact in artifacts:
+    for artifact in ctx.artifacts():
         timings = artifact.bundle.timings.as_dict()
         row: Dict[str, object] = {"workload": artifact.name}
         row.update({step: round(seconds, 4) for step, seconds in timings.items()})

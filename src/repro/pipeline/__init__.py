@@ -10,8 +10,10 @@ workload artifacts and simulation results:
   pairs across processes.
 * :mod:`repro.pipeline.parallel` — multiprocessing fan-out for workload
   preparation and for independent (workload × design × config) points.
-* :mod:`repro.pipeline.pipeline` — :class:`ExperimentPipeline`, the facade
-  the ``python -m repro`` CLI and the benchmark/test fixtures drive.
+* :mod:`repro.pipeline.pipeline` — :class:`ExperimentPipeline`, the
+  preparation/cache/worker-budget layer the public
+  :class:`~repro.api.service.SimulationService` facade wraps (the CLI,
+  benchmarks, and experiments all enter through :mod:`repro.api`).
 """
 
 from repro.pipeline.artifacts import (

@@ -251,9 +251,11 @@ _FORK_ARTIFACTS: Dict[str, WorkloadArtifacts] = {}
 #: within each config) — plus the workload's columnar trace preserialized by
 #: the parent.  Shipping the lowered columns as bytes means a worker's batch
 #: starts from one C-level unpickle instead of re-lowering the
-#: ``DynamicInstruction`` object stream per worker, and the same payload
-#: shape works where copy-on-write inheritance does not (spawn platforms,
-#: the cross-host sharding direction).
+#: ``DynamicInstruction`` object stream per worker.  The fully
+#: self-contained version of this payload shape — no fork inheritance at
+#: all — is :class:`repro.api.shard.ShardTask`, which the subprocess shard
+#: backend ships over pipes and the multi-host direction will ship over
+#: sockets.
 _BatchTask = Tuple[str, Tuple[SimulationPoint, ...], bytes]
 
 

@@ -1,8 +1,10 @@
 """The shared experiment pipeline: one preparation, many consumers.
 
-:class:`ExperimentPipeline` is the front door the CLI, the benchmarks, the
-examples, and multi-experiment scripts use.  It ties together the three
-layers below it:
+:class:`ExperimentPipeline` is the preparation/cache/worker-budget layer
+behind the public :class:`~repro.api.service.SimulationService` facade
+(the CLI, the benchmarks, the examples, and multi-experiment scripts all
+enter through :mod:`repro.api`).  It ties together the three layers below
+it:
 
 1. the content-addressed :class:`~repro.pipeline.artifacts.ArtifactCache`
    persisting ``(ExecutionResult, TraceBundle)`` pairs across processes;
@@ -83,11 +85,36 @@ class ExperimentPipeline:
 
     def artifact(self, name: str) -> WorkloadArtifacts:
         """One workload's artifacts, preparing only that workload if needed."""
-        if name not in self._artifacts:
+        return self.artifacts_for([name])[0]
+
+    def artifacts_for(self, names: Sequence[str]) -> List[WorkloadArtifacts]:
+        """Artifacts for exactly ``names``, preparing only the missing ones.
+
+        Unlike :meth:`artifacts` this never prepares the rest of the
+        pipeline's workload set, so a request-driven caller (the
+        :class:`~repro.api.service.SimulationService`) pays only for the
+        workloads its requests actually name.  Names outside the pipeline's
+        set are added to it.
+        """
+        for name in names:
             if name not in self.names:
                 self.names.append(name)
-            self._prepare([name])
-        return self._artifacts[name]
+        self._prepare([name for name in names if name not in self._artifacts])
+        return [self._artifacts[name] for name in names]
+
+    def adopt(self, artifacts: Iterable[WorkloadArtifacts]) -> None:
+        """Register artifacts prepared elsewhere as this pipeline's own.
+
+        Lets a caller that already paid for preparation (a benchmark
+        harness, a test fixture) wrap the prepared objects in a pipeline —
+        and hence a service — without re-preparing them; subsequent
+        :meth:`artifact`/:meth:`artifacts` calls return the same objects,
+        so simulation memos and lowering caches are shared.
+        """
+        for artifact in artifacts:
+            if artifact.name not in self.names:
+                self.names.append(artifact.name)
+            self._artifacts[artifact.name] = artifact
 
     def _prepare(self, missing: Sequence[str]) -> None:
         if not missing:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field, fields
+from typing import Any, Dict
 
 
 @dataclass(frozen=True)
@@ -120,6 +121,62 @@ class CoreConfig:
         """A short stable hex digest of :meth:`identity` (cache-key material)."""
         payload = repr(self.identity()).encode("utf-8")
         return hashlib.sha256(payload).hexdigest()[:16]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable dict covering every field (nested configs too).
+
+        The inverse of :meth:`from_dict`; the pair is what lets a
+        :class:`~repro.api.request.SimulationRequest` round-trip through
+        JSON (and hence cross process/host boundaries as plain text).
+        """
+        return config_as_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CoreConfig":
+        """Rebuild a config from :meth:`as_dict` output (strict on keys)."""
+        return config_from_dict(cls, payload)
+
+
+#: CoreConfig fields holding nested config dataclasses, and their types.
+_NESTED_CONFIG_FIELDS = {
+    "l1i": CacheConfig,
+    "l1d": CacheConfig,
+    "l2": CacheConfig,
+    "l3": CacheConfig,
+    "btu": BtuConfig,
+}
+
+
+def config_as_dict(config: object) -> Dict[str, Any]:
+    """Recursively flatten a config dataclass into plain JSON types."""
+    payload: Dict[str, Any] = {}
+    for f in fields(config):  # type: ignore[arg-type]
+        value = getattr(config, f.name)
+        if hasattr(value, "__dataclass_fields__"):
+            value = config_as_dict(value)
+        payload[f.name] = value
+    return payload
+
+
+def config_from_dict(cls, payload: Dict[str, Any]):
+    """Rebuild ``cls`` from :func:`config_as_dict` output.
+
+    Unknown keys are an error (a mistyped field must not silently become
+    the default), and nested cache/BTU payloads are rebuilt into their
+    frozen dataclasses so the result compares and hashes equal to the
+    original.
+    """
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ValueError(f"unknown {cls.__name__} field(s): {unknown!r}")
+    kwargs: Dict[str, Any] = {}
+    for name, value in payload.items():
+        nested = _NESTED_CONFIG_FIELDS.get(name) if cls is CoreConfig else None
+        if nested is not None and isinstance(value, dict):
+            value = nested(**value)
+        kwargs[name] = value
+    return cls(**kwargs)
 
 
 def config_identity(config: object) -> tuple:

@@ -1,0 +1,111 @@
+"""ResultSet: query, group-by, normalization, geomeans, export."""
+
+import json
+
+import pytest
+
+from repro.api import ResultSet, SimulationRequest, WorkloadRef
+from repro.uarch.config import GOLDEN_COVE_LIKE, CoreConfig
+from repro.uarch.core import SimulationResult
+from repro.uarch.stats import PipelineStats
+
+SMALL_CORE = CoreConfig(rob_size=64)
+
+
+def fake_entry(workload, design, cycles, config=GOLDEN_COVE_LIKE, flush=None):
+    request = SimulationRequest(
+        workload=WorkloadRef.registry(workload),
+        design=design,
+        config=config,
+        btu_flush_interval=flush,
+    )
+    stats = PipelineStats()
+    stats.cycles = cycles
+    stats.instructions = 1000
+    result = SimulationResult(
+        program_name=workload, policy_name=design, stats=stats, config=config
+    )
+    return request, result
+
+
+@pytest.fixture()
+def results():
+    return ResultSet([
+        fake_entry("A", "unsafe-baseline", 1000),
+        fake_entry("A", "cassandra", 900),
+        fake_entry("A", "cassandra", 950, flush=2000),
+        fake_entry("B", "unsafe-baseline", 2000),
+        fake_entry("B", "cassandra", 1600),
+        fake_entry("B", "unsafe-baseline", 2400, config=SMALL_CORE),
+    ])
+
+
+def test_where_and_cycles(results):
+    assert len(results.where(workload="A")) == 3
+    assert len(results.where(design="cassandra")) == 3
+    assert results.cycles(workload="A", design="cassandra", btu_flush_interval=None) == 900
+    assert results.cycles(workload="A", design="cassandra", btu_flush_interval=2000) == 950
+    # config filters compare by identity, so an equal re-built config matches.
+    assert results.cycles(workload="B", config=CoreConfig(rob_size=64)) == 2400
+
+
+def test_one_requires_uniqueness(results):
+    with pytest.raises(LookupError, match="got 2"):
+        results.one(workload="A", design="cassandra")
+    with pytest.raises(LookupError, match="got 0"):
+        results.one(workload="C")
+
+
+def test_get_exact_request(results):
+    request = results.requests[1]
+    assert results.get(request).cycles == 900
+    missing = SimulationRequest(workload="Z", design="spt")
+    with pytest.raises(KeyError):
+        results.get(missing)
+
+
+def test_group_by_workload_and_design(results):
+    groups = results.group_by("workload")
+    assert list(groups) == ["A", "B"]
+    assert len(groups["A"]) == 3
+    designs = results.group_by("design")
+    assert set(designs) == {"unsafe-baseline", "cassandra"}
+    with pytest.raises(KeyError, match="unknown axis"):
+        results.group_by("flavor")
+
+
+def test_normalized_time_and_geomeans(results):
+    default = results.where(config=GOLDEN_COVE_LIKE, btu_flush_interval=None)
+    assert default.normalized_time("cassandra", workload="A") == pytest.approx(0.9)
+    assert default.normalized_time("cassandra", workload="B") == pytest.approx(0.8)
+    geo = default.geomean_normalized_time("cassandra")
+    assert geo == pytest.approx((0.9 * 0.8) ** 0.5)
+    assert default.geomean_cycles(design="unsafe-baseline") == pytest.approx(
+        (1000 * 2000) ** 0.5
+    )
+
+
+def test_merged_keeps_first_occurrence(results):
+    request, _ = fake_entry("A", "cassandra", 999)  # duplicate of an existing request
+    other = ResultSet([fake_entry("A", "cassandra", 999), fake_entry("C", "spt", 10)])
+    merged = results.merged(other)
+    assert len(merged) == len(results) + 1
+    assert merged.cycles(workload="A", design="cassandra", btu_flush_interval=None) == 900
+    assert merged.cycles(workload="C") == 10
+
+
+def test_export_rows_and_json(results):
+    rows = results.export_rows()
+    assert len(rows) == 6
+    assert rows[0] == {
+        "workload": "A",
+        "design": "unsafe-baseline",
+        "config": GOLDEN_COVE_LIKE.digest(),
+        "btu_flush_interval": None,
+        "warmup_passes": 1,
+        "cycles": 1000,
+        "instructions": 1000,
+        "ipc": 1.0,
+    }
+    parsed = json.loads(results.to_json())
+    assert parsed == rows

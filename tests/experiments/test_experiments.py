@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.api import SimulationService
 from repro.experiments.cassandra_lite import format_cassandra_lite, run_cassandra_lite
 from repro.experiments.figure7 import format_figure7, run_figure7, summarize_speedup
 from repro.experiments.figure8 import format_figure8, run_figure8
@@ -11,17 +12,18 @@ from repro.experiments.runner import geometric_mean, prepare_workload
 from repro.experiments.table1 import format_table1, run_table1
 from repro.experiments.table2 import format_table2, run_table2
 from repro.experiments.trace_runtime import format_trace_runtime, run_trace_runtime
-from repro.pipeline import ExperimentPipeline
 
 #: A tiny but representative slice: one fast workload per suite.
 TEST_WORKLOADS = ["ChaCha20_ct", "sha256", "sphincs-haraka-128s"]
 
 
 @pytest.fixture(scope="module")
-def artifacts():
-    # The shared pipeline is what every consumer (CLI, benchmarks) now uses;
-    # driving the experiments through it here keeps the two paths honest.
-    return ExperimentPipeline(names=TEST_WORKLOADS).artifacts()
+def ctx():
+    # The shared service is what every consumer (CLI, benchmarks) now uses;
+    # driving the experiments through one uniform context here keeps the
+    # standalone and CLI paths honest.  Prepared artifacts and simulation
+    # memos are shared across every test in the module.
+    return SimulationService(names=TEST_WORKLOADS).context()
 
 
 def test_prepare_workload_verifies_kernel():
@@ -35,8 +37,8 @@ def test_geometric_mean():
     assert geometric_mean([]) == 0.0
 
 
-def test_table1_rows_and_compression(artifacts):
-    rows = run_table1(artifacts=artifacts, invocations=64)
+def test_table1_rows_and_compression(ctx):
+    rows = run_table1(ctx=ctx, invocations=64)
     assert rows[-1]["program"] == "All"
     # With repeated invocations the k-mers traces must be far smaller than
     # the vanilla traces (the paper's headline compression claim).
@@ -45,9 +47,10 @@ def test_table1_rows_and_compression(artifacts):
     assert "ChaCha20_ct" in format_table1(rows)
 
 
-def test_figure7_normalization_and_headline(artifacts):
-    rows = run_figure7(artifacts=artifacts)
+def test_figure7_normalization_and_headline(ctx):
+    rows = run_figure7(ctx=ctx)
     assert rows[-1]["workload"] == "geomean"
+    assert [row["workload"] for row in rows[:-1]] == TEST_WORKLOADS
     for row in rows[:-1]:
         assert row["unsafe-baseline"] == pytest.approx(1.0)
         # Cassandra must never be slower than the baseline on these kernels
@@ -59,7 +62,7 @@ def test_figure7_normalization_and_headline(artifacts):
     assert "geomean" in format_figure7(rows)
 
 
-def test_figure8_overheads(tmp_path):
+def test_figure8_overheads():
     rows = run_figure8(mixes=["25s/75c", "all-crypto"])
     assert len(rows) == 4
     by_key = {(row["primitive"], row["mix"]): row for row in rows}
@@ -73,8 +76,8 @@ def test_figure8_overheads(tmp_path):
     assert "curve25519" in format_figure8(rows)
 
 
-def test_figure9_power_and_area(artifacts):
-    report = run_figure9(artifacts=artifacts)
+def test_figure9_power_and_area(ctx):
+    report = run_figure9(ctx=ctx)
     assert power_reduction_percent(report) > 0.0
     assert btu_area_percent(report) == pytest.approx(1.26, abs=0.01)
     assert report["power:unsafe-baseline"]["total"] == pytest.approx(1.0)
@@ -88,42 +91,40 @@ def test_table2_scenarios():
     assert "BR1 -> R1" in format_table2(results)
 
 
-def test_cassandra_lite_study(artifacts):
-    rows = run_cassandra_lite(artifacts=artifacts)
+def test_cassandra_lite_study(ctx):
+    rows = run_cassandra_lite(ctx=ctx)
     lite_rows = [row for row in rows if isinstance(row["lite_over_cassandra"], float) and not str(row["workload"]).startswith("geomean")]
     assert all(row["lite_over_cassandra"] >= 1.0 - 1e-9 for row in lite_rows)
     assert "geomean-bearssl" in format_cassandra_lite(rows)
 
 
-def test_interrupt_study(artifacts):
-    rows = run_interrupt_study(artifacts=artifacts, flush_interval=500)
+def test_interrupt_study(ctx):
+    rows = run_interrupt_study(ctx=ctx, flush_interval=500)
     geomean = rows[-1]
     assert geomean["cassandra+flush"] >= geomean["cassandra"] - 1e-9
     assert "geomean" in format_interrupt_study(rows)
 
 
-def test_trace_runtime_rows(artifacts):
-    rows = run_trace_runtime(artifacts=artifacts)
+def test_trace_runtime_rows(ctx):
+    rows = run_trace_runtime(ctx=ctx)
     assert len(rows) == len(TEST_WORKLOADS)
     assert all(row["E_kmers_compression"] >= 0 for row in rows)
     assert "A_detect_static_branches" in format_trace_runtime(rows)
 
 
 def test_figure8_parallel_fanout_matches_serial():
-    rows_serial = run_figure8(mixes=["25s/75c"], jobs=1)
-    rows_parallel = run_figure8(mixes=["25s/75c"], jobs=2)
+    serial = SimulationService(names=[], backend="serial").context()
+    fork = SimulationService(names=[], jobs=2, backend="fork").context()
+    rows_serial = run_figure8(ctx=serial, mixes=["25s/75c"])
+    rows_parallel = run_figure8(ctx=fork, mixes=["25s/75c"])
     assert rows_serial == rows_parallel
 
 
-def test_sweep_experiment(artifacts):
-    from repro.experiments.registry import get_experiment
-    from repro.experiments.sweep import SWEEP_CONFIGS, format_sweep, run_sweep, sweep_points
-
-    spec = get_experiment("sweep")
-    assert spec.extra_points is sweep_points
+def test_sweep_experiment(ctx):
+    from repro.experiments.sweep import SWEEP_CONFIGS, format_sweep, run_sweep
 
     configs = SWEEP_CONFIGS[:2]  # golden-cove + rob-256 keeps the test fast
-    rows = run_sweep(artifacts=artifacts, configs=configs)
+    rows = run_sweep(ctx=ctx, configs=configs)
     assert [row["config"] for row in rows] == [label for label, _ in configs]
     for row in rows:
         assert row["unsafe-baseline_cycles"] > 0
@@ -135,9 +136,13 @@ def test_sweep_experiment(artifacts):
     assert "golden-cove" in format_sweep(rows)
 
 
-def test_sweep_points_cover_every_config_and_design():
-    from repro.experiments.sweep import SWEEP_CONFIGS, SWEEP_DESIGNS, sweep_points
+def test_sweep_matrix_covers_every_config_and_design():
+    from repro.experiments.registry import get_experiment
+    from repro.experiments.sweep import SWEEP_CONFIGS, SWEEP_DESIGNS, sweep_matrix
 
-    points = sweep_points(["ChaCha20_ct"])
-    assert len(points) == len(SWEEP_CONFIGS) * len(SWEEP_DESIGNS)
-    assert len({point.key() for point in points}) == len(points)
+    spec = get_experiment("sweep")
+    assert spec.matrix == sweep_matrix()
+
+    requests = sweep_matrix().expand(["ChaCha20_ct"])
+    assert len(requests) == len(SWEEP_CONFIGS) * len(SWEEP_DESIGNS)
+    assert len({request.key() for request in requests}) == len(requests)

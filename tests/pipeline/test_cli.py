@@ -1,4 +1,4 @@
-"""The ``python -m repro`` CLI over the shared pipeline."""
+"""The ``python -m repro`` CLI over the shared simulation service."""
 
 import json
 
@@ -16,6 +16,23 @@ def test_list_experiments(capsys):
         assert name in out
 
 
+def test_list_experiments_json(capsys):
+    """--list honors --format json: a machine-readable registry dump."""
+    assert main(["--list", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    by_name = {row["name"]: row for row in payload}
+    assert "figure7" in by_name
+    assert by_name["figure7"]["title"].startswith("Figure 7")
+    assert by_name["figure7"]["matrix"]["designs"] == [
+        "unsafe-baseline", "cassandra", "cassandra+stl", "spt"
+    ]
+    assert by_name["table2"]["needs_artifacts"] is False
+    # The interrupt study's flush override shows up as an extend block.
+    assert by_name["interrupts"]["matrix"]["extend"][0]["flush_intervals"] == [2000]
+    # Figure 8 pins its own (synthetic) workload axis.
+    assert by_name["figure8"]["matrix"]["workloads"] != "pipeline-default"
+
+
 def test_unknown_experiment_errors(capsys):
     assert main(["figure99"]) == 2
     assert "unknown experiment" in capsys.readouterr().err
@@ -25,6 +42,11 @@ def test_unknown_experiment_errors_even_with_all(capsys):
     """A typo must not vanish silently into the 'all' selection."""
     assert main(["all", "figure99"]) == 2
     assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_unknown_backend_errors():
+    with pytest.raises(SystemExit):
+        main(["table2", "--backend", "teleport"])
 
 
 def test_direct_module_invocation_still_works():
@@ -91,6 +113,39 @@ def test_multi_experiment_run_prepares_each_workload_once(capsys, trace_counter)
     assert payload["stats"]["prepared"] == 1
     # figure9 needed unsafe-baseline + cassandra on the single workload.
     assert payload["stats"]["points_simulated"] == 2
+
+
+def test_overlapping_experiments_simulate_shared_points_once(capsys, trace_counter):
+    """figure7 ⊇ figure9 ∪ cassandra-lite designs: the union dedups them.
+
+    figure7 (4 designs), figure9 (2 of them), and cassandra-lite (the same
+    2 plus cassandra-lite) overlap heavily; the prefetch union must
+    simulate each distinct (workload × design) point exactly once — 5
+    points, not 4 + 2 + 3.
+    """
+    code = main([
+        "figure7", "figure9", "cassandra-lite",
+        "--workloads", "ChaCha20_ct",
+        "--no-cache", "--jobs", "1", "--format", "json",
+    ])
+    assert code == 0
+    assert len(trace_counter) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["stats"]["points_simulated"] == 5
+
+
+def test_backend_flag_smoke(capsys):
+    """Every backend answers the same experiment with the same table."""
+    outputs = {}
+    for backend in ("serial", "fork", "shard"):
+        code = main([
+            "figure9",
+            "--workloads", "ChaCha20_ct",
+            "--no-cache", "--jobs", "2", "--backend", backend,
+        ])
+        assert code == 0
+        outputs[backend] = capsys.readouterr().out
+    assert outputs["serial"] == outputs["fork"] == outputs["shard"]
 
 
 def test_warm_cache_run_skips_all_heavy_work(capsys, tmp_path, trace_counter):
