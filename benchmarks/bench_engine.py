@@ -19,11 +19,21 @@ A fourth timed phase, **service**, answers "what does the declarative
 ``repro.api`` layer cost?": the same per-workload point set expressed as
 :class:`~repro.api.request.SimulationRequest` batches through a
 :class:`~repro.api.service.SimulationService` with the serial backend
-(memos cleared per repetition, kernels active).  The difference against the
-direct ``simulate_batch`` kernel phase is reported as
+(memos cleared per repetition, kernels active).  Since the job redesign,
+``service.run`` *is* a scheduler job, so this phase already pays the
+submit → dispatch → result round trip.  The difference against the direct
+``simulate_batch`` kernel phase is reported as
 ``service_overhead_seconds`` / ``service_overhead_pct`` and can be gated
 with ``--max-service-overhead-pct`` (the CI bound asserts the facade adds
 under 2%).
+
+A fifth phase, **scheduler**, prices the full job machinery end to end:
+``service.submit(...)`` with a live ``events()`` consumer draining every
+typed :class:`~repro.api.jobs.JobEvent` (queued / prepared / per-point /
+done) before ``result()``.  Its delta over the same direct kernel phase is
+``scheduler_overhead_seconds`` / ``scheduler_overhead_pct``, gated with
+``--max-scheduler-overhead-pct`` (CI: 2%) — streaming progress must stay
+effectively free.
 
 Preparation (sequential execution + trace generation) is shared and
 untimed, exactly as in the PR-2 protocol.  The columnar lowering — also
@@ -60,7 +70,7 @@ from repro.pipeline.artifacts import ArtifactCache
 from repro.uarch.core import CoreModel
 
 #: Schema of the report (and of trajectory entries).  Bump on layout change.
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
 
 ALL_DESIGNS = tuple(DESIGN_BUILDERS)
 
@@ -136,6 +146,39 @@ def run_service(service, artifact) -> Dict[tuple, Dict[str, object]]:
     }
 
 
+def run_scheduler(service, artifact) -> Dict[tuple, Dict[str, object]]:
+    """The same point set as one scheduler job with a live event consumer.
+
+    ``submit`` → drain ``events()`` (every queued / prepared /
+    point-started / point-done frame) → ``result()``: the delta against
+    :func:`run_batch` in ``on`` mode is the whole job-oriented machinery —
+    queueing, dispatch threads, per-point event emission, and stream
+    delivery.
+    """
+    from repro.api import SimulationRequest
+
+    os.environ[KERNELS_ENV] = "on"
+    requests = [
+        SimulationRequest(
+            workload=artifact.name,
+            design=design,
+            btu_flush_interval=flush,
+            warmup_passes=warmups,
+        )
+        for design, flush, warmups in POINTS
+    ]
+    handle = service.submit(requests, tags=("bench",))
+    events = 0
+    for _event in handle.events():
+        events += 1
+    results = handle.result()
+    assert events >= len(POINTS)  # at least one event per point arrived
+    return {
+        point: result.stats.as_dict()
+        for point, (_request, result) in zip(POINTS, results)
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output", default="BENCH_engine.json", metavar="PATH")
@@ -169,6 +212,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=0.0,
         help="fail if the SimulationService layer adds more than this percent "
         "over calling simulate_batch directly (0 disables)",
+    )
+    parser.add_argument(
+        "--max-scheduler-overhead-pct",
+        type=float,
+        default=0.0,
+        help="fail if the job scheduler (submit + streamed events + result) "
+        "adds more than this percent over calling simulate_batch directly "
+        "(0 disables)",
     )
     parser.add_argument(
         "--trajectory",
@@ -227,7 +278,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     per_workload = []
     legacy_total = engine_total = kernel_total = lowering_total = 0.0
-    service_total = 0.0
+    service_total = scheduler_total = 0.0
     for artifact in artifacts:
         # The lowering is byte-identical shared input for both batch paths:
         # timed once, then left memoized for the phase timings below.
@@ -245,34 +296,44 @@ def main(argv: Optional[List[str]] = None) -> int:
         engine_seconds = min(
             _timed(lambda: run_batch(artifact, "off")) for _ in range(repeat)
         )
-        kernel_seconds = inner_kernel = None
-        for _ in range(repeat):
-            batch_stats = BatchStats()
-            elapsed = _timed(lambda: run_batch(artifact, "on", batch_stats))
-            if kernel_seconds is None or elapsed < kernel_seconds:
-                kernel_seconds = elapsed
-                inner_kernel = batch_stats
-        assert kernel_seconds is not None and inner_kernel is not None
-
-        # Service phase: same points, same kernels, plus the api layer.
+        # The kernel, service, and scheduler phases are interleaved within
+        # each repetition: the service/scheduler overheads are small
+        # differences between large timings, so the pair being compared
+        # must see the same machine conditions — separate back-to-back
+        # phase loops made the 2% gates hostage to scheduler/thermal noise.
         # The artifact-level disk cache is detached for the duration so a
         # --cache-dir run does not short-circuit the comparison.
         saved_cache = artifact.cache
         artifact.cache = None
+        kernel_seconds = inner_kernel = None
+        service_runs = []
+        scheduler_runs = []
         try:
-            service_runs = []
             for _ in range(repeat):
+                batch_stats = BatchStats()
+                elapsed = _timed(lambda: run_batch(artifact, "on", batch_stats))
+                if kernel_seconds is None or elapsed < kernel_seconds:
+                    kernel_seconds = elapsed
+                    inner_kernel = batch_stats
                 artifact.simulations.clear()
                 service_runs.append(_timed(lambda: run_service(service, artifact)))
+                artifact.simulations.clear()
+                scheduler_runs.append(
+                    _timed(lambda: run_scheduler(service, artifact))
+                )
+                artifact.simulations.clear()
             service_seconds = min(service_runs)
+            scheduler_seconds = min(scheduler_runs)
         finally:
             artifact.cache = saved_cache
             artifact.simulations.clear()
+        assert kernel_seconds is not None and inner_kernel is not None
 
         legacy_total += legacy_seconds
         engine_total += engine_seconds
         kernel_total += kernel_seconds
         service_total += service_seconds
+        scheduler_total += scheduler_seconds
         lowering_total += lowering_seconds
         per_workload.append(
             {
@@ -284,10 +345,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "engine_seconds": round(engine_seconds, 4),
                 "kernel_seconds": round(kernel_seconds, 4),
                 "service_seconds": round(service_seconds, 4),
+                "scheduler_seconds": round(scheduler_seconds, 4),
                 # What the declarative request layer adds on top of the
                 # direct simulate_batch call for the same points.
                 "service_overhead_seconds": round(
                     max(service_seconds - kernel_seconds, 0.0), 4
+                ),
+                # What the full job machinery (submit, dispatch, streamed
+                # per-point events, result assembly) adds on top of it.
+                "scheduler_overhead_seconds": round(
+                    max(scheduler_seconds - kernel_seconds, 0.0), 4
                 ),
                 # The kernel path's time outside generated-kernel execution:
                 # warm-state restores, shared column/plan construction,
@@ -317,6 +384,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     service_overhead_pct = (
         service_overhead / kernel_total * 100.0 if kernel_total else 0.0
     )
+    scheduler_overhead = max(scheduler_total - kernel_total, 0.0)
+    scheduler_overhead_pct = (
+        scheduler_overhead / kernel_total * 100.0 if kernel_total else 0.0
+    )
     report = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "suite": "quick",
@@ -334,8 +405,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "engine_seconds": round(engine_total, 3),
         "kernel_seconds": round(kernel_total, 3),
         "service_seconds": round(service_total, 3),
+        "scheduler_seconds": round(scheduler_total, 3),
         "service_overhead_seconds": round(service_overhead, 4),
         "service_overhead_pct": round(service_overhead_pct, 2),
+        "scheduler_overhead_seconds": round(scheduler_overhead, 4),
+        "scheduler_overhead_pct": round(scheduler_overhead_pct, 2),
         "speedup": round(speedup, 2),
         "kernel_speedup": round(kernel_speedup, 2),
         "parity": "ok" if not mismatches else "MISMATCH",
@@ -354,7 +428,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             "engine_seconds": report["engine_seconds"],
             "kernel_seconds": report["kernel_seconds"],
             "service_seconds": report["service_seconds"],
+            "scheduler_seconds": report["scheduler_seconds"],
             "service_overhead_pct": report["service_overhead_pct"],
+            "scheduler_overhead_pct": report["scheduler_overhead_pct"],
             "speedup": report["speedup"],
             "kernel_speedup": report["kernel_speedup"],
             "parity": report["parity"],
@@ -373,7 +449,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(
         f"legacy {legacy_total:.2f}s  engine {engine_total:.2f}s  "
         f"kernels {kernel_total:.2f}s  service {service_total:.2f}s "
-        f"(+{service_overhead_pct:.2f}%)  engine-speedup {speedup:.2f}x  "
+        f"(+{service_overhead_pct:.2f}%)  scheduler {scheduler_total:.2f}s "
+        f"(+{scheduler_overhead_pct:.2f}%)  engine-speedup {speedup:.2f}x  "
         f"kernel-speedup {kernel_speedup:.2f}x  "
         f"parity {'ok' if not mismatches else 'MISMATCH'}"
     )
@@ -400,6 +477,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"service overhead {service_overhead_pct:.2f}% above allowed "
             f"{args.max_service_overhead_pct:.2f}%",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.max_scheduler_overhead_pct
+        and scheduler_overhead_pct > args.max_scheduler_overhead_pct
+    ):
+        print(
+            f"scheduler overhead {scheduler_overhead_pct:.2f}% above allowed "
+            f"{args.max_scheduler_overhead_pct:.2f}%",
             file=sys.stderr,
         )
         return 1

@@ -39,9 +39,22 @@ The pieces:
   :class:`ForkPoolBackend`, :class:`SubprocessShardBackend`; all
   bit-identical, selectable via ``python -m repro --backend``.
 * :class:`ResultSet` — query / group-by / normalized-time / geomean /
-  export over (request, result) pairs.
+  export over (request, result) pairs, with a lossless
+  :meth:`~ResultSet.to_wire`/:meth:`~ResultSet.from_wire` round trip.
 * :class:`ExperimentContext` — the uniform object every registered
   experiment's ``run(ctx)`` receives.
+
+Since the job redesign, ``service.run`` is a thin synchronous convenience
+over job submission: ``service.submit(matrix, priority=5)`` answers
+immediately with a :class:`JobHandle` streaming typed :class:`JobEvent`\\ s
+(``queued`` / ``prepared`` / ``point-started`` / ``point-done`` /
+``cache-hit`` / terminal), and the :class:`~repro.api.scheduler.Scheduler`
+multiplexes any number of such jobs — deduplicating identical in-flight
+points across them — over the one shared backend and artifact cache.  The
+networked tier lives in :mod:`repro.api.remote`: ``repro serve`` exposes a
+service over TCP, :class:`RemoteServiceClient`/:class:`RemoteBackend`
+consume it, and :class:`RemoteShardBackend` ships the shard wire frames to
+socket-registered workers.
 """
 
 from repro.api.backends import (
@@ -52,6 +65,7 @@ from repro.api.backends import (
     SubprocessShardBackend,
     make_backend,
 )
+from repro.api.jobs import JobCancelled, JobEvent, JobHandle
 from repro.api.matrix import EMPTY_MATRIX, ScenarioMatrix, expand_many
 from repro.api.request import (
     REQUEST_FORMAT_VERSION,
@@ -59,12 +73,14 @@ from repro.api.request import (
     WorkloadRef,
 )
 from repro.api.results import ResultSet
+from repro.api.scheduler import Scheduler
 from repro.api.service import (
     ExperimentContext,
     SimulationService,
     build_service,
     default_context,
 )
+from repro.api.shard import ShardWorkerError
 
 __all__ = [
     "BACKENDS",
@@ -72,10 +88,15 @@ __all__ = [
     "ExecutionBackend",
     "ExperimentContext",
     "ForkPoolBackend",
+    "JobCancelled",
+    "JobEvent",
+    "JobHandle",
     "REQUEST_FORMAT_VERSION",
     "ResultSet",
     "ScenarioMatrix",
+    "Scheduler",
     "SerialBackend",
+    "ShardWorkerError",
     "SimulationRequest",
     "SimulationService",
     "SubprocessShardBackend",

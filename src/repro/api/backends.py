@@ -29,7 +29,7 @@ import threading
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 from repro.api.request import SimulationRequest
-from repro.api.shard import ShardTask, read_frame, write_frame
+from repro.api.shard import ShardTask, ShardWorkerError, read_frame, write_frame
 
 if TYPE_CHECKING:  # pragma: no cover - types only (import cycle guard: the
     # experiments package's modules import repro.api at module scope)
@@ -41,6 +41,13 @@ class ExecutionBackend:
 
     #: CLI name (``--backend <name>``).
     name: str = "base"
+
+    #: Whether one :meth:`execute` call parallelizes *across* per-workload
+    #: groups internally.  The scheduler hands such backends every pending
+    #: group in a single call (preserving their fan-out) and drives
+    #: group-at-a-time rounds through the others (finer-grained progress
+    #: events and cancellation boundaries at identical cost).
+    multiplexes_groups: bool = False
 
     def execute(
         self,
@@ -74,6 +81,7 @@ class ForkPoolBackend(ExecutionBackend):
     """
 
     name = "fork"
+    multiplexes_groups = True
 
     def execute(self, artifacts, requests, jobs):
         from repro.pipeline.parallel import simulate_points
@@ -95,9 +103,17 @@ class SubprocessShardBackend(ExecutionBackend):
     come back pickled, are seeded into the artifact memos, and persisted to
     the disk cache (workers have no cache handle, by design: the wire
     payloads must be sufficient).
+
+    A worker dying mid-task — EOF or a truncated length-prefixed frame —
+    surfaces as a typed :class:`ShardWorkerError` naming the worker and the
+    pending requests, and its task is requeued onto the surviving workers.
+    Only a task that kills every worker it is offered to (or the loss of
+    the last live worker) fails the run.  The remote socket backend reuses
+    the same recovery semantics.
     """
 
     name = "shard"
+    multiplexes_groups = True
 
     def execute(self, artifacts, requests, jobs):
         pending = self._pending_groups(artifacts, requests)
@@ -185,57 +201,130 @@ class SubprocessShardBackend(ExecutionBackend):
         workers idle the way a static partition would.  Each task's wire
         payload is built when a worker pulls it, so peak parent memory is
         ~``jobs`` frames rather than the whole suite's.
+
+        A worker dying mid-task raises :class:`ShardWorkerError` inside its
+        driver thread; the task is requeued for the surviving workers
+        (idle drivers wait while any task is still in flight, so a
+        requeued task is always picked up).  The run fails only when a
+        task has killed as many workers as the pool started with, or when
+        the last live worker dies with work outstanding.
         """
         workers = max(1, min(jobs, len(pending)))
-        task_iter = iter(list(pending))
+        queue: List[str] = list(pending)
+        failures: Dict[str, int] = {}
         outcomes: Dict[str, List] = {}
         errors: List[BaseException] = []
         lock = threading.Lock()
+        work = threading.Condition(lock)
+        inflight = [0]
+        alive = [workers]
 
         def next_name() -> Optional[str]:
-            with lock:
-                return next(task_iter, None)
+            with work:
+                while True:
+                    if errors:
+                        return None
+                    if queue:
+                        inflight[0] += 1
+                        return queue.pop(0)
+                    if inflight[0] == 0:
+                        return None
+                    # Another driver may yet die and requeue its task;
+                    # stay available instead of exiting early.
+                    work.wait()
 
-        def drive() -> None:
+        def task_done(name: str, results: List) -> None:
+            with work:
+                outcomes[name] = results
+                inflight[0] -= 1
+                work.notify_all()
+
+        def task_failed(name: str, error: ShardWorkerError) -> None:
+            with work:
+                inflight[0] -= 1
+                failures[name] = failures.get(name, 0) + 1
+                if failures[name] >= workers:
+                    # The task killed every worker the pool ever had:
+                    # requeueing again can only repeat the carnage.
+                    errors.append(error)
+                else:
+                    queue.append(name)
+                work.notify_all()
+
+        def drive(worker_id: str) -> None:
             process = subprocess.Popen(
                 self._worker_command(),
                 stdin=subprocess.PIPE,
                 stdout=subprocess.PIPE,
                 env=self._worker_env(),
             )
+            current: Optional[str] = None
             try:
                 while True:
-                    name = next_name()
-                    if name is None:
+                    current = next_name()
+                    if current is None:
                         break
-                    task = self._build_task(artifacts[name], pending[name])
-                    write_frame(process.stdin, task.to_bytes())
-                    payload = read_frame(process.stdout)
+                    task = self._build_task(artifacts[current], pending[current])
+                    try:
+                        write_frame(process.stdin, task.to_bytes())
+                        payload = read_frame(process.stdout)
+                    except (BrokenPipeError, EOFError, OSError) as exc:
+                        raise ShardWorkerError(
+                            worker_id,
+                            current,
+                            tuple(pending[current]),
+                            f"died mid-frame ({exc})",
+                        ) from exc
                     if payload is None:
-                        raise RuntimeError(
-                            f"shard worker exited while computing {name!r} "
-                            f"(exit code {process.poll()})"
+                        raise ShardWorkerError(
+                            worker_id,
+                            current,
+                            tuple(pending[current]),
+                            f"exited mid-task (code {process.poll()})",
                         )
-                    results = pickle.loads(payload)
-                    with lock:
-                        outcomes[name] = results
+                    task_done(current, pickle.loads(payload))
+                    current = None
                 process.stdin.close()
                 if process.wait() != 0:
                     raise RuntimeError(
-                        f"shard worker exited with code {process.returncode}"
+                        f"shard worker {worker_id} exited with code {process.returncode}"
                     )
+            except ShardWorkerError as exc:
+                process.kill()
+                process.wait()
+                if current is not None:
+                    task_failed(current, exc)
             except BaseException as exc:  # noqa: BLE001 - reraised in the parent
                 process.kill()
                 process.wait()
-                with lock:
+                with work:
+                    if current is not None:
+                        inflight[0] -= 1
                     errors.append(exc)
+                    work.notify_all()
             finally:
                 for stream in (process.stdin, process.stdout):
                     if stream and not stream.closed:
                         stream.close()
+                with work:
+                    alive[0] -= 1
+                    if alive[0] == 0 and queue and not errors:
+                        # The pool is gone with tasks still queued: surface
+                        # the loss instead of returning a partial answer.
+                        leftover = queue[0]
+                        errors.append(
+                            ShardWorkerError(
+                                worker_id,
+                                leftover,
+                                tuple(pending[leftover]),
+                                "was the last live worker",
+                            )
+                        )
+                    work.notify_all()
 
         threads = [
-            threading.Thread(target=drive, daemon=True) for _ in range(workers)
+            threading.Thread(target=drive, args=(f"pipe-{i + 1}",), daemon=True)
+            for i in range(workers)
         ]
         for thread in threads:
             thread.start()
@@ -253,13 +342,31 @@ BACKENDS = {
 }
 
 
-def make_backend(name: Optional[str]) -> ExecutionBackend:
-    """Instantiate a backend by CLI name (default: the fork fan-out)."""
+def make_backend(
+    name: Optional[str],
+    connect: Optional[str] = None,
+    listener: Optional[object] = None,
+) -> ExecutionBackend:
+    """Instantiate a backend by CLI name (default: the fork fan-out).
+
+    ``remote`` — the networked tier — needs ``connect`` (a
+    ``host:port`` naming a running ``repro serve`` instance) and accepts an
+    optional ``listener`` forwarded the server's job events (the CLI's
+    progress line).
+    """
     if name is None:
         return ForkPoolBackend()
+    if name == "remote":
+        if not connect:
+            raise KeyError(
+                "the remote backend needs a server address (--connect host:port)"
+            )
+        from repro.api.remote import RemoteBackend
+
+        return RemoteBackend(connect, listener=listener)
     try:
         return BACKENDS[name]()
     except KeyError:
         raise KeyError(
-            f"unknown backend {name!r}; available: {sorted(BACKENDS)}"
+            f"unknown backend {name!r}; available: {sorted(BACKENDS) + ['remote']}"
         ) from None

@@ -118,6 +118,23 @@ class SimulationRequest:
             self.design, self.config, self.btu_flush_interval, self.warmup_passes
         )
 
+    def sort_key(self) -> Tuple:
+        """A total order over requests (stable export/table ordering).
+
+        Sorts by workload name, then design, then config digest, with
+        flush-disabled (``None``) points before flushed ones and warm-up
+        passes last — so exported rows are deterministic regardless of the
+        insertion (or cross-job completion) order that produced them.
+        """
+        return (
+            self.workload.name,
+            self.design,
+            self.config.digest(),
+            self.btu_flush_interval is not None,
+            self.btu_flush_interval or 0,
+            self.warmup_passes,
+        )
+
     def point(self):
         """The pipeline's :class:`~repro.pipeline.parallel.SimulationPoint`."""
         from repro.pipeline.parallel import SimulationPoint

@@ -22,6 +22,10 @@ from repro.uarch.core import SimulationResult
 #: BTU-flush axis legitimately filters on None = flushing disabled).
 _UNSET: Any = object()
 
+#: Bump when the full-fidelity wire layout changes; :meth:`ResultSet.from_wire`
+#: rejects other versions.
+WIRE_FORMAT_VERSION = 1
+
 Entry = Tuple[SimulationRequest, SimulationResult]
 
 #: Axes :meth:`ResultSet.group_by` understands, mapped to key extractors.
@@ -177,7 +181,14 @@ class ResultSet:
     # Export
     # ------------------------------------------------------------------ #
     def export_rows(self) -> List[Dict[str, Any]]:
-        """Plain-data rows, one per entry (JSON-serializable)."""
+        """Plain-data rows, one per entry (JSON-serializable).
+
+        Rows are sorted by :meth:`SimulationRequest.sort_key` — a stable
+        total order over the request axes — not by insertion order, so the
+        same result set exports identically no matter which backend, job
+        interleaving, or cache state produced it.
+        """
+        ordered = sorted(self._entries, key=lambda entry: entry[0].sort_key())
         return [
             {
                 "workload": request.workload.name,
@@ -189,8 +200,51 @@ class ResultSet:
                 "instructions": result.stats.instructions,
                 "ipc": round(result.ipc, 4),
             }
-            for request, result in self._entries
+            for request, result in ordered
         ]
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.export_rows(), indent=indent)
+
+    # ------------------------------------------------------------------ #
+    # Wire round-trip
+    # ------------------------------------------------------------------ #
+    def to_wire(self) -> str:
+        """Full-fidelity JSON: every request *and* result field, in order.
+
+        Unlike :meth:`to_json` (sorted human-readable rows), this is the
+        lossless server→client payload: :meth:`from_wire` rebuilds an
+        equivalent :class:`ResultSet` — same entry order, same stats — on
+        the other side of a socket.
+        """
+        return json.dumps(
+            {
+                "version": WIRE_FORMAT_VERSION,
+                "entries": [
+                    {"request": request.as_dict(), "result": result.as_dict()}
+                    for request, result in self._entries
+                ],
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_wire(cls, text: str) -> "ResultSet":
+        """Rehydrate a :meth:`to_wire` payload (a remote service's answer)."""
+        payload = json.loads(text)
+        version = payload.get("version")
+        if version != WIRE_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported ResultSet wire format {version!r} "
+                f"(this build speaks {WIRE_FORMAT_VERSION})"
+            )
+        return cls(
+            [
+                (
+                    SimulationRequest.from_dict(entry["request"]),
+                    SimulationResult.from_dict(entry["result"]),
+                )
+                for entry in payload["entries"]
+            ]
+        )

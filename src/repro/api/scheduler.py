@@ -1,0 +1,362 @@
+"""The job scheduler: many concurrent jobs over one shared service.
+
+:class:`Scheduler` turns the blocking :class:`~repro.api.service.SimulationService`
+execution path into job-oriented execution: callers
+:meth:`~Scheduler.submit` a request batch (anything ``service.run`` accepts)
+with a ``priority`` and ``tags`` and get a
+:class:`~repro.api.jobs.JobHandle` back immediately.  Dispatcher threads
+drain a priority queue, preparing workloads and driving the service's
+configured :class:`~repro.api.backends.ExecutionBackend`, and every step is
+published as a typed :class:`~repro.api.jobs.JobEvent` stream.
+
+Guarantees:
+
+* **Shared memo/disk cache** — jobs run over the service's one pipeline, so
+  anything a previous job computed is a ``cache-hit`` for the next.
+* **Cross-job point dedup** — a point *currently executing* for one job is
+  never executed again for another: the second job waits for the first's
+  execution and records a ``cache-hit`` (two jobs naming the same
+  :class:`~repro.api.request.SimulationRequest` share one execution).
+* **Priority ordering** — higher ``priority`` jobs are popped first; ties
+  run in submission order.
+* **Cancellation** — :meth:`JobHandle.cancel` stops a queued job before it
+  starts and a running job at its next workload-group boundary; points
+  that already finished stay memoized and disk-cached (the cache is always
+  consistent), and are available via :meth:`JobHandle.partial`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.api.jobs import JobEvent, JobHandle
+from repro.api.request import SimulationRequest
+from repro.api.results import ResultSet
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.api.service import RequestsLike, SimulationService
+
+
+class Scheduler:
+    """Multiplex prioritized jobs over one service's backend and cache."""
+
+    def __init__(
+        self,
+        service: "SimulationService",
+        workers: int = 1,
+        paused: bool = False,
+    ) -> None:
+        self.service = service
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._heap: List[Tuple[int, int, JobHandle]] = []
+        self._order = itertools.count()
+        self._seq = itertools.count()
+        self._job_ids = itertools.count(1)
+        self._jobs: Dict[str, JobHandle] = {}
+        #: (workload name, SimulationKey) → Event set when its execution ends.
+        self._inflight: Dict[Tuple[str, tuple], threading.Event] = {}
+        self._listeners: List[Callable[[JobEvent], None]] = []
+        self._paused = paused
+        self._closed = False
+        self._prepare_lock = threading.Lock()
+        self._threads = [
+            threading.Thread(
+                target=self._dispatch, name=f"repro-scheduler-{i}", daemon=True
+            )
+            for i in range(max(1, workers))
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Public surface
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        what: "RequestsLike",
+        priority: int = 0,
+        tags: Sequence[str] = (),
+    ) -> JobHandle:
+        """Queue a job for ``what`` (expanded eagerly, in the caller).
+
+        Invalid input (unknown workloads/designs surface at expansion)
+        raises here, synchronously; everything later is reported through
+        the handle.  An empty expansion completes immediately.
+        """
+        requests = self.service.expand(what)
+        handle = JobHandle(
+            f"job-{next(self._job_ids)}",
+            requests,
+            priority=priority,
+            tags=tuple(tags),
+        )
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("scheduler is closed")
+            self._jobs[handle.job_id] = handle
+        self._emit(
+            handle,
+            "queued",
+            payload={
+                "points": len(requests),
+                "priority": priority,
+                "tags": list(handle.tags),
+            },
+        )
+        if not requests:
+            handle._finish(ResultSet())
+            self._emit(handle, "done", payload={"points": 0, "computed": 0, "cache_hits": 0})
+            return handle
+        with self._work:
+            if self._closed:
+                # close() won the race after the check above: a push now
+                # would land on a dead heap and strand result() forever.
+                closed_during_submit = True
+            else:
+                closed_during_submit = False
+                heapq.heappush(self._heap, (-priority, next(self._order), handle))
+                self._work.notify()
+        if closed_during_submit:
+            handle._mark_cancelled(ResultSet())
+            self._emit(handle, "cancelled", payload={"completed": 0})
+        return handle
+
+    def get_job(self, job_id: str) -> Optional[JobHandle]:
+        """A previously submitted job's handle (``None`` when unknown)."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def add_listener(self, listener: Callable[[JobEvent], None]) -> None:
+        """Observe every event of every job (the CLI progress line hook)."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[JobEvent], None]) -> None:
+        self._listeners.remove(listener)
+
+    def pause(self) -> None:
+        """Stop starting new jobs (running jobs finish; submits still queue)."""
+        with self._work:
+            self._paused = True
+
+    def resume(self) -> None:
+        with self._work:
+            self._paused = False
+            self._work.notify_all()
+
+    def close(self, wait: bool = True) -> None:
+        """Cancel queued jobs, stop the dispatchers, optionally join them."""
+        with self._work:
+            if self._closed:
+                return
+            self._closed = True
+            leftover = [job for _, _, job in self._heap]
+            self._heap.clear()
+            self._work.notify_all()
+        for job in leftover:
+            job._mark_cancelled(ResultSet())
+            self._emit(job, "cancelled", payload={"completed": 0})
+        if wait:
+            for thread in self._threads:
+                if thread is not threading.current_thread():
+                    thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+    def _emit(
+        self,
+        handle: JobHandle,
+        kind: str,
+        request: Optional[SimulationRequest] = None,
+        payload: Optional[dict] = None,
+    ) -> JobEvent:
+        event = JobEvent(
+            kind=kind,
+            job_id=handle.job_id,
+            seq=next(self._seq),
+            request=request,
+            payload=payload,
+        )
+        handle._emit(event, self._listeners)
+        return event
+
+    def _dispatch(self) -> None:
+        while True:
+            with self._work:
+                while not self._closed and (self._paused or not self._heap):
+                    self._work.wait()
+                if self._closed:
+                    return
+                _, _, handle = heapq.heappop(self._heap)
+            if handle.cancel_requested:
+                handle._mark_cancelled(ResultSet())
+                self._emit(handle, "cancelled", payload={"completed": 0})
+                continue
+            handle.state = "running"
+            try:
+                self._run_job(handle)
+            except BaseException as exc:  # noqa: BLE001 - reported via the handle
+                handle._fail(exc)
+                self._emit(handle, "failed", payload={"error": str(exc)})
+
+    def _run_job(self, handle: JobHandle) -> None:
+        service = self.service
+        requests = handle.requests
+        refs = {}
+        for request in requests:
+            refs.setdefault(request.workload.name, request.workload)
+        with self._prepare_lock:
+            artifacts = service._artifacts_for_refs(list(refs.values()))
+        self._emit(handle, "prepared", payload={"workloads": sorted(refs)})
+
+        resolved: Dict[SimulationRequest, object] = {}
+        computed = cache_hits = 0
+        groups: Dict[str, List[SimulationRequest]] = {}
+        for request in requests:
+            artifact = artifacts[request.workload.name]
+            cached = artifact.cached_simulation(request.key())
+            if cached is not None:
+                resolved[request] = cached
+                cache_hits += 1
+                self._emit(
+                    handle, "cache-hit", request, payload={"cycles": cached.cycles}
+                )
+            else:
+                groups.setdefault(request.workload.name, []).append(request)
+
+        # Claim pending points: a point another job is executing right now
+        # is "theirs" — we wait for that execution instead of repeating it.
+        owned_groups: List[Tuple[str, List[SimulationRequest]]] = []
+        theirs: List[Tuple[SimulationRequest, threading.Event]] = []
+        claims: List[Tuple[str, tuple]] = []
+        with self._lock:
+            for name, group in groups.items():
+                owned: List[SimulationRequest] = []
+                for request in group:
+                    key = (name, request.key())
+                    other = self._inflight.get(key)
+                    if other is not None:
+                        theirs.append((request, other))
+                    else:
+                        self._inflight[key] = threading.Event()
+                        claims.append(key)
+                        owned.append(request)
+                if owned:
+                    owned_groups.append((name, owned))
+
+        # Backends that multiplex per-workload groups internally (the fork
+        # fan-out, the shard worker pool, the remote tiers) get every group
+        # in one call so cross-workload parallelism is preserved; the serial
+        # backend runs group-sized rounds — identical work, but cancellation
+        # and point-done events land at every group boundary.
+        if getattr(service.backend, "multiplexes_groups", False) and len(owned_groups) > 1:
+            rounds = [owned_groups]
+        else:
+            rounds = [[group] for group in owned_groups]
+
+        cancelled = False
+        try:
+            for round_groups in rounds:
+                if handle.cancel_requested:
+                    cancelled = True
+                    break
+                round_artifacts = {name: artifacts[name] for name, _ in round_groups}
+                round_requests = [
+                    request for _, group in round_groups for request in group
+                ]
+                for request in round_requests:
+                    self._emit(handle, "point-started", request)
+                computed += service.backend.execute(
+                    round_artifacts, round_requests, jobs=service.jobs
+                )
+                for request in round_requests:
+                    artifact = round_artifacts[request.workload.name]
+                    result = artifact.cached_simulation(request.key())
+                    if result is None:  # pragma: no cover - backend contract breach
+                        raise RuntimeError(
+                            f"backend {service.backend.name!r} failed to produce "
+                            f"a result for {request!r}"
+                        )
+                    resolved[request] = result
+                    self._emit(
+                        handle, "point-done", request, payload={"cycles": result.cycles}
+                    )
+                self._release(
+                    (request.workload.name, request.key()) for request in round_requests
+                )
+        finally:
+            self._release(claims)  # idempotent: released keys are skipped
+            service.pipeline.points_simulated += computed
+
+        if not cancelled:
+            for request, event in theirs:
+                if handle.cancel_requested:
+                    cancelled = True
+                    break
+                event.wait()
+                artifact = artifacts[request.workload.name]
+                result = artifact.cached_simulation(request.key())
+                if result is None:
+                    # The owning job was cancelled or failed before this
+                    # point completed: compute it ourselves.
+                    self._emit(handle, "point-started", request)
+                    computed_here = service.backend.execute(
+                        {request.workload.name: artifact}, [request], jobs=service.jobs
+                    )
+                    service.pipeline.points_simulated += computed_here
+                    computed += computed_here
+                    result = artifact.cached_simulation(request.key())
+                    if result is None:  # pragma: no cover - contract breach
+                        raise RuntimeError(
+                            f"backend {service.backend.name!r} failed to produce "
+                            f"a result for {request!r}"
+                        )
+                    resolved[request] = result
+                    self._emit(
+                        handle, "point-done", request, payload={"cycles": result.cycles}
+                    )
+                else:
+                    resolved[request] = result
+                    cache_hits += 1
+                    self._emit(
+                        handle, "cache-hit", request, payload={"cycles": result.cycles}
+                    )
+
+        if cancelled or handle.cancel_requested:
+            partial = ResultSet(
+                [(request, resolved[request]) for request in requests if request in resolved]
+            )
+            handle._mark_cancelled(partial)
+            self._emit(handle, "cancelled", payload={"completed": len(partial)})
+            return
+
+        entries = []
+        for request in requests:
+            result = resolved.get(request)
+            if result is None:
+                result = artifacts[request.workload.name].cached_simulation(request.key())
+            if result is None:  # pragma: no cover - would be a logic error above
+                raise RuntimeError(f"job {handle.job_id} lost the result for {request!r}")
+            entries.append((request, result))
+        result_set = ResultSet(entries)
+        handle._finish(result_set)
+        self._emit(
+            handle,
+            "done",
+            payload={
+                "points": len(requests),
+                "computed": computed,
+                "cache_hits": cache_hits,
+            },
+        )
+
+    def _release(self, keys) -> None:
+        with self._lock:
+            for key in keys:
+                event = self._inflight.pop(key, None)
+                if event is not None:
+                    event.set()

@@ -13,9 +13,11 @@ a pure memo lookup for anything the CLI already prefetched).
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.api.backends import ExecutionBackend, make_backend
+from repro.api.jobs import JobHandle
 from repro.api.matrix import ScenarioMatrix, expand_many
 from repro.api.request import SimulationRequest, WorkloadRef
 from repro.api.results import ResultSet
@@ -23,6 +25,7 @@ from repro.api.results import ResultSet
 if TYPE_CHECKING:  # pragma: no cover - types only.  The pipeline and runner
     # modules import the experiments package, whose modules import repro.api
     # at module scope; runtime imports below are deferred to break the cycle.
+    from repro.api.scheduler import Scheduler
     from repro.experiments.runner import WorkloadArtifacts
     from repro.pipeline.artifacts import ArtifactCache
     from repro.pipeline.pipeline import ExperimentPipeline
@@ -57,6 +60,8 @@ class SimulationService:
         )
         #: Artifacts for non-registry workload refs, keyed by workload name.
         self._extra: Dict[str, WorkloadArtifacts] = {}
+        self._scheduler: Optional[Scheduler] = None
+        self._scheduler_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -139,43 +144,56 @@ class SimulationService:
             what = [what]
         return expand_many(what, default_workloads=self.pipeline.names)
 
+    @property
+    def scheduler(self) -> "Scheduler":
+        """The service's job scheduler (created on first use).
+
+        All execution — including the synchronous :meth:`run` — goes
+        through it, so every caller shares one priority queue, one
+        cross-job dedup table, and one event stream.
+        """
+        with self._scheduler_lock:
+            if self._scheduler is None:
+                from repro.api.scheduler import Scheduler
+
+                self._scheduler = Scheduler(self)
+            return self._scheduler
+
+    def submit(
+        self, what: RequestsLike, priority: int = 0, tags: Sequence[str] = ()
+    ) -> JobHandle:
+        """Submit ``what`` as a job; returns immediately with a handle.
+
+        The handle streams typed :class:`~repro.api.jobs.JobEvent`\\ s
+        (``handle.events()``) and answers with the job's
+        :class:`ResultSet` (``handle.result()``); ``handle.cancel()``
+        stops it.  Two jobs naming the same request share one execution.
+        """
+        return self.scheduler.submit(what, priority=priority, tags=tags)
+
     def run(self, what: RequestsLike) -> ResultSet:
         """Expand, prepare, execute through the backend, and answer.
 
-        Already-memoized (or disk-cached) points cost a lookup; the rest
-        are grouped per workload and dispatched to the configured backend.
-        The returned :class:`ResultSet` follows the expanded request order.
+        The synchronous convenience over :meth:`submit`:
+        ``submit(what).result()``.  Already-memoized (or disk-cached)
+        points cost a lookup; the rest are grouped per workload and
+        dispatched to the configured backend.  The returned
+        :class:`ResultSet` follows the expanded request order.
         """
-        requests = self.expand(what)
-        if not requests:
-            return ResultSet()
-        unique_refs: Dict[str, WorkloadRef] = {}
-        for request in requests:
-            unique_refs.setdefault(request.workload.name, request.workload)
-        artifacts = self._artifacts_for_refs(list(unique_refs.values()))
-        # Resolve memo and disk-cache hits in the parent so every backend
-        # sees the same pending set (and ``points_simulated`` means the
-        # same thing — genuinely computed — regardless of backend).
-        pending = [
-            request
-            for request in requests
-            if artifacts[request.workload.name].cached_simulation(request.key()) is None
-        ]
-        computed = 0
-        if pending:
-            computed = self.backend.execute(artifacts, pending, jobs=self.pipeline.jobs)
-        self.pipeline.points_simulated += computed
-        entries = []
-        for request in requests:
-            artifact = artifacts[request.workload.name]
-            result = artifact.cached_simulation(request.key())
-            if result is None:  # pragma: no cover - a backend contract breach
-                raise RuntimeError(
-                    f"backend {self.backend.name!r} failed to produce a result "
-                    f"for {request!r}"
-                )
-            entries.append((request, result))
-        return ResultSet(entries)
+        return self.submit(what).result()
+
+    def close(self) -> None:
+        """Shut the scheduler down (queued jobs are cancelled)."""
+        with self._scheduler_lock:
+            scheduler, self._scheduler = self._scheduler, None
+        if scheduler is not None:
+            scheduler.close()
+
+    def __enter__(self) -> "SimulationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def context(self) -> "ExperimentContext":
         """The uniform context object experiments run against."""
@@ -193,6 +211,10 @@ class ExperimentContext:
     def __init__(self, service: SimulationService) -> None:
         self.service = service
         self.results = ResultSet()
+        #: Default tag for jobs submitted through :meth:`run` — the CLI sets
+        #: it to the running experiment's name so job events (and hence the
+        #: progress line) say *which* experiment is simulating.
+        self.tag: Optional[str] = None
 
     @property
     def workloads(self) -> List[str]:
@@ -208,9 +230,20 @@ class ExperimentContext:
     def artifact(self, ref: Union[WorkloadRef, str]) -> WorkloadArtifacts:
         return self.service.artifact(ref)
 
-    def run(self, what: RequestsLike) -> ResultSet:
-        """Dispatch through the service; memo hits are effectively free."""
-        answer = self.service.run(what)
+    def run(
+        self,
+        what: RequestsLike,
+        priority: int = 0,
+        tags: Sequence[str] = (),
+    ) -> ResultSet:
+        """Dispatch through the service; memo hits are effectively free.
+
+        Each call is one scheduler job, so its progress is observable as
+        events (tagged with :attr:`tag` unless ``tags`` is given).
+        """
+        if not tags and self.tag:
+            tags = (self.tag,)
+        answer = self.service.submit(what, priority=priority, tags=tags).result()
         self.results = self.results.merged(answer)
         return answer
 

@@ -30,6 +30,29 @@ _HEADER = struct.Struct(">Q")
 SHARD_FORMAT_VERSION = 1
 
 
+class ShardWorkerError(RuntimeError):
+    """A shard worker died (EOF / truncated frame) with work outstanding.
+
+    Names the worker and carries the requests that were pending on it so
+    the owning backend can requeue them onto surviving workers — the shared
+    recovery path for subprocess-pipe and remote-socket worker loss alike.
+    """
+
+    def __init__(
+        self,
+        worker: str,
+        workload: Optional[str],
+        requests: Tuple["SimulationRequest", ...] = (),  # noqa: F821
+        reason: str = "exited unexpectedly",
+    ) -> None:
+        self.worker = worker
+        self.workload = workload
+        self.requests = tuple(requests)
+        scope = f" while computing workload {workload!r}" if workload else ""
+        pending = f" ({len(self.requests)} pending request(s))" if self.requests else ""
+        super().__init__(f"shard worker {worker} {reason}{scope}{pending}")
+
+
 @dataclass(frozen=True)
 class ShardTask:
     """One worker task: every request of one workload, plus its inputs."""

@@ -16,8 +16,19 @@ warm rerun skips straight to the timing simulations.  Every selected
 experiment declares its simulation points as a
 :class:`~repro.api.matrix.ScenarioMatrix`; the CLI expands the set-ordered
 unique union — experiments sharing designs prefetch each point once — and
-dispatches it through the selected execution backend (``--backend
-serial|fork|shard``) before the experiments render over warm memos.
+submits it as one tagged scheduler job through the selected execution
+backend (``--backend serial|fork|shard|remote``) before the experiments
+render over warm memos.  Job events feed a live progress line on stderr
+(``--progress``, automatic on a tty).
+
+The networked tier::
+
+    python -m repro serve --port 8765 --workloads quick --jobs 4
+    python -m repro figure7 --backend remote --connect localhost:8765
+
+``serve`` keeps one service (artifact cache, scheduler, backend) alive for
+any number of remote callers; ``--backend remote`` runs every simulation
+point on that server while preparation-independent rendering stays local.
 """
 
 from __future__ import annotations
@@ -25,10 +36,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 import time
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.api import build_service, expand_many
+from repro import __version__
+from repro.api import build_service, expand_many, make_backend
 from repro.api.backends import BACKENDS
 from repro.experiments import resolve_experiments
 from repro.experiments.registry import EXPERIMENT_REGISTRY
@@ -64,9 +77,24 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--backend",
-        choices=sorted(BACKENDS),
+        choices=sorted(BACKENDS) + ["remote"],
         default="fork",
-        help="execution backend for simulation points (default: fork)",
+        help="execution backend for simulation points (default: fork); "
+        "'remote' needs --connect",
+    )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="address of a running 'repro serve' (required by --backend remote)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream a live job-progress line to stderr (automatic on a tty)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     parser.add_argument(
         "--cache-dir",
@@ -99,14 +127,87 @@ def _list_experiments(fmt: str) -> str:
     return "\n".join(lines)
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
-    if args.list:
-        print(_list_experiments(args.format))
-        return 0
+class ProgressLine:
+    """A one-line live progress display fed by scheduler job events.
 
+    Tracks every job it observes (local scheduler jobs *and* the remote
+    backend's forwarded server-side jobs) and repaints one stderr line per
+    event; terminal events finalize the line.  Quiet on non-tty runs
+    unless ``--progress`` forces it.
+    """
+
+    def __init__(self, out=None) -> None:
+        self._out = out or sys.stderr
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Dict[str, Any]] = {}
+
+    def __call__(self, event) -> None:  # a scheduler/remote JobEvent
+        with self._lock:
+            job = self._jobs.setdefault(
+                event.job_id, {"total": 0, "done": 0, "hits": 0, "tag": event.job_id}
+            )
+            payload = event.payload or {}
+            if event.kind == "queued":
+                job["total"] = payload.get("points", 0)
+                tags = payload.get("tags") or []
+                if tags:
+                    job["tag"] = tags[0]
+            elif event.kind == "point-done":
+                job["done"] += 1
+            elif event.kind == "cache-hit":
+                job["hits"] += 1
+            if event.kind in ("done", "failed", "cancelled"):
+                self._out.write(
+                    f"\r{job['tag']}: {job['done']} computed, {job['hits']} cached "
+                    f"/ {job['total']} points — {event.kind}\n"
+                )
+            else:
+                answered = job["done"] + job["hits"]
+                self._out.write(
+                    f"\r{job['tag']}: {answered}/{job['total']} points "
+                    f"({job['hits']} cached)"
+                )
+            self._out.flush()
+
+
+def _build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve a long-lived SimulationService over TCP: clients "
+        "submit jobs (python -m repro ... --backend remote --connect HOST:PORT "
+        "or repro.api.remote.RemoteServiceClient), stream typed job events, "
+        "and receive full-fidelity result payloads.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=0, metavar="N",
+                        help="TCP port (default: an ephemeral port, printed)")
+    parser.add_argument(
+        "--workloads",
+        default="all",
+        help="workload set open matrices expand over ('all', 'quick', or names)",
+    )
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="worker processes (default: auto)")
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="fork",
+        help="execution backend the server computes with (default: fork)",
+    )
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="artifact cache directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk artifact cache")
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    return parser
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro serve --port N`` — the long-lived job server."""
+    from repro.api.remote import JobServer
+
+    args = _build_serve_parser().parse_args(argv)
     try:
-        specs = resolve_experiments(args.experiments)
         service = build_service(
             workloads=args.workloads,
             cache_dir=args.cache_dir,
@@ -117,6 +218,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    server = JobServer(service, host=args.host, port=args.port)
+    print(
+        f"repro serve: listening on {server.address} "
+        f"(backend {service.backend.name}, {len(service.workloads)} workloads, "
+        f"{service.jobs} jobs)",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        service.close()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    args = _build_parser().parse_args(argv)
+    if args.list:
+        print(_list_experiments(args.format))
+        return 0
+
+    progress = ProgressLine() if (args.progress or sys.stderr.isatty()) else None
+    try:
+        specs = resolve_experiments(args.experiments)
+        backend = make_backend(args.backend, connect=args.connect, listener=progress)
+        service = build_service(
+            workloads=args.workloads,
+            cache_dir=args.cache_dir,
+            use_cache=not args.no_cache,
+            jobs=args.jobs,
+            backend=backend,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if progress is not None:
+        service.scheduler.add_listener(progress)
 
     started = time.perf_counter()
     ctx = service.context()
@@ -127,10 +270,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         [spec.matrix for spec in specs], default_workloads=service.workloads
     )
     if union:
-        ctx.run(union)
+        ctx.run(union, tags=("prefetch",))
 
     report: Dict[str, Any] = {}
     for spec in specs:
+        ctx.tag = spec.name
         data = spec.run(ctx)
         if args.format == "text":
             print(f"== {spec.name}: {spec.title} ==")
@@ -152,6 +296,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print()
     if args.stats:
         print(f"pipeline: {_summarize_stats(stats)}", file=sys.stderr)
+    service.close()
     return 0
 
 

@@ -91,8 +91,13 @@ def get_experiment(name: str) -> ExperimentSpec:
     try:
         return EXPERIMENT_REGISTRY[name]
     except KeyError as exc:
+        import difflib
+
+        close = difflib.get_close_matches(name, list(EXPERIMENT_REGISTRY), n=1)
+        hint = f"; did you mean {close[0]!r}?" if close else ""
         raise KeyError(
-            f"unknown experiment {name!r}; available: {experiment_names()!r}"
+            f"unknown experiment {name!r}{hint} "
+            f"(available: {', '.join(experiment_names())})"
         ) from exc
 
 

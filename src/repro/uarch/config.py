@@ -114,13 +114,28 @@ class CoreConfig:
         produce identical simulation results.  Frozen dataclasses already
         hash, but their ``hash()`` is not stable across processes; this tuple
         of plain values is, which the on-disk pipeline cache relies on.
+
+        Computed once per instance: the fields are frozen, so the flattened
+        tuple cannot change, and identity participates in every simulation
+        key — point memos, scheduler claims, request sorting — where the
+        recursive field walk would otherwise dominate the bookkeeping cost.
         """
-        return config_identity(self)
+        try:
+            return object.__getattribute__(self, "_identity_cache")
+        except AttributeError:
+            value = config_identity(self)
+            object.__setattr__(self, "_identity_cache", value)
+            return value
 
     def digest(self) -> str:
         """A short stable hex digest of :meth:`identity` (cache-key material)."""
-        payload = repr(self.identity()).encode("utf-8")
-        return hashlib.sha256(payload).hexdigest()[:16]
+        try:
+            return object.__getattribute__(self, "_digest_cache")
+        except AttributeError:
+            payload = repr(self.identity()).encode("utf-8")
+            value = hashlib.sha256(payload).hexdigest()[:16]
+            object.__setattr__(self, "_digest_cache", value)
+            return value
 
     def as_dict(self) -> Dict[str, Any]:
         """A JSON-serializable dict covering every field (nested configs too).

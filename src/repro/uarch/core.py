@@ -61,6 +61,25 @@ class SimulationResult:
             return 0.0
         return self.cycles / baseline.cycles
 
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-able payload carrying the full result across the wire."""
+        return {
+            "program_name": self.program_name,
+            "policy_name": self.policy_name,
+            "stats": self.stats.as_dict(),
+            "config": self.config.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SimulationResult":
+        """Rebuild a result from :meth:`as_dict` output (the wire inverse)."""
+        return cls(
+            program_name=payload["program_name"],
+            policy_name=payload["policy_name"],
+            stats=PipelineStats.from_dict(payload["stats"]),
+            config=CoreConfig.from_dict(payload["config"]),
+        )
+
 
 class CoreModel:
     """Cycle-accounting model of the Golden-Cove-like out-of-order core."""

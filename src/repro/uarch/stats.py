@@ -7,7 +7,7 @@ and cache accesses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict
 
 
@@ -58,36 +58,39 @@ class PipelineStats:
     def misprediction_rate(self) -> float:
         return self.bpu_mispredicted / self.branches if self.branches else 0.0
 
+    # ``COUNTER_FIELDS`` — the counter names in declaration order (the
+    # ``as_dict`` layout) — is attached right after the class body, derived
+    # from the dataclass fields so a counter added later participates in
+    # serialization automatically.  (It cannot be declared here: an
+    # annotated class attribute would itself become a dataclass field.)
+
     def as_dict(self) -> Dict[str, float]:
-        result = {
-            name: getattr(self, name)
-            for name in (
-                "cycles",
-                "instructions",
-                "branches",
-                "crypto_branches",
-                "bpu_predicted",
-                "bpu_mispredicted",
-                "btu_replayed",
-                "btu_misses",
-                "btu_prefetches",
-                "single_target_branches",
-                "fetch_stall_branches",
-                "integrity_stall_branches",
-                "squash_cycles",
-                "fetch_stall_cycles",
-                "loads",
-                "stores",
-                "store_forwards",
-                "stl_blocked",
-                "delayed_instructions",
-                "delay_cycles",
-                "fetched_instructions",
-                "renamed_instructions",
-                "issued_instructions",
-                "committed_instructions",
-            )
-        }
+        result = {name: getattr(self, name) for name in self.COUNTER_FIELDS}
         result["ipc"] = self.ipc
         result.update(self.extra)
         return result
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, float]) -> "PipelineStats":
+        """Rebuild stats from :meth:`as_dict` output (the wire inverse).
+
+        ``ipc`` is derived and ignored; unknown keys land back in
+        :attr:`extra`, mirroring how ``as_dict`` flattened them out.
+        """
+        stats = cls()
+        for key, value in payload.items():
+            if key == "ipc":
+                continue
+            if key in cls.COUNTER_FIELDS:
+                setattr(stats, key, value)
+            else:
+                stats.extra[key] = value
+        return stats
+
+
+#: Every plain counter (everything but the ``extra`` dict), in declaration
+#: order — computed from the dataclass itself so the wire layout can never
+#: silently drift from the fields.
+PipelineStats.COUNTER_FIELDS = tuple(
+    f.name for f in fields(PipelineStats) if f.name != "extra"
+)

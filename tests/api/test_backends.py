@@ -130,6 +130,72 @@ def test_make_backend_names():
     assert make_backend("shard").name == "shard"
     with pytest.raises(KeyError, match="unknown backend"):
         make_backend("teleport")
+    with pytest.raises(KeyError, match="--connect"):
+        make_backend("remote")  # the networked backend needs an address
+
+
+#: A worker that reads its first frame header and dies — the mid-task
+#: death the hardened shard backend must recover from.
+CRASH_COMMAND = [
+    __import__("sys").executable,
+    "-c",
+    "import sys; sys.stdin.buffer.read(8); sys.exit(3)",
+]
+
+
+def _mixed_worker_commands(monkeypatch, crash_first: int = 1):
+    """Patch worker spawning: the first ``crash_first`` workers die on
+    their first task, the rest run the real loop."""
+    import threading
+
+    from repro.api.backends import SubprocessShardBackend
+
+    real = SubprocessShardBackend._worker_command
+    lock = threading.Lock()
+    calls = []
+
+    def fake():
+        with lock:
+            calls.append(None)
+            if len(calls) <= crash_first:
+                return list(CRASH_COMMAND)
+        return real()
+
+    monkeypatch.setattr(
+        SubprocessShardBackend, "_worker_command", staticmethod(fake)
+    )
+    return calls
+
+
+def test_shard_worker_death_requeues_onto_survivors(monkeypatch):
+    """One of two workers dies mid-task: its task is requeued onto the
+    survivor and the answer still matches the serial backend's."""
+    _mixed_worker_commands(monkeypatch, crash_first=1)
+    matrix = ScenarioMatrix(designs=("unsafe-baseline", "cassandra"))
+    shard = SimulationService(names=NAMES, jobs=2, backend="shard")
+    answer = shard.run(matrix)  # two workload groups → one task per worker
+    assert len(answer) == 4
+    assert shard.pipeline.points_simulated == 4
+    serial = SimulationService(names=NAMES, jobs=1, backend="serial").run(matrix)
+    for (request, ours), (_, theirs) in zip(answer, serial):
+        assert ours.stats.as_dict() == theirs.stats.as_dict(), request
+
+
+def test_shard_total_worker_loss_raises_typed_error(monkeypatch):
+    """Every worker the pool ever had dies on the task: a ShardWorkerError
+    naming the worker and the pending requests, not a hang or a silent
+    partial answer."""
+    from repro.api import ShardWorkerError
+
+    _mixed_worker_commands(monkeypatch, crash_first=99)
+    service = SimulationService(names=[NAMES[0]], jobs=2, backend="shard")
+    with pytest.raises(ShardWorkerError) as excinfo:
+        service.run(ScenarioMatrix(designs=("unsafe-baseline",)))
+    error = excinfo.value
+    assert error.worker.startswith("pipe-")
+    assert error.workload == NAMES[0]
+    assert [request.design for request in error.requests] == ["unsafe-baseline"]
+    assert "pending request" in str(error)
 
 
 def test_service_runs_bare_requests_and_extends_workloads():

@@ -1,0 +1,386 @@
+"""The networked tier: serve/client parity, job control, socket sharding.
+
+Pins the ISSUE's acceptance bar: ``remote ≡ serial`` bit parity through
+both networked paths (the ``repro serve`` job server consumed by
+``RemoteServiceClient``/``RemoteBackend``, and ``RemoteShardBackend``'s
+socket workers), plus the job-control vocabulary (ping / submit / events /
+cancel) and the shared worker-loss recovery semantics.
+"""
+
+import os
+import pickle
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    JobCancelled,
+    ScenarioMatrix,
+    ShardWorkerError,
+    SimulationRequest,
+    SimulationService,
+)
+from repro.api.remote import (
+    REMOTE_PROTOCOL_VERSION,
+    TAG_PING,
+    TAG_PONG,
+    RemoteBackend,
+    RemoteServiceClient,
+    RemoteShardBackend,
+    parse_address,
+    recv_json,
+    send_json,
+    serve,
+)
+from repro.api.shard import read_frame, write_frame
+
+WORKLOAD = "ChaCha20_ct"
+SECOND_WORKLOAD = "SHA-256"
+
+MATRIX = ScenarioMatrix(designs=("unsafe-baseline", "cassandra")).extended(
+    ScenarioMatrix(designs=("cassandra",), flush_intervals=(300,)),
+)
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = SimulationService(names=[WORKLOAD], jobs=1, backend="serial")
+    job_server = serve(service)
+    yield job_server
+    job_server.close()
+    service.close()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return RemoteServiceClient(server.address)
+
+
+def test_parse_address():
+    assert parse_address("localhost:8765") == ("localhost", 8765)
+    assert parse_address(("10.0.0.1", 99)) == ("10.0.0.1", 99)
+    with pytest.raises(ValueError, match="host:port"):
+        parse_address("8765")
+
+
+def test_ping_and_workloads(client):
+    answer = client.ping()
+    assert answer["ok"] is True
+    assert answer["server"] == "repro-serve"
+    assert answer["protocol"] == REMOTE_PROTOCOL_VERSION
+    assert answer["backend"] == "serial"
+    assert client.workloads == [WORKLOAD]
+
+
+def test_remote_run_matches_serial_bit_for_bit(client):
+    """The full loop — expand on the server's workload set, execute there,
+    rehydrate here — answers exactly what an independent local serial
+    service answers."""
+    remote = client.run(MATRIX)  # open matrix → server's workload set
+    local = SimulationService(names=[WORKLOAD], jobs=1, backend="serial").run(MATRIX)
+    assert remote.requests == local.requests
+    for (request, ours), (_, theirs) in zip(remote, local):
+        assert ours.stats.as_dict() == theirs.stats.as_dict(), request
+        assert ours.policy_name == theirs.policy_name
+        assert ours.program_name == theirs.program_name
+    assert remote.to_json() == local.to_json()
+
+
+def test_remote_events_stream_and_attach(client):
+    handle = client.submit(MATRIX, tags=("remote-test",))
+    events = list(handle.events())
+    assert events[0].kind == "queued"
+    assert events[0].payload["tags"] == ["remote-test"]
+    assert events[-1].kind == "done"
+    assert {event.job_id for event in events} == {handle.job_id}
+    results = handle.result()
+    assert len(results) == len(MATRIX.expand([WORKLOAD]))
+
+    # events op: re-attaching replays the finished job's whole stream and
+    # final payload on a fresh connection.
+    replay = client.attach(handle.job_id)
+    replay_events = list(replay.events())
+    assert [event.kind for event in replay_events] == [event.kind for event in events]
+    assert replay.result().to_json() == results.to_json()
+
+
+def test_attach_unknown_job_errors(client):
+    from repro.api.remote import RemoteJobError
+
+    with pytest.raises(RemoteJobError, match="unknown job"):
+        client.attach("job-424242")
+
+
+def test_remote_cancel_in_band(server, client):
+    scheduler = server.service.scheduler
+    scheduler.pause()
+    try:
+        handle = client.submit(
+            SimulationRequest(workload=WORKLOAD, design="prospect")
+        )
+        assert handle.cancel() is True
+        # The cancel frame is processed by the server's watcher thread;
+        # wait for it to land before letting the scheduler move.
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            job = scheduler.get_job(handle.job_id)
+            if job is not None and job.cancel_requested:
+                break
+            time.sleep(0.01)
+        assert scheduler.get_job(handle.job_id).cancel_requested
+    finally:
+        scheduler.resume()
+    with pytest.raises(JobCancelled):
+        handle.result(timeout=30)
+    assert handle.state == "cancelled"
+    assert len(handle.partial()) == 0
+
+
+def test_cancel_op_by_job_id(server, client):
+    scheduler = server.service.scheduler
+    scheduler.pause()
+    try:
+        handle = client.submit(SimulationRequest(workload=WORKLOAD, design="spt"))
+        assert client.cancel(handle.job_id) is True  # separate connection
+    finally:
+        scheduler.resume()
+    with pytest.raises(JobCancelled):
+        handle.result(timeout=30)
+    assert client.cancel("job-999999") is False
+
+
+def test_remote_backend_persists_results_locally(server, artifact_cache):
+    """--backend remote: points execute on the server, land in the local
+    memo *and* disk cache, and a later cold local service reads them."""
+    backend = RemoteBackend(server.address)
+    events = []
+    backend.listener = events.append
+    local = SimulationService(
+        names=[WORKLOAD], cache=artifact_cache, jobs=1, backend=backend
+    )
+    matrix = ScenarioMatrix(designs=("unsafe-baseline", "cassandra-lite"))
+    answer = local.run(matrix)
+    assert len(answer) == 2
+    assert [event.kind for event in events if event.kind == "point-done"] or [
+        event.kind for event in events if event.kind == "cache-hit"
+    ]
+    cold = SimulationService(
+        names=[WORKLOAD], cache=artifact_cache, jobs=1, backend="serial"
+    )
+    cold.run(matrix)
+    assert cold.pipeline.points_simulated == 0  # all resolved from disk
+
+
+def test_observer_disconnect_does_not_cancel_the_job(server, client):
+    """An 'events' attach is read-only: closing it must not cancel work the
+    submitter is still waiting on (only the owning connection's EOF does)."""
+    scheduler = server.service.scheduler
+    scheduler.pause()
+    try:
+        handle = client.submit(
+            SimulationRequest(workload=WORKLOAD, design="cassandra+prospect")
+        )
+        observer = client.attach(handle.job_id)
+        observer._close()  # observer walks away mid-job
+        time.sleep(0.2)    # let the server's watcher thread see the EOF
+        assert not scheduler.get_job(handle.job_id).cancel_requested
+    finally:
+        scheduler.resume()
+    assert len(handle.result(timeout=60)) == 1  # the job still completes
+
+
+def test_malformed_submit_answers_an_error(server):
+    """A bad submit frame gets an error reply, never a silent hang."""
+    for frame in (
+        {"op": "submit", "protocol": REMOTE_PROTOCOL_VERSION},  # no requests
+        {
+            "op": "submit",
+            "protocol": REMOTE_PROTOCOL_VERSION,
+            "requests": [{"bogus": True}],
+        },
+    ):
+        sock = socket.create_connection((server.host, server.port))
+        stream = sock.makefile("rwb")
+        send_json(stream, frame)
+        answer = recv_json(stream)
+        assert answer["ok"] is False and "bad submit frame" in answer["error"]
+        sock.close()
+
+
+def test_submit_rejects_wrong_protocol(server):
+    sock = socket.create_connection((server.host, server.port))
+    stream = sock.makefile("rwb")
+    send_json(stream, {"op": "submit", "protocol": 999, "requests": []})
+    answer = recv_json(stream)
+    assert answer["ok"] is False and "protocol" in answer["error"]
+    sock.close()
+
+
+def test_unknown_op_answers_error(server):
+    sock = socket.create_connection((server.host, server.port))
+    stream = sock.makefile("rwb")
+    send_json(stream, {"op": "teleport"})
+    answer = recv_json(stream)
+    assert answer["ok"] is False and "unknown op" in answer["error"]
+    sock.close()
+
+
+# --------------------------------------------------------------------------- #
+# RemoteShardBackend: socket transport of the shard wire format
+# --------------------------------------------------------------------------- #
+def spawn_worker(address):
+    env = dict(os.environ)
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            "import sys; from repro.api.remote import worker_main; "
+            f"sys.exit(worker_main({address!r}))",
+        ],
+        env=env,
+    )
+
+
+def register_fake_worker(address, die_on_task=False):
+    """An in-test worker connection: registers, answers pings, and — when
+    ``die_on_task`` — drops the connection on its first real task."""
+    sock = socket.create_connection(parse_address(address))
+    stream = sock.makefile("rwb")
+    send_json(
+        stream,
+        {"op": "register-worker", "protocol": REMOTE_PROTOCOL_VERSION, "pid": 0},
+    )
+    ack = recv_json(stream)
+    assert ack and ack["ok"]
+
+    def loop():
+        while True:
+            try:
+                frame = read_frame(stream)
+            except (OSError, EOFError, ValueError):
+                return
+            if frame is None:
+                return
+            if frame[:1] == TAG_PING:
+                write_frame(stream, TAG_PONG)
+                continue
+            if die_on_task:
+                sock.close()
+                return
+
+    thread = threading.Thread(target=loop, daemon=True)
+    thread.start()
+    return sock, ack["worker_id"]
+
+
+def test_remote_shard_parity_with_real_workers():
+    backend = RemoteShardBackend(heartbeat_interval=None)
+    workers = [spawn_worker(backend.address) for _ in range(2)]
+    try:
+        assert backend.wait_for_workers(2, timeout=30) == 2
+        service = SimulationService(
+            names=[WORKLOAD, SECOND_WORKLOAD], jobs=2, backend=backend
+        )
+        remote = service.run(MATRIX)
+        serial = SimulationService(
+            names=[WORKLOAD, SECOND_WORKLOAD], jobs=1, backend="serial"
+        ).run(MATRIX)
+        assert remote.requests == serial.requests
+        for (request, ours), (_, theirs) in zip(remote, serial):
+            assert ours.stats.as_dict() == theirs.stats.as_dict(), request
+    finally:
+        backend.close()
+        for worker in workers:
+            worker.wait(timeout=10)
+    assert all(worker.returncode == 0 for worker in workers)
+
+
+def test_remote_shard_worker_loss_requeues_on_survivors():
+    """One worker drops its connection mid-task: the task lands back on the
+    surviving worker (excluded set recorded) and the run still answers."""
+    backend = RemoteShardBackend(heartbeat_interval=None)
+    bad_sock, bad_id = register_fake_worker(backend.address, die_on_task=True)
+    good = spawn_worker(backend.address)
+    try:
+        assert backend.wait_for_workers(2, timeout=30) == 2
+        service = SimulationService(
+            names=[WORKLOAD, SECOND_WORKLOAD], jobs=2, backend=backend
+        )
+        matrix = ScenarioMatrix(designs=("unsafe-baseline", "cassandra"))
+        answer = service.run(matrix)  # two workload groups, one per worker
+        assert len(answer) == 4
+        assert service.pipeline.points_simulated == 4
+        assert bad_id not in backend.workers()  # the dead worker was dropped
+        serial = SimulationService(
+            names=[WORKLOAD, SECOND_WORKLOAD], jobs=1, backend="serial"
+        ).run(matrix)
+        for (request, ours), (_, theirs) in zip(answer, serial):
+            assert ours.stats.as_dict() == theirs.stats.as_dict(), request
+    finally:
+        backend.close()
+        bad_sock.close()
+        good.wait(timeout=10)
+
+
+def test_remote_shard_total_worker_loss_raises_typed_error():
+    backend = RemoteShardBackend(heartbeat_interval=None, worker_wait=5.0)
+    sock, worker_id = register_fake_worker(backend.address, die_on_task=True)
+    try:
+        assert backend.wait_for_workers(1, timeout=30) == 1
+        service = SimulationService(names=[WORKLOAD], jobs=1, backend=backend)
+        with pytest.raises(ShardWorkerError) as excinfo:
+            service.run(SimulationRequest(workload=WORKLOAD, design="cassandra"))
+        assert excinfo.value.workload == WORKLOAD
+        assert excinfo.value.requests  # the pending requests are named
+        assert worker_id in str(excinfo.value) or "excluded" in str(excinfo.value)
+    finally:
+        backend.close()
+        sock.close()
+
+
+def test_heartbeat_drops_unresponsive_worker():
+    backend = RemoteShardBackend(heartbeat_interval=0.1, ping_timeout=0.3)
+    sock = socket.create_connection(parse_address(backend.address))
+    stream = sock.makefile("rwb")
+    send_json(
+        stream,
+        {"op": "register-worker", "protocol": REMOTE_PROTOCOL_VERSION, "pid": 0},
+    )
+    ack = recv_json(stream)
+    assert ack["ok"]
+    # The "worker" never answers pings; the heartbeat prunes it.
+    deadline = time.monotonic() + 10
+    while backend.workers() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert backend.workers() == []
+    backend.close()
+    sock.close()
+
+
+def test_registration_rejects_wrong_protocol():
+    backend = RemoteShardBackend(heartbeat_interval=None)
+    sock = socket.create_connection(parse_address(backend.address))
+    stream = sock.makefile("rwb")
+    send_json(stream, {"op": "register-worker", "protocol": 999})
+    answer = recv_json(stream)
+    assert answer["ok"] is False
+    backend.close()
+    sock.close()
+
+
+def test_shard_result_frames_are_the_pipe_payloads():
+    """The socket transport reuses the pipe wire shape: a worker's result
+    frame body is exactly the pickled SimulationResult list."""
+    results = [1, 2, 3]
+    frame = b"R" + pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL)
+    assert pickle.loads(frame[1:]) == results

@@ -97,15 +97,47 @@ def test_merged_keeps_first_occurrence(results):
 def test_export_rows_and_json(results):
     rows = results.export_rows()
     assert len(rows) == 6
+    # Rows are sorted on the request key (workload, design, config digest,
+    # flush, warm-up) — not insertion order — so A/cassandra leads.
     assert rows[0] == {
         "workload": "A",
-        "design": "unsafe-baseline",
+        "design": "cassandra",
         "config": GOLDEN_COVE_LIKE.digest(),
         "btu_flush_interval": None,
         "warmup_passes": 1,
-        "cycles": 1000,
+        "cycles": 900,
         "instructions": 1000,
-        "ipc": 1.0,
+        "ipc": 1.1111,
     }
     parsed = json.loads(results.to_json())
     assert parsed == rows
+
+
+def test_export_ordering_is_insertion_independent(results):
+    """The same entries in any insertion order export identically."""
+    shuffled = ResultSet(list(reversed(list(results))))
+    assert shuffled.export_rows() == results.export_rows()
+    assert shuffled.to_json() == results.to_json()
+    # The flush-disabled point sorts before the flushed one.
+    flushes = [
+        row["btu_flush_interval"]
+        for row in results.export_rows()
+        if row["workload"] == "A" and row["design"] == "cassandra"
+    ]
+    assert flushes == [None, 2000]
+
+
+def test_wire_round_trip(results):
+    """to_wire/from_wire is lossless: order, requests, and full stats."""
+    clone = ResultSet.from_wire(results.to_wire())
+    assert clone.requests == results.requests  # entry order preserved
+    for (request, ours), (_, theirs) in zip(results, clone):
+        assert ours.stats.as_dict() == theirs.stats.as_dict(), request
+        assert ours.policy_name == theirs.policy_name
+        assert ours.program_name == theirs.program_name
+        assert ours.config.identity() == theirs.config.identity()
+    # Rehydrated sets answer queries exactly like the original.
+    assert clone.cycles(workload="A", design="cassandra", btu_flush_interval=None) == 900
+    assert clone.to_json() == results.to_json()
+    with pytest.raises(ValueError, match="wire format"):
+        ResultSet.from_wire(json.dumps({"version": 999, "entries": []}))

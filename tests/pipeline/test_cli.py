@@ -38,6 +38,29 @@ def test_unknown_experiment_errors(capsys):
     assert "unknown experiment" in capsys.readouterr().err
 
 
+def test_unknown_experiment_suggests_close_match(capsys):
+    """A typo exits 2 with a did-you-mean drawn from the registry."""
+    assert main(["figur7"]) == 2
+    err = capsys.readouterr().err
+    assert "did you mean 'figure7'?" in err
+    assert main(["tabel1"]) == 2
+    assert "did you mean 'table1'?" in capsys.readouterr().err
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert f"repro {__version__}" in capsys.readouterr().out
+
+
+def test_remote_backend_requires_connect(capsys):
+    assert main(["table2", "--backend", "remote"]) == 2
+    assert "--connect" in capsys.readouterr().err
+
+
 def test_unknown_experiment_errors_even_with_all(capsys):
     """A typo must not vanish silently into the 'all' selection."""
     assert main(["all", "figure99"]) == 2
