@@ -76,8 +76,11 @@ class SimulationService:
         return self.pipeline.jobs
 
     def stats(self) -> Dict[str, object]:
+        from repro.engine.kernels import engine_tier
+
         report = dict(self.pipeline.stats())
         report["backend"] = self.backend.name
+        report["engine_tier"] = engine_tier()
         return report
 
     # ------------------------------------------------------------------ #

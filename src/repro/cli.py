@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import threading
 import time
@@ -43,6 +44,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro import __version__
 from repro.api import build_service, expand_many, make_backend
 from repro.api.backends import BACKENDS
+from repro.engine.kernels import ENGINE_TIERS, TIER_ENV
 from repro.experiments import resolve_experiments
 from repro.experiments.registry import EXPERIMENT_REGISTRY
 from repro.pipeline import default_cache_dir
@@ -111,7 +113,33 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--stats", action="store_true", help="print pipeline/cache statistics"
     )
+    _add_engine_tier_argument(parser)
     return parser
+
+
+def _add_engine_tier_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine-tier",
+        choices=ENGINE_TIERS,
+        default=None,
+        metavar="TIER",
+        help="measured-pass execution tier: 'columns' (NumPy multi-config "
+        "cohorts where provably exact; the default), 'python' (per-config "
+        "generated kernels), or 'interp' (the generic interpreter); "
+        f"equivalent to setting {TIER_ENV}",
+    )
+
+
+def _apply_engine_tier(tier: Optional[str]) -> None:
+    """Propagate ``--engine-tier`` through the environment.
+
+    The environment variable is the one switch every layer — in-process
+    batches, forked workers, remote shard services — already honors, so the
+    flag simply pins it for this process tree (without clobbering an
+    explicit setting when the flag is absent).
+    """
+    if tier is not None:
+        os.environ[TIER_ENV] = tier
 
 
 def _list_experiments(fmt: str) -> str:
@@ -199,6 +227,7 @@ def _build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk artifact cache")
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    _add_engine_tier_argument(parser)
     return parser
 
 
@@ -207,6 +236,7 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     from repro.api.remote import JobServer
 
     args = _build_serve_parser().parse_args(argv)
+    _apply_engine_tier(args.engine_tier)
     try:
         service = build_service(
             workloads=args.workloads,
@@ -243,6 +273,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list:
         print(_list_experiments(args.format))
         return 0
+    _apply_engine_tier(args.engine_tier)
 
     progress = ProgressLine() if (args.progress or sys.stderr.isatty()) else None
     try:

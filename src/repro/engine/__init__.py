@@ -9,20 +9,39 @@ The specialization chain, fastest to most general — **each layer is
 required to be bit-identical to the one below it, and the layer below is
 always the golden model**::
 
-    kernels.get_kernel()   generated per-(EnginePolicySpec × CoreConfig)
-        │                  Python kernels over flat-array state: geometry
-        │                  constants inlined, dead policy branches dropped,
-        │                  cache models deleted under no-eviction residency
-        │                  proofs, trace-property statistics precomputed.
+    emit.columns.run_cohort()
+        │                  the NumPy *columns* tier: one vectorized walk
+        │                  executes a whole cohort of configs per policy
+        │                  (config axes as int64 lanes), engaged only for
+        │                  points whose exactness proofs hold; degrades
+        │                  to the python tier when NumPy is absent.
         ▼
-    engine.run_trace()     the PR-2 interpreter: one generic loop over the
-        │                  columns, object unit models, every policy
-        │                  decision a runtime test.
+    kernels.get_kernel()   the *python* tier: generated
+        │                  per-(EnginePolicySpec × CoreConfig) kernels over
+        │                  flat-array state, lowered from the typed kernel
+        │                  IR (repro.engine.ir) by the python emitter:
+        │                  geometry constants inlined, dead policy branches
+        │                  dropped, cache models deleted under no-eviction
+        │                  residency proofs, trace-property statistics
+        │                  precomputed.
+        ▼
+    engine.run_trace()     the *interp* tier: the PR-2 interpreter — one
+        │                  generic loop over the columns, object unit
+        │                  models, every policy decision a runtime test.
         ▼
     CoreModel.run_reference()
                            the seed object-based loop driving the full
                            DefensePolicy hook protocol — the behavioural
                            reference everything above is tested against.
+
+Tier selection: ``REPRO_ENGINE_TIER=columns|python|interp``
+(:func:`~repro.engine.kernels.engine_tier`; default ``columns``, which
+falls back per point to the python kernels whenever a proof fails, the
+cohort is too small, or NumPy is missing).  The measured-pass codegen
+itself is split into :mod:`repro.engine.ir` — a typed kernel IR plus the
+specialization transforms — and :mod:`repro.engine.emit`, the emitters
+that retarget it (``emit.python`` renders kernel source, ``emit.columns``
+interprets whole cohorts with NumPy).
 
 Layer tour, bottom to top:
 
@@ -44,20 +63,27 @@ Layer tour, bottom to top:
    icache / d-cache hierarchy / BPU / BTU whose snapshot/restore is a
    handful of C-level copies; the object models in :mod:`repro.uarch`
    remain the behavioural source of truth.
-4. :mod:`repro.engine.kernels` — :func:`~repro.engine.kernels.get_kernel`
-   generates and ``exec``-compiles one measured-pass kernel per
-   (policy spec × config), cached per process.  The
-   ``REPRO_ENGINE_KERNELS=off`` environment switch
-   (:func:`~repro.engine.kernels.kernels_enabled`) is the escape hatch back
-   to ``run_trace``.
-5. :mod:`repro.engine.warmup` — component-wise warm-state construction:
+4. :mod:`repro.engine.ir` — the typed kernel IR: one
+   :func:`~repro.engine.ir.build_kernel_ir` tree per policy family, plus
+   the transforms (``specialize`` / ``strip_stats`` / constant folding)
+   that burn a (policy spec × config × feature) point into a fully
+   resolved tree.  :mod:`repro.engine.emit` holds the emitters over it:
+   ``emit.python`` renders the per-point kernel source,
+   ``emit.columns`` executes whole config cohorts with NumPy.
+5. :mod:`repro.engine.kernels` — :func:`~repro.engine.kernels.get_kernel`
+   lowers the IR through the python emitter and ``exec``-compiles one
+   measured-pass kernel per (policy spec × config), cached per process.
+   ``REPRO_ENGINE_TIER`` (:func:`~repro.engine.kernels.engine_tier`)
+   selects the tier; the legacy ``REPRO_ENGINE_KERNELS=off`` spelling
+   still maps to the ``interp`` escape hatch.
+6. :mod:`repro.engine.warmup` — component-wise warm-state construction:
    the icache / d-cache / BPU / BTU training effect of an untimed warm-up
    pass is computed by cheap program-order replays, snapshotted once per
    (workload × config), and restored into every policy's measured pass —
    as unit-object state for the interpreter, as flat arrays for the
    kernels.  Its residency proofs (``icache_resident`` /
    ``dcache_resident``) license the kernels' cache-free variants.
-6. :mod:`repro.engine.batch` — :func:`~repro.engine.batch.simulate_batch`:
+7. :mod:`repro.engine.batch` — :func:`~repro.engine.batch.simulate_batch`:
    one call simulates many (policy × config × flush-interval × warm-up)
    points over a shared lowering, shared warm state, and shared
    per-workload kernel inputs (plans, premasked columns, BTU payloads),
@@ -88,7 +114,10 @@ _LAZY_EXPORTS = {
     "get_kernel": ("repro.engine.kernels", "get_kernel"),
     "kernel_source": ("repro.engine.kernels", "kernel_source"),
     "kernels_enabled": ("repro.engine.kernels", "kernels_enabled"),
+    "engine_tier": ("repro.engine.kernels", "engine_tier"),
     "KERNELS_ENV": ("repro.engine.kernels", "KERNELS_ENV"),
+    "TIER_ENV": ("repro.engine.kernels", "TIER_ENV"),
+    "ENGINE_TIERS": ("repro.engine.kernels", "ENGINE_TIERS"),
 }
 
 __all__ = [

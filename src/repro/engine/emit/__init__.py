@@ -1,0 +1,17 @@
+"""Emitters: lower the kernel IR of :mod:`repro.engine.ir` onto a target.
+
+Two targets exist today:
+
+* :mod:`repro.engine.emit.python` — renders one specialized tree into the
+  exec-compiled per-(spec × config) Python source the engine has always
+  run (byte-identical to the historical string generator; pinned by golden
+  snapshots and the fuzz parity suite).
+* :mod:`repro.engine.emit.columns` — the NumPy multi-config tier: one walk
+  over a lowered trace's columns evaluates a whole cohort of configs at
+  once with exact int64 arithmetic.  Optional — importing it degrades
+  gracefully when NumPy is absent (``columns_available()`` is False and
+  the batch layer falls back to the python tier).
+
+Emitters never re-derive specialization decisions: the IR transforms
+(:func:`repro.engine.ir.lower_kernel`) already resolved them.
+"""

@@ -1,0 +1,45 @@
+"""The Python-source emitter: kernel IR → exec-compilable source text.
+
+This is deliberately the dumbest possible emitter: every specialization
+decision was already resolved by the IR transforms, so all that remains is
+indentation bookkeeping and joining :class:`~repro.engine.ir.Line` parts
+(literal strings interleaved with rendered expression nodes).  The output
+is byte-identical to the historical string-concatenation generator in
+:mod:`repro.engine.kernels` — pinned by the golden snapshots under
+``tests/engine/golden/`` — so the exec/compile layer above it did not have
+to change at all.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.engine.ir import Block, Expr, Guard, Line, Stat, Stmt
+
+_INDENT = "    "
+
+
+def render(body: Sequence[Stmt]) -> str:
+    """Render a fully lowered tree (no Guard/Stat nodes) into source text."""
+    out: List[str] = []
+    _walk(body, 0, out)
+    return "\n".join(out) + "\n"
+
+
+def _walk(body: Sequence[Stmt], depth: int, out: List[str]) -> None:
+    for stmt in body:
+        if isinstance(stmt, Line):
+            pieces = [
+                part.render() if isinstance(part, Expr) else part
+                for part in stmt.parts
+            ]
+            out.append(_INDENT * depth + "".join(pieces))
+        elif isinstance(stmt, Block):
+            _walk(stmt.body, depth + stmt.indent, out)
+        elif isinstance(stmt, (Guard, Stat)):
+            raise TypeError(
+                f"unlowered {type(stmt).__name__} node reached the emitter; "
+                "run repro.engine.ir.lower_kernel first"
+            )
+        else:  # pragma: no cover - no other statement kinds exist
+            raise TypeError(f"unknown IR statement {stmt!r}")

@@ -42,10 +42,20 @@ interaction a method call on the object models.  :func:`get_kernel` instead
   and always model the caches in full: a cold warm-up pass takes misses,
   and its cycle timing feeds the BTU-flush points that need private warm-up.
 
+Since PR 6 the source itself is produced by the kernel IR: the structure
+and every specialization decision live in :mod:`repro.engine.ir` as a typed
+tree plus explicit transforms, and :mod:`repro.engine.emit.python` renders
+the lowered tree into exactly the source this module always compiled (the
+golden snapshots under ``tests/engine/golden/`` pin it byte-for-byte).
+This module remains the compile/cache layer and the home of the shared
+batch-facing helpers (branch classification, flag premasks, the dynamic
+counter contract).
+
 Compiled kernels are cached per process keyed by
 ``(spec, config.digest(), flush_active, residency, collect_stats)``.  The
-``REPRO_ENGINE_KERNELS`` environment variable is the escape hatch: set it to
-``off`` (or ``0`` / ``false`` / ``no``) and :func:`kernels_enabled` steers
+``REPRO_ENGINE_TIER`` environment variable selects the execution tier
+(``columns`` / ``python`` / ``interp`` — see :func:`engine_tier`); the
+legacy ``REPRO_ENGINE_KERNELS=off`` spelling still steers
 ``simulate_batch`` back onto the PR-2 ``run_trace`` path.
 """
 
@@ -57,24 +67,66 @@ import os
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.hints import HintTable
+from repro.engine.emit.python import render
+from repro.engine.ir import KernelFeatures, build_kernel_ir, lower_kernel
 from repro.engine.lowering import F_CRYPTO
 from repro.uarch.config import CoreConfig
 from repro.uarch.defenses.base import EnginePolicySpec
 from repro.uarch.defenses.cassandra import ReplayMismatchError
 
-#: Environment switch: anything in ``_OFF_VALUES`` disables the kernel path.
+#: The three-way execution-tier switch (``columns`` / ``python`` / ``interp``).
+TIER_ENV = "REPRO_ENGINE_TIER"
+#: Legacy two-way switch, honored when ``REPRO_ENGINE_TIER`` is unset:
+#: any value in ``_OFF_VALUES`` means ``interp``, anything else ``python``.
 KERNELS_ENV = "REPRO_ENGINE_KERNELS"
 _OFF_VALUES = ("off", "0", "false", "no")
+#: Valid ``REPRO_ENGINE_TIER`` values, fastest first.
+ENGINE_TIERS = ("columns", "python", "interp")
+
+
+def engine_tier() -> str:
+    """The selected execution tier: ``columns``, ``python``, or ``interp``.
+
+    Resolution order:
+
+    1. ``REPRO_ENGINE_TIER`` if set — must be one of :data:`ENGINE_TIERS`
+       (case/whitespace-insensitive); anything else raises ``ValueError``
+       rather than silently running a different tier.
+    2. The legacy ``REPRO_ENGINE_KERNELS`` switch if set — ``off`` / ``0``
+       / ``false`` / ``no`` mean ``interp`` (the historical escape hatch),
+       any other value means ``python`` (the historical kernel path, kept
+       exact for callers that pinned it).
+    3. Neither set: ``columns`` — the auto tier.  The columns emitter only
+       engages for cohorts large enough to amortize NumPy dispatch (see
+       ``repro.engine.emit.columns``) and falls back to python kernels
+       point-by-point otherwise, so "auto" is never slower than ``python``.
+
+    Checked at every ``simulate_batch`` call, so tests (and operators
+    bisecting a suspected tier bug) can flip the environment at any point
+    without restarting the process.
+    """
+    raw = os.environ.get(TIER_ENV)
+    if raw is not None:
+        tier = raw.strip().lower()
+        if tier not in ENGINE_TIERS:
+            raise ValueError(
+                f"{TIER_ENV} must be one of {'/'.join(ENGINE_TIERS)}, got {raw!r}"
+            )
+        return tier
+    legacy = os.environ.get(KERNELS_ENV)
+    if legacy is not None:
+        return "interp" if legacy.strip().lower() in _OFF_VALUES else "python"
+    return "columns"
 
 
 def kernels_enabled() -> bool:
-    """Whether generated kernels are active (the ``REPRO_ENGINE_KERNELS`` gate).
+    """Whether generated kernels are active (any tier above ``interp``).
 
-    Checked at every ``simulate_batch`` call, so tests (and operators
-    bisecting a suspected kernel bug) can flip the environment variable at
-    any point without restarting the process.
+    Back-compat shim over :func:`engine_tier` — the boolean most callers
+    need is "fast path or object loop?", which both compiled tiers answer
+    the same way.
     """
-    return os.environ.get(KERNELS_ENV, "on").strip().lower() not in _OFF_VALUES
+    return engine_tier() != "interp"
 
 
 def classify_branch(
@@ -139,52 +191,8 @@ DYNAMIC_COUNTERS = (
 
 
 # --------------------------------------------------------------------------- #
-# Source-generation helpers
+# Source generation (IR build → transforms → python emitter)
 # --------------------------------------------------------------------------- #
-def _pow2(n: int) -> bool:
-    return n > 0 and n & (n - 1) == 0
-
-
-def _mod_expr(var: str, n: int) -> str:
-    return f"({var} & {n - 1})" if _pow2(n) else f"({var} % {n})"
-
-
-def _div_expr(var: str, n: int) -> str:
-    return f"({var} >> {n.bit_length() - 1})" if _pow2(n) else f"({var} // {n})"
-
-
-def _line_expr(var: str, scale: int, line_bytes: int) -> str:
-    """``(var * scale) // line_bytes`` with power-of-two folding."""
-    if _pow2(scale) and _pow2(line_bytes):
-        shift = line_bytes.bit_length() - scale.bit_length()
-        if shift > 0:
-            return f"({var} >> {shift})"
-        if shift == 0:
-            return var
-        return f"({var} << {-shift})"
-    return f"(({var} * {scale}) // {line_bytes})"
-
-
-class _Emitter:
-    """Indented source accumulator; ``s()`` lines vanish in warm-up kernels."""
-
-    def __init__(self, collect_stats: bool) -> None:
-        self.lines: List[str] = []
-        self.collect_stats = collect_stats
-
-    def w(self, depth: int, *emitted: str) -> None:
-        pad = "    " * depth
-        for line in emitted:
-            self.lines.append(pad + line)
-
-    def s(self, depth: int, *emitted: str) -> None:
-        if self.collect_stats:
-            self.w(depth, *emitted)
-
-    def text(self) -> str:
-        return "\n".join(self.lines) + "\n"
-
-
 def kernel_source(
     spec: EnginePolicySpec,
     config: CoreConfig,
@@ -200,699 +208,21 @@ def kernel_source(
     layer holds the corresponding no-eviction proof *and* the point starts
     from warmed state; the generated code then contains no cache model at
     all for that hierarchy.
+
+    The heavy lifting lives in :mod:`repro.engine.ir` (one cached tree per
+    spec × config, specialization as explicit transforms) and
+    :mod:`repro.engine.emit.python` (rendering); this function is the
+    compatibility surface gluing them together.
     """
-    cassandra = spec.kind == "cassandra"
-    lite = spec.lite
-    traced = cassandra and not lite
-    gate_mask = spec.gate_mask
-    allow_fwd = spec.allow_store_forwarding
-    # Only trace-replaying (non-lite Cassandra) kernels have observable
-    # flush behaviour: everyone else's residency list is always empty.
-    flush = flush_active and traced
-    if btu_elide and (not traced or flush):
-        raise ValueError("btu_elide requires a traced kernel without flushes")
-
-    l1i, l1d, l2, l3 = config.l1i, config.l1d, config.l2, config.l3
-    rob = config.rob_size
-    rob_index = f"index & {rob - 1}" if _pow2(rob) else f"index % {rob}"
-    pht_mask = (1 << config.pht_bits) - 1
-    hist_mask = (1 << config.global_history_bits) - 1
-    # The memory/gate section only concerns loads and gated instructions:
-    # store bookkeeping is post-commit and store counts are static, so the
-    # umbrella test is F_LOAD plus the policy's gate bits.
-    mg_mask = 1 | gate_mask
-
-    e = _Emitter(collect_stats)
-    w, s = e.w, e.s
-
-    w(0, "def kernel(trace, state, rows, crypto_pcs, plan_cls, plan_stp, btu_flush_interval):")
-    # ------------------------------ prologue ------------------------------ #
-    if not icache_resident:
-        w(1, "l1i = state.l1i", "l1i_index = l1i.index")
-    if not dcache_resident:
-        w(
-            1,
-            "l1d = state.l1d",
-            "l1d_index = l1d.index",
-            "l2_sets = state.l2",
-            "l3_sets = state.l3",
-            "l2_get = l2_sets.get",
-            "l3_get = l3_sets.get",
-        )
-    w(
-        1,
-        "mem_col = trace.mem",
-        "pcs_col = trace.pcs",
-        "npcs_col = trace.next_pcs",
-        "bcs_col = trace.bclass",
-        "pht = state.pht",
-        "history = state.history",
-        "btb = state.btb",
-        "btb_get = btb.get",
-        "rsb = state.rsb",
-        "loops = state.loops",
-        "loops_get = loops.get",
+    features = KernelFeatures.derive(
+        spec,
+        flush_active,
+        icache_resident=icache_resident,
+        dcache_resident=dcache_resident,
+        btu_elide=btu_elide,
+        collect_stats=collect_stats,
     )
-    # The BTU checkpoint table (``btu_committed``) is never read by a
-    # measured or warm-up pass — checkpoints only serve squash recovery and
-    # eviction write-back inspection, neither of which is observable here —
-    # so kernels do not maintain it at all.
-    if cassandra:
-        w(1, "crypto_pcs_len = len(crypto_pcs)")
-        if not lite:
-            w(1, "stp_get = plan_stp.get")
-    if traced:
-        w(
-            1,
-            "btu_pos = state.btu_pos",
-            "btu_targets = state.btu_targets",
-            "btu_eids = state.btu_eids",
-            "btu_long = state.btu_long",
-        )
-        if not btu_elide:
-            w(1, "btu_resident = state.btu_resident")
-    w(
-        1,
-        # One extra slot: dst == -1 writes reg_ready[-1] (never read).
-        "reg_ready = [0] * (trace.num_regs + 1)",
-        f"commit_ring = [0] * {rob}",
-        "store_inflight = {}",
-        "si_get = store_inflight.get",
-        # defaultdict: a missed probe reads 0 via C-level __missing__, which
-        # is cheaper than a bound .get call (absent and zero are equivalent).
-        "issue_busy = __defaultdict_int()",
-        "fetch_cycle = 0",
-        "fetched_this_cycle = 0",
-        "fetch_not_before = 0",
-        "last_commit_cycle = 0",
-        "committed_this_cycle = 0",
-        "window_resolve_cycle = 0",
-        "index = 0",
-    )
-    if flush:
-        w(1, "next_btu_flush = btu_flush_interval")
-    dynamic_zero = []
-    if not icache_resident:
-        dynamic_zero.append("l1i_miss = 0")
-    if not dcache_resident:
-        dynamic_zero.append("l1d_miss = 0")
-    if allow_fwd:
-        dynamic_zero.append("n_forwards = 0")
-    else:
-        dynamic_zero.append("n_stl_blocked = 0")
-    if gate_mask:
-        dynamic_zero.append("n_delayed = delay_cycles = 0")
-    dynamic_zero.append("squash_cycles = fetch_stall_cycles = 0")
-    dynamic_zero.append("n_cond_mis = n_rsb_mis = n_ind_mis = 0")
-    if cassandra:
-        dynamic_zero.append("n_integrity = 0")
-    if traced:
-        dynamic_zero.append("n_btu_misses = n_btu_prefetches = 0")
-    s(1, *dynamic_zero)
-    w(1, "rows_head, rows_tail = rows")
-
-    def emit_fetch(depth: int) -> None:
-        if icache_resident:
-            # No miss is possible: the fetch stage is pure width bookkeeping.
-            w(
-                depth,
-                "if fetch_not_before > fetch_cycle:",
-                "    fetch_cycle = fetch_not_before",
-                "    fetched_this_cycle = 1",
-                f"elif fetched_this_cycle >= {config.fetch_width}:",
-                "    fetch_cycle += 1",
-                "    fetched_this_cycle = 1",
-                "else:",
-                "    fetched_this_cycle += 1",
-            )
-            return
-        # InstructionCache uses 4-byte instruction slots.
-        w(
-            depth,
-            "pc = pcs_col[index]",
-            "candidate = fetch_cycle if fetch_cycle > fetch_not_before else fetch_not_before",
-            f"line = {_line_expr('pc', 4, l1i.line_bytes)}",
-            f"seg_end = {_mod_expr('line', l1i.num_sets)} * {l1i.associativity} + {l1i.associativity}",
-            f"tag = {_div_expr('line', l1i.num_sets)}",
-            "try:",
-            f"    i = l1i_index(tag, seg_end - {l1i.associativity}, seg_end)",
-            "    del l1i[i]",
-            "    l1i.insert(seg_end - 1, tag)",
-            "except ValueError:",
-        )
-        s(depth + 1, "l1i_miss += 1")
-        w(
-            depth,
-            f"    del l1i[seg_end - {l1i.associativity}]",
-            "    l1i.insert(seg_end - 1, tag)",
-            f"    candidate += {l2.latency}",
-            "if candidate > fetch_cycle:",
-            "    fetch_cycle = candidate",
-            "    fetched_this_cycle = 0",
-            f"if fetched_this_cycle >= {config.fetch_width}:",
-            "    fetch_cycle += 1",
-            "    fetched_this_cycle = 0",
-            "fetched_this_cycle += 1",
-        )
-
-    def emit_dispatch(depth: int, rob_active: bool) -> None:
-        # ``ready`` starts as the dispatch cycle (fetch + frontend depth,
-        # bounded by ROB occupancy).  The head loop covers the first
-        # ``rob_size`` instructions, where the bound cannot apply and the
-        # ring index is just ``index``; the tail reads the bound
-        # unconditionally through a shared ring slot.
-        w(depth, f"ready = fetch_cycle + {config.frontend_depth}")
-        if rob_active:
-            w(
-                depth,
-                f"ri = {rob_index}",
-                "bound = commit_ring[ri]",
-                "if bound > ready:",
-                "    ready = bound",
-            )
-
-    def emit_operands(depth: int) -> None:
-        w(
-            depth,
-            "if s0 >= 0:",
-            "    t = reg_ready[s0]",
-            "    if t > ready:",
-            "        ready = t",
-            "    if s1 >= 0:",
-            "        t = reg_ready[s1]",
-            "        if t > ready:",
-            "            ready = t",
-            "        if s2 >= 0:",
-            "            t = reg_ready[s2]",
-            "            if t > ready:",
-            "                ready = t",
-        )
-
-    # ------------------------ cache-model emitters -------------------------- #
-    d_line = _line_expr("addr", config.word_bytes, l1d.line_bytes)
-    l2_line = _line_expr("addr", config.word_bytes, l2.line_bytes)
-    l3_line = _line_expr("addr", config.word_bytes, l3.line_bytes)
-
-    def emit_sparse(depth: int, level: str, cfg, line_src: str, miss: Tuple[str, ...]) -> None:
-        """Inline one sparse-dict cache level; ``miss`` lines run on a miss."""
-        mod = _mod_expr(f"{level}_line", cfg.num_sets)
-        w(
-            depth,
-            f"{level}_line = {line_src}",
-            f"{level}_ways = {level}_get({mod})",
-            f"{level}_tag = {_div_expr(f'{level}_line', cfg.num_sets)}",
-            f"if {level}_ways is None:",
-            f"    {level}_sets[{mod}] = [{level}_tag]",
-        )
-        w(depth + 1, *miss)
-        w(
-            depth,
-            f"elif {level}_tag in {level}_ways:",
-            f"    {level}_ways.remove({level}_tag)",
-            f"    {level}_ways.append({level}_tag)",
-            "else:",
-            f"    {level}_ways.append({level}_tag)",
-            f"    if len({level}_ways) > {cfg.associativity}:",
-            f"        del {level}_ways[0]",
-        )
-        w(depth + 1, *miss)
-
-    def emit_l2_l3(depth: int, load: bool) -> None:
-        """L2 access whose miss arms charge L3 latency and fall to the L3."""
-
-        def emit_l3(d3: int) -> None:
-            miss = (f"exec_latency += {config.memory_latency}",) if load else ()
-            emit_sparse(d3, "l3", l3, l3_line, miss)
-
-        mod = _mod_expr("l2_line", l2.num_sets)
-        w(
-            depth,
-            f"l2_line = {l2_line}",
-            f"l2_ways = l2_get({mod})",
-            f"l2_tag = {_div_expr('l2_line', l2.num_sets)}",
-            "if l2_ways is None:",
-            f"    l2_sets[{mod}] = [l2_tag]",
-        )
-        if load:
-            w(depth + 1, f"exec_latency += {l3.latency}")
-        emit_l3(depth + 1)
-        w(
-            depth,
-            "elif l2_tag in l2_ways:",
-            "    l2_ways.remove(l2_tag)",
-            "    l2_ways.append(l2_tag)",
-            "else:",
-            "    l2_ways.append(l2_tag)",
-            f"    if len(l2_ways) > {l2.associativity}:",
-            "        del l2_ways[0]",
-        )
-        if load:
-            w(depth + 1, f"exec_latency += {l3.latency}")
-        emit_l3(depth + 1)
-
-    def emit_l1d(depth: int, load: bool) -> None:
-        """One L1D access: residency-proved constant, or the full model."""
-        if dcache_resident:
-            if load:
-                w(depth, f"exec_latency = {l1d.latency}")
-            return
-        w(
-            depth,
-            f"line = {d_line}",
-            f"seg_end = {_mod_expr('line', l1d.num_sets)} * {l1d.associativity} + {l1d.associativity}",
-            f"tag = {_div_expr('line', l1d.num_sets)}",
-            "try:",
-            f"    i = l1d_index(tag, seg_end - {l1d.associativity}, seg_end)",
-            "    del l1d[i]",
-            "    l1d.insert(seg_end - 1, tag)",
-        )
-        if load:
-            w(depth + 1, f"exec_latency = {l1d.latency}")
-        w(depth, "except ValueError:")
-        s(depth + 1, "l1d_miss += 1")
-        w(
-            depth + 1,
-            f"del l1d[seg_end - {l1d.associativity}]",
-            "l1d.insert(seg_end - 1, tag)",
-        )
-        if load:
-            w(depth + 1, f"exec_latency = {l1d.latency + l2.latency}")
-        emit_l2_l3(depth + 1, load)
-
-    # --------------------------- stage emitters ----------------------------- #
-    def emit_mem_gate(depth: int) -> None:
-        """Load latency / forwarding / STL blocking and the issue gate."""
-        w(depth, f"if fl & {mg_mask}:")
-        w(depth + 1, "if fl & 1:")  # F_LOAD
-        w(
-            depth + 2,
-            "addr = mem_col[index]",
-            "inflight = si_get(addr)",
-            "if inflight is not None and inflight[1] <= dispatch_cycle:",
-            "    inflight = None",
-        )
-        if allow_fwd:
-            w(depth + 2, "if inflight is not None:")
-            s(depth + 3, "n_forwards += 1")
-            w(
-                depth + 3,
-                "t = inflight[0]",
-                "if t > ready:",
-                "    ready = t",
-                f"exec_latency = {config.store_forward_latency}",
-            )
-            w(depth + 2, "else:")
-            emit_l1d(depth + 3, load=True)
-        else:
-            w(depth + 2, "if inflight is not None:")
-            s(depth + 3, "n_stl_blocked += 1")
-            w(
-                depth + 3,
-                "t = inflight[1]",
-                "if t > ready:",
-                "    ready = t",
-            )
-            emit_l1d(depth + 2, load=True)
-        if gate_mask:
-            w(depth + 1, f"if fl & {gate_mask} and window_resolve_cycle > ready:")
-            s(
-                depth + 2,
-                "n_delayed += 1",
-                "delay_cycles += window_resolve_cycle - ready",
-            )
-            w(depth + 2, "ready = window_resolve_cycle")
-
-    def emit_issue_commit(depth: int, latency: str, ring_slot: str) -> None:
-        """Issue bandwidth, register write-back, and commit bandwidth."""
-        w(
-            depth,
-            "issue_cycle = ready",
-            "busy = issue_busy[issue_cycle]",
-            f"while busy >= {config.issue_width}:",
-            "    issue_cycle += 1",
-            "    busy = issue_busy[issue_cycle]",
-            "issue_busy[issue_cycle] = busy + 1",
-            f"complete_cycle = issue_cycle + {latency}",
-            "reg_ready[dst] = complete_cycle",
-            "commit_cycle = complete_cycle + 1",
-            "if commit_cycle > last_commit_cycle:",
-            "    last_commit_cycle = commit_cycle",
-            "    committed_this_cycle = 1",
-            f"elif committed_this_cycle >= {config.commit_width}:",
-            "    last_commit_cycle = commit_cycle = last_commit_cycle + 1",
-            "    committed_this_cycle = 1",
-            "else:",
-            "    commit_cycle = last_commit_cycle",
-            "    committed_this_cycle += 1",
-            f"commit_ring[{ring_slot}] = commit_cycle",
-            "index += 1",
-        )
-
-    def emit_store(depth: int) -> None:
-        """Store install + store-queue update under a single F_STORE test.
-
-        The reference installs the store's line between register write-back
-        and commit; nothing in between observes the caches, so merging the
-        install with the store-queue update is state-equivalent.
-        """
-        w(depth, "if fl & 2:")  # F_STORE
-        w(depth + 1, "addr = mem_col[i0]")
-        emit_l1d(depth + 1, load=False)
-        w(
-            depth + 1,
-            "store_inflight[addr] = (complete_cycle, commit_cycle)",
-            f"if len(store_inflight) > {config.sq_size}:",
-            "    del store_inflight[next(iter(store_inflight))]",
-        )
-
-    def emit_bpu_flow(depth: int) -> None:
-        """Inline BPU predict+update (flat state); leaves ``predicted``."""
-        w(depth, "taken = fl & 64")  # F_TAKEN
-        # B_COND — by far the most frequent class.
-        w(
-            depth,
-            "if bc == 1:",
-            f"    pidx = (pc ^ history) & {pht_mask}",
-            "    counter = pht[pidx]",
-            "    loop = loops_get(pc)",
-            "    if loop is not None and loop[2] >= 2 and loop[1] >= 0:",
-            "        taken_pred = loop[0] >= loop[1]",
-            "    else:",
-            "        taken_pred = counter >= 2",
-            "    if taken_pred:",
-            "        predicted = btb_get(pc, -1)",
-            "        if predicted < 0:",
-            "            predicted = pc + 1",
-            "    else:",
-            "        predicted = pc + 1",
-            # The reference updates the PHT, then the history, then the loop
-            # entry; both taken arms preserve that order, merged so ``taken``
-            # is tested once.
-            "    if loop is None:",
-            "        loop = loops[pc] = [0, -1, 0]",
-            "    if taken:",
-            "        pht[pidx] = counter + 1 if counter < 3 else 3",
-            f"        history = ((history << 1) | 1) & {hist_mask}",
-            "        if loop[1] == loop[0]:",
-            "            c = loop[2]",
-            "            loop[2] = c + 1 if c < 7 else 7",
-            "        else:",
-            "            loop[2] = 0",
-            "            loop[1] = loop[0]",
-            "        loop[0] = 0",
-            f"        if pc not in btb and len(btb) >= {config.btb_entries}:",
-            "            del btb[next(iter(btb))]",
-            "        btb[pc] = npc",
-            "    else:",
-            "        pht[pidx] = counter - 1 if counter > 0 else 0",
-            f"        history = (history << 1) & {hist_mask}",
-            "        loop[0] += 1",
-        )
-        s(
-            depth,
-            "    if predicted != npc:",
-            "        n_cond_mis += 1",
-        )
-        # B_JMP / B_CALL — direct targets, always correct.
-        w(
-            depth,
-            "elif bc == 2:",
-            "    predicted = npc",
-            "elif bc == 3:",
-            f"    if len(rsb) >= {config.rsb_entries}:",
-            "        del rsb[0]",
-            "    rsb.append(pc + 1)",
-            "    predicted = npc",
-            # B_RET — pop the RSB.
-            "elif bc == 6:",
-            "    predicted = rsb.pop() if rsb else pc + 1",
-        )
-        s(
-            depth,
-            "    if predicted != npc:",
-            "        n_rsb_mis += 1",
-        )
-        # B_CALLI — BTB lookup, RSB push, then BTB training.
-        w(
-            depth,
-            "elif bc == 4:",
-            "    predicted = btb_get(pc, -1)",
-            f"    if len(rsb) >= {config.rsb_entries}:",
-            "        del rsb[0]",
-            "    rsb.append(pc + 1)",
-            "    if predicted < 0:",
-            "        predicted = pc + 1",
-            f"    if pc not in btb and len(btb) >= {config.btb_entries}:",
-            "        del btb[next(iter(btb))]",
-            "    btb[pc] = npc",
-        )
-        s(
-            depth,
-            "    if predicted != npc:",
-            "        n_ind_mis += 1",
-        )
-        # B_JMPI — BTB lookup + training.
-        w(
-            depth,
-            "elif bc == 5:",
-            "    predicted = btb_get(pc, -1)",
-            "    if predicted < 0:",
-            "        predicted = pc + 1",
-            f"    if pc not in btb and len(btb) >= {config.btb_entries}:",
-            "        del btb[next(iter(btb))]",
-            "    btb[pc] = npc",
-        )
-        s(
-            depth,
-            "    if predicted != npc:",
-            "        n_ind_mis += 1",
-        )
-        w(
-            depth,
-            "else:",
-            "    predicted = pc + 1",
-        )
-
-    def emit_bpu_outcome(depth: int) -> None:
-        """Mispredict redirect + speculation-window bookkeeping."""
-        w(
-            depth,
-            "if predicted != npc:",
-            f"    redirect = resolve_cycle + {config.mispredict_penalty}",
-        )
-        s(
-            depth,
-            "    d = redirect - fetch_cycle",
-            "    if d > 0:",
-            "        squash_cycles += d",
-        )
-        w(
-            depth,
-            "    if redirect > fetch_not_before:",
-            "        fetch_not_before = redirect",
-            "if resolve_cycle > window_resolve_cycle:",
-            "    window_resolve_cycle = resolve_cycle",
-        )
-
-    def emit_fetch_stall(depth: int) -> None:
-        w(depth, "stall_target = resolve_cycle + 1")
-        s(
-            depth,
-            "d = stall_target - fetch_cycle",
-            "if d > 0:",
-            "    fetch_stall_cycles += d",
-        )
-        w(
-            depth,
-            "if stall_target > fetch_not_before:",
-            "    fetch_not_before = stall_target",
-        )
-
-    def emit_branch(depth: int) -> None:
-        w(depth, "if fl & 4:")  # F_BRANCH
-        base = depth + 1
-        if icache_resident:
-            w(base, "pc = pcs_col[i0]")
-        w(
-            base,
-            "npc = npcs_col[i0]",
-            "bc = bcs_col[i0]",
-            "resolve_cycle = complete_cycle",
-        )
-        if not cassandra:
-            emit_bpu_flow(base)
-            emit_bpu_outcome(base)
-            return
-        # The fetch-flow class is a static per-PC property, resolved by the
-        # batch layer into ``plan_cls``.  The reference also checkpoints
-        # crypto branches' BTU state at commit here, but the checkpoint
-        # table is unobservable in a measured pass, so kernels omit it.
-        w(
-            base,
-            "cls = plan_cls[pc]",
-            "if cls == 0:",
-        )
-        emit_bpu_flow(base + 1)
-        w(base + 1, "if (predicted < crypto_pcs_len and crypto_pcs[predicted]) or crypto_pcs[npc]:")
-        s(base + 2, "n_integrity += 2")
-        emit_fetch_stall(base + 2)
-        w(base + 1, "else:")
-        emit_bpu_outcome(base + 2)
-        w(base, "elif cls == 1:")
-        if not lite:
-            w(
-                base + 1,
-                "stp = stp_get(pc)",
-                "if stp is not None and stp != npc:",
-                "    raise ReplayMismatchError(",
-                '        "single-target hint for PC %d points at %r but "',
-                '        "execution went to %d" % (pc, stp, npc)',
-                "    )",
-            )
-        else:
-            w(base + 1, "pass")
-        if traced:
-            if btu_elide:
-                # No eviction is possible (distinct traced branches fit the
-                # BTU) and no flush is active, so a branch misses exactly
-                # once — on its first lookup, recognizable as replay
-                # position zero — and the LRU residency list needs no
-                # maintenance at all.
-                w(
-                    base,
-                    "elif cls == 2:",
-                    "    pos = btu_pos[pc]",
-                    "    if pos:",
-                    "        extra = 0",
-                    "    else:",
-                )
-                s(base + 2, "n_btu_misses += 1")
-                w(base + 2, f"extra = {config.btu.miss_latency}")
-            else:
-                # Full residency model; evictions drop the LRU entry (the
-                # reference also checkpoints the victim, which kernels omit
-                # as unobservable).
-                w(
-                    base,
-                    "elif cls == 2:",
-                    "    extra = 0",
-                    "    if pc in btu_resident:",
-                    "        btu_resident.remove(pc)",
-                    "        btu_resident.append(pc)",
-                    "    else:",
-                )
-                s(base + 2, "n_btu_misses += 1")
-                w(
-                    base + 2,
-                    f"extra = {config.btu.miss_latency}",
-                    f"if len(btu_resident) >= {config.btu.entries}:",
-                    "    del btu_resident[0]",
-                    "btu_resident.append(pc)",
-                )
-                w(base + 1, "pos = btu_pos[pc]")
-            w(
-                base + 1,
-                "targets = btu_targets[pc]",
-                "tidx = pos % len(targets)",
-                "target = targets[tidx]",
-                "btu_pos[pc] = pos + 1",
-                "if btu_long[pc]:",
-                "    eid = btu_eids[pc][tidx]",
-                f"    if eid >= {config.btu.elements_per_entry} and {_mod_expr('eid', config.btu.elements_per_entry)} == 0:",
-            )
-            s(base + 3, "n_btu_prefetches += 1")
-            w(
-                base + 1,
-                f"        extra += {config.btu.prefetch_latency}",
-                "if target != npc:",
-                "    raise ReplayMismatchError(",
-                '        "BTU replay for PC %d produced target %d but the "',
-                '        "sequential execution went to %d" % (pc, target, npc)',
-                "    )",
-                "if extra:",
-                "    t = fetch_cycle + extra",
-                "    if t > fetch_not_before:",
-                "        fetch_not_before = t",
-            )
-        w(base, "else:")
-        emit_fetch_stall(base + 1)
-
-    # -------------------------- instruction body ---------------------------- #
-    # The premasked flags word is zero for pure ALU work, which skips the
-    # memory, gate, store, and branch stages entirely; the operand-merge and
-    # issue/commit blocks are duplicated into both arms so the fast path
-    # carries no dead assignments (``dispatch_cycle`` and ``exec_latency``
-    # exist only where the memory stage can read them).
-    def emit_instruction_body(rob_active: bool) -> None:
-        ring_slot = "ri" if rob_active else "index"
-        emit_fetch(2)
-        emit_dispatch(2, rob_active)
-        w(2, "if fl:")
-        w(3, "dispatch_cycle = ready")
-        emit_operands(3)
-        w(3, "exec_latency = lat")
-        emit_mem_gate(3)
-        w(3, "i0 = index")
-        emit_issue_commit(3, "exec_latency", ring_slot)
-        emit_store(3)
-        emit_branch(3)
-        w(2, "else:")
-        emit_operands(3)
-        emit_issue_commit(3, "lat", ring_slot)
-        # The reference also checkpoints every resident branch on a flush;
-        # only the residency clear is observable (it re-triggers misses).
-        if flush:
-            w(
-                2,
-                "if last_commit_cycle >= next_btu_flush:",
-                "    del btu_resident[:]",
-                "    next_btu_flush += btu_flush_interval",
-            )
-
-    # ``rows`` arrives pre-split at the ROB boundary: the head loop needs no
-    # ROB-occupancy bound (nothing has committed ``rob_size`` back yet), the
-    # tail reads it unconditionally.  Both unpack pre-zipped 6-tuples of the
-    # per-instruction-hot columns; PC / next-PC / address / branch-class
-    # columns are indexed on demand in the slow paths.  ``fl`` is the
-    # premasked flags word (see :func:`relevant_flag_mask`): zero means
-    # "pure ALU work", the loop's fast path.
-    w(1, "for dst, s0, s1, s2, fl, lat in rows_head:")
-    emit_instruction_body(rob_active=False)
-    w(1, "for dst, s0, s1, s2, fl, lat in rows_tail:")
-    emit_instruction_body(rob_active=True)
-
-    # ------------------------------ epilogue -------------------------------- #
-    w(1, "state.history = history")
-    if collect_stats:
-        value_of = {
-            "cycles": "last_commit_cycle",
-            "store_forwards": "n_forwards" if allow_fwd else "0",
-            "stl_blocked": "0" if allow_fwd else "n_stl_blocked",
-            "delayed_instructions": "n_delayed" if gate_mask else "0",
-            "delay_cycles": "delay_cycles" if gate_mask else "0",
-            "squash_cycles": "squash_cycles",
-            "fetch_stall_cycles": "fetch_stall_cycles",
-            "integrity_stall_branches": "n_integrity" if cassandra else "0",
-            "btu_misses": "n_btu_misses" if traced else "0",
-            "btu_prefetches": "n_btu_prefetches" if traced else "0",
-            "bpu_mispredicted": "n_cond_mis + n_rsb_mis + n_ind_mis",
-            "l1i_miss": "0" if icache_resident else "l1i_miss",
-            "l1d_miss": "0" if dcache_resident else "l1d_miss",
-            # Occupancy = branches looked up and never evicted/flushed; in
-            # the elided variant that is exactly "replay position advanced".
-            "btu_occupancy": (
-                "sum(1 for v in btu_pos.values() if v)"
-                if traced and btu_elide
-                else ("len(btu_resident)" if traced else "0")
-            ),
-        }
-        w(1, "return {")
-        for name in DYNAMIC_COUNTERS:
-            w(1, f'    "{name}": {value_of[name]},')
-        w(1, "}")
-    else:
-        w(1, "return None")
-    return e.text()
+    return render(lower_kernel(build_kernel_ir(spec, config), features))
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,88 @@
+"""The golden-source snapshot cases for the python kernel emitter.
+
+Each case names one (spec × config × specialization-axes) point whose
+emitted kernel source is pinned byte-for-byte under ``tests/engine/golden/``.
+The set is chosen so every specialization axis is visible in at least one
+snapshot: BPU vs Cassandra vs lite kind, gate masks, forwarding off, an
+active flush check, the residency-proved cache-free variants, the BTU
+no-eviction elision, the stats-free warm-up body, and a non-power-of-two
+ROB (generic ``%`` arithmetic where the default config folds to masks).
+
+Regenerate after an *intentional* emitter change with::
+
+    PYTHONPATH=src:tests python -m engine.golden_cases
+
+and read the diff — that is the point of the snapshots.
+"""
+
+from pathlib import Path
+
+from repro.engine.lowering import F_LEAK, F_LOAD, F_SECRET
+from repro.uarch.config import GOLDEN_COVE_LIKE, CoreConfig
+from repro.uarch.defenses.base import EnginePolicySpec
+
+#: Directory holding the checked-in snapshot files.
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+
+#: name -> (spec, config, kernel_source keyword arguments)
+GOLDEN_CASES = {
+    "bpu-default": (EnginePolicySpec(kind="bpu"), GOLDEN_COVE_LIKE, {}),
+    "bpu-gated-nofwd": (
+        EnginePolicySpec(
+            kind="bpu", gate_mask=F_LOAD | F_LEAK, allow_store_forwarding=False
+        ),
+        GOLDEN_COVE_LIKE,
+        {},
+    ),
+    "bpu-rob300": (EnginePolicySpec(kind="bpu"), CoreConfig(rob_size=300), {}),
+    "cassandra-default": (
+        EnginePolicySpec(kind="cassandra"),
+        GOLDEN_COVE_LIKE,
+        {},
+    ),
+    "cassandra-flush": (
+        EnginePolicySpec(kind="cassandra"),
+        GOLDEN_COVE_LIKE,
+        {"flush_active": True},
+    ),
+    "cassandra-resident-elide": (
+        EnginePolicySpec(kind="cassandra"),
+        GOLDEN_COVE_LIKE,
+        {
+            "icache_resident": True,
+            "dcache_resident": True,
+            "btu_elide": True,
+        },
+    ),
+    "cassandra-lite-warm": (
+        EnginePolicySpec(kind="cassandra", lite=True),
+        GOLDEN_COVE_LIKE,
+        {"collect_stats": False},
+    ),
+    "prospect-resident": (
+        EnginePolicySpec(kind="bpu", gate_mask=F_SECRET),
+        GOLDEN_COVE_LIKE,
+        {"icache_resident": True, "dcache_resident": True},
+    ),
+}
+
+
+def render_case(name: str) -> str:
+    from repro.engine.kernels import kernel_source
+
+    spec, config, kwargs = GOLDEN_CASES[name]
+    kwargs = dict(kwargs)
+    flush_active = kwargs.pop("flush_active", False)
+    return kernel_source(spec, config, flush_active, **kwargs)
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance entry point
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name in GOLDEN_CASES:
+        path = GOLDEN_DIR / f"{name}.py.txt"
+        path.write_text(render_case(name))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    regenerate()

@@ -1,17 +1,21 @@
-"""Generated-kernel machinery: escape hatch, specialization, dedup, state.
+"""Generated-kernel machinery: tier switch, specialization, dedup, state.
 
 ``tests/engine/test_parity.py`` pins the kernels' *results* to the golden
 models across the quick suite; this module pins the machinery itself — the
-``REPRO_ENGINE_KERNELS`` fallback, the per-(spec × config) compilation
-cache, the dead-code and residency specialization of the generated source,
-the measured-pass dedup, and the flat-state conversions.
+``REPRO_ENGINE_TIER`` switch (and its legacy ``REPRO_ENGINE_KERNELS``
+spellings), the per-(spec × config) compilation cache, the dead-code and
+residency specialization of the generated source, the measured-pass dedup,
+the per-tier batch accounting, and the flat-state conversions.
 """
 
 import pytest
 
 from repro.engine.batch import BatchStats, PointSpec, simulate_batch
 from repro.engine.kernels import (
+    ENGINE_TIERS,
     KERNELS_ENV,
+    TIER_ENV,
+    engine_tier,
     get_kernel,
     kernel_source,
     kernels_enabled,
@@ -70,13 +74,70 @@ def test_escape_hatch_disables_kernels_and_preserves_results(artifact, monkeypat
 
 @pytest.mark.parametrize("value", ["off", "0", "false", "no", " OFF "])
 def test_escape_hatch_values(monkeypatch, value):
+    monkeypatch.delenv(TIER_ENV, raising=False)
     monkeypatch.setenv(KERNELS_ENV, value)
+    assert engine_tier() == "interp"
     assert not kernels_enabled()
+
+
+@pytest.mark.parametrize("value", ["on", "1", "true", "yes", "anything"])
+def test_legacy_on_spellings_pin_the_python_tier(monkeypatch, value):
+    monkeypatch.delenv(TIER_ENV, raising=False)
+    monkeypatch.setenv(KERNELS_ENV, value)
+    assert engine_tier() == "python"
+    assert kernels_enabled()
 
 
 def test_kernels_enabled_by_default(monkeypatch):
     monkeypatch.delenv(KERNELS_ENV, raising=False)
+    monkeypatch.delenv(TIER_ENV, raising=False)
+    assert engine_tier() == "columns"
     assert kernels_enabled()
+
+
+@pytest.mark.parametrize("tier", ENGINE_TIERS)
+def test_tier_env_explicit_values(monkeypatch, tier):
+    monkeypatch.delenv(KERNELS_ENV, raising=False)
+    monkeypatch.setenv(TIER_ENV, tier)
+    assert engine_tier() == tier
+    monkeypatch.setenv(TIER_ENV, f"  {tier.upper()}  ")
+    assert engine_tier() == tier
+    assert kernels_enabled() == (tier != "interp")
+
+
+def test_tier_env_rejects_unknown_values(monkeypatch):
+    monkeypatch.setenv(TIER_ENV, "turbo")
+    with pytest.raises(ValueError, match=TIER_ENV):
+        engine_tier()
+
+
+def test_tier_env_takes_precedence_over_legacy(monkeypatch):
+    monkeypatch.setenv(KERNELS_ENV, "off")
+    monkeypatch.setenv(TIER_ENV, "python")
+    assert engine_tier() == "python"
+    monkeypatch.setenv(KERNELS_ENV, "on")
+    monkeypatch.setenv(TIER_ENV, "interp")
+    assert engine_tier() == "interp"
+
+
+def test_batch_attribution_counters_per_tier(artifact, monkeypatch):
+    monkeypatch.delenv(KERNELS_ENV, raising=False)
+
+    monkeypatch.setenv(TIER_ENV, "python")
+    _, python_stats = _batch(artifact)
+    assert python_stats.kernel_points == len(ALL_DESIGNS)
+    assert python_stats.columns_points == 0
+    assert python_stats.columns_cohorts == 0
+
+    monkeypatch.setenv(TIER_ENV, "interp")
+    _, interp_stats = _batch(artifact)
+    assert interp_stats.kernel_points == 0
+    assert interp_stats.columns_points == 0
+
+    # Every tier's accounting ends up in the wire/bench dict.
+    for key in ("kernel_points", "columns_points", "columns_cohorts",
+                "columns_seconds"):
+        assert key in python_stats.as_dict()
 
 
 # --------------------------------------------------------------------------- #
