@@ -35,7 +35,19 @@ done) before ``result()``.  Its delta over the same direct kernel phase is
 ``--max-scheduler-overhead-pct`` (CI: 2%) — streaming progress must stay
 effectively free.
 
-A sixth phase, **columns sweep**, measures what the NumPy columns tier is
+A sixth phase, **native**, times the same quick-suite point set under
+``REPRO_ENGINE_TIER=native``: the generated C kernels compiled through the
+system toolchain (:mod:`repro.engine.native`), artifact-cached as shared
+objects so only the first-ever run pays the compiler.  Compilation happens
+during the (untimed) parity pass — the same treatment the python kernels
+get — so the timed phase measures steady-state execution; the compile cost
+and artifact-cache hit split are reported as ``native_compile_seconds`` /
+``native_cache_hits``.  The aggregate ``native_speedup`` (over the python
+kernel phase) can be gated with ``--min-native-speedup``; the phase is
+skipped with a note when no working C compiler exists, and the gate then
+fails loudly rather than vacuously passing.
+
+A seventh phase, **columns sweep**, measures what the NumPy columns tier is
 *for*: a wide design-space sweep — ``SWEEP_DESIGNS`` × a
 ``SWEEP_CONFIGS``-point config grid over the axes the evaluation varies
 (ROB size, pipeline widths, predictor geometry, penalties, forwarding
@@ -78,6 +90,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine import kernels as kernels_module
+from repro.engine import native as native_module
 from repro.engine.batch import BatchStats, PointSpec, simulate_batch
 from repro.engine.emit import columns as emit_columns
 from repro.engine.kernels import KERNELS_ENV, TIER_ENV, clear_kernel_cache
@@ -88,7 +101,7 @@ from repro.uarch.config import CoreConfig
 from repro.uarch.core import CoreModel
 
 #: Schema of the report (and of trajectory entries).  Bump on layout change.
-BENCH_SCHEMA_VERSION = 5
+BENCH_SCHEMA_VERSION = 6
 
 ALL_DESIGNS = tuple(DESIGN_BUILDERS)
 
@@ -292,6 +305,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(0 disables)",
     )
     parser.add_argument(
+        "--min-native-speedup",
+        type=float,
+        default=0.0,
+        help="fail unless the native-over-kernels speedup reaches this "
+        "(0 disables; fails loudly if no C toolchain works)",
+    )
+    parser.add_argument(
         "--min-columns-speedup",
         type=float,
         default=0.0,
@@ -320,13 +340,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     # steady state (compilation is a process-constant cost; its magnitude is
     # visible as ``compile_count`` kernels).
     parity_start = time.perf_counter()
+    native_ok = native_module.compiler_available()
     mismatches = []
     for artifact in artifacts:
         legacy = run_legacy(artifact)
         engine = run_batch(artifact, "interp")
         kernels = run_batch(artifact, "python")
+        others = [("engine", engine), ("kernels", kernels)]
+        if native_ok:
+            native_stats = BatchStats()
+            others.append(("native", run_batch(artifact, "native", native_stats)))
+            if native_stats.native_points != len(POINTS):
+                mismatches.append(
+                    {
+                        "workload": artifact.name,
+                        "path": "native",
+                        "point": None,
+                        "diffs": f"only {native_stats.native_points}/{len(POINTS)} "
+                        f"points ran natively ({native_module.last_error})",
+                    }
+                )
         for point in POINTS:
-            for other_name, other in (("engine", engine), ("kernels", kernels)):
+            for other_name, other in others:
                 if legacy[point] != other[point]:
                     diffs = {
                         key: (legacy[point][key], other[point][key])
@@ -356,7 +391,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     per_workload = []
     legacy_total = engine_total = kernel_total = lowering_total = 0.0
-    service_total = scheduler_total = 0.0
+    service_total = scheduler_total = native_total = 0.0
     for artifact in artifacts:
         # The lowering is byte-identical shared input for both batch paths:
         # timed once, then left memoized for the phase timings below.
@@ -384,6 +419,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         saved_cache = artifact.cache
         artifact.cache = None
         kernel_seconds = inner_kernel = None
+        native_seconds = inner_native = None
         service_runs = []
         scheduler_runs = []
         try:
@@ -393,6 +429,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if kernel_seconds is None or elapsed < kernel_seconds:
                     kernel_seconds = elapsed
                     inner_kernel = batch_stats
+                if native_ok:
+                    # Interleaved with the kernel phase for the same reason
+                    # the service/scheduler pairs are: native_speedup is a
+                    # ratio of these two timings.
+                    native_stats = BatchStats()
+                    elapsed = _timed(
+                        lambda: run_batch(artifact, "native", native_stats)
+                    )
+                    if native_seconds is None or elapsed < native_seconds:
+                        native_seconds = elapsed
+                        inner_native = native_stats
                 artifact.simulations.clear()
                 service_runs.append(_timed(lambda: run_service(service, artifact)))
                 artifact.simulations.clear()
@@ -410,6 +457,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         legacy_total += legacy_seconds
         engine_total += engine_seconds
         kernel_total += kernel_seconds
+        if native_seconds is not None:
+            native_total += native_seconds
         service_total += service_seconds
         scheduler_total += scheduler_seconds
         lowering_total += lowering_seconds
@@ -422,6 +471,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "legacy_seconds": round(legacy_seconds, 4),
                 "engine_seconds": round(engine_seconds, 4),
                 "kernel_seconds": round(kernel_seconds, 4),
+                "native_seconds": round(native_seconds, 4)
+                if native_seconds is not None
+                else None,
+                "native_speedup": round(kernel_seconds / native_seconds, 2)
+                if native_seconds
+                else None,
+                "native_batch": inner_native.as_dict() if inner_native else None,
                 "service_seconds": round(service_seconds, 4),
                 "scheduler_seconds": round(scheduler_seconds, 4),
                 # What the declarative request layer adds on top of the
@@ -531,6 +587,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     speedup = legacy_total / engine_total if engine_total else 0.0
     kernel_speedup = engine_total / kernel_total if kernel_total else 0.0
+    native_speedup = kernel_total / native_total if native_total else 0.0
     service_overhead = max(service_total - kernel_total, 0.0)
     service_overhead_pct = (
         service_overhead / kernel_total * 100.0 if kernel_total else 0.0
@@ -555,6 +612,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         "legacy_seconds": round(legacy_total, 3),
         "engine_seconds": round(engine_total, 3),
         "kernel_seconds": round(kernel_total, 3),
+        # The native phase (absent numbers mean no working C toolchain).
+        "native_available": native_ok,
+        "native_seconds": round(native_total, 3) if native_ok else None,
+        "native_speedup": round(native_speedup, 2) if native_ok else None,
+        "native_compile_count": native_module.compile_count,
+        "native_compile_seconds": round(native_module.compile_seconds, 3),
+        "native_cache_hits": native_module.cache_hits,
         "service_seconds": round(service_total, 3),
         "scheduler_seconds": round(scheduler_total, 3),
         "service_overhead_seconds": round(service_overhead, 4),
@@ -587,6 +651,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "legacy_seconds": report["legacy_seconds"],
             "engine_seconds": report["engine_seconds"],
             "kernel_seconds": report["kernel_seconds"],
+            "native_seconds": report["native_seconds"],
+            "native_speedup": report["native_speedup"],
             "service_seconds": report["service_seconds"],
             "scheduler_seconds": report["scheduler_seconds"],
             "service_overhead_pct": report["service_overhead_pct"],
@@ -615,9 +681,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         if columns_ok
         else "columns-sweep skipped (no NumPy)"
     )
+    native_line = (
+        f"native {native_total:.2f}s ({native_speedup:.2f}x)"
+        if native_ok
+        else "native skipped (no C toolchain)"
+    )
     print(
         f"legacy {legacy_total:.2f}s  engine {engine_total:.2f}s  "
-        f"kernels {kernel_total:.2f}s  service {service_total:.2f}s "
+        f"kernels {kernel_total:.2f}s  {native_line}  service {service_total:.2f}s "
         f"(+{service_overhead_pct:.2f}%)  scheduler {scheduler_total:.2f}s "
         f"(+{scheduler_overhead_pct:.2f}%)  engine-speedup {speedup:.2f}x  "
         f"kernel-speedup {kernel_speedup:.2f}x  {sweep_line}  "
@@ -639,6 +710,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.min_native_speedup:
+        if not native_ok:
+            print(
+                "native tier unavailable (no working C toolchain) but "
+                "--min-native-speedup was requested",
+                file=sys.stderr,
+            )
+            return 1
+        if native_speedup < args.min_native_speedup:
+            print(
+                f"native speedup {native_speedup:.2f}x below required "
+                f"{args.min_native_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
     if args.min_columns_speedup:
         if not columns_ok:
             print(

@@ -76,11 +76,13 @@ class SimulationService:
         return self.pipeline.jobs
 
     def stats(self) -> Dict[str, object]:
+        from repro.engine import native
         from repro.engine.kernels import engine_tier
 
         report = dict(self.pipeline.stats())
         report["backend"] = self.backend.name
         report["engine_tier"] = engine_tier()
+        report["native_compiler"] = native.compiler_available()
         return report
 
     # ------------------------------------------------------------------ #

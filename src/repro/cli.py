@@ -123,7 +123,9 @@ def _add_engine_tier_argument(parser: argparse.ArgumentParser) -> None:
         choices=ENGINE_TIERS,
         default=None,
         metavar="TIER",
-        help="measured-pass execution tier: 'columns' (NumPy multi-config "
+        help="measured-pass execution tier: 'native' (C kernels compiled "
+        "through the system toolchain, cached as shared objects; falls back "
+        "per point when no compiler works), 'columns' (NumPy multi-config "
         "cohorts where provably exact; the default), 'python' (per-config "
         "generated kernels), or 'interp' (the generic interpreter); "
         f"equivalent to setting {TIER_ENV}",

@@ -9,6 +9,15 @@ The specialization chain, fastest to most general — **each layer is
 required to be bit-identical to the one below it, and the layer below is
 always the golden model**::
 
+    native.get_native_kernel()
+        │                  the *native* tier (opt-in): the same specialized
+        │                  IR rendered to C (repro.engine.emit.c), compiled
+        │                  through the system toolchain into a shared
+        │                  object, content-addressed in the artifact cache
+        │                  so warm runs never compile; degrades point by
+        │                  point onto the python tier when no compiler
+        │                  works.
+        ▼
     emit.columns.run_cohort()
         │                  the NumPy *columns* tier: one vectorized walk
         │                  executes a whole cohort of configs per policy
@@ -34,14 +43,16 @@ always the golden model**::
                            DefensePolicy hook protocol — the behavioural
                            reference everything above is tested against.
 
-Tier selection: ``REPRO_ENGINE_TIER=columns|python|interp``
+Tier selection: ``REPRO_ENGINE_TIER=native|columns|python|interp``
 (:func:`~repro.engine.kernels.engine_tier`; default ``columns``, which
 falls back per point to the python kernels whenever a proof fails, the
-cohort is too small, or NumPy is missing).  The measured-pass codegen
+cohort is too small, or NumPy is missing; ``native`` likewise falls back
+per point when no C toolchain is available).  The measured-pass codegen
 itself is split into :mod:`repro.engine.ir` — a typed kernel IR plus the
 specialization transforms — and :mod:`repro.engine.emit`, the emitters
-that retarget it (``emit.python`` renders kernel source, ``emit.columns``
-interprets whole cohorts with NumPy).
+that retarget it (``emit.python`` renders kernel source, ``emit.c``
+renders C translation units for :mod:`repro.engine.native`,
+``emit.columns`` interprets whole cohorts with NumPy).
 
 Layer tour, bottom to top:
 

@@ -50,6 +50,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.tracegen import TraceBundle
 from repro.arch.executor import ExecutionResult
+from repro.engine import native
 from repro.engine.kernels import (
     classify_branch,
     engine_tier,
@@ -108,6 +109,14 @@ class BatchStats:
     columns_points: int = 0
     #: NumPy cohort walks performed (each covers many configs at once).
     columns_cohorts: int = 0
+    #: Points whose counters came from a compiled C kernel (native tier).
+    native_points: int = 0
+    #: Wall-clock seconds spent compiling C kernels during this batch (zero
+    #: on warm runs — the ``.so`` comes from the ArtifactCache).
+    native_compile_seconds: float = 0.0
+    #: Compiled kernels this batch obtained without invoking the compiler
+    #: (ArtifactCache reads + already-loaded shared objects).
+    native_cache_hits: int = 0
     #: Kernel points whose measured pass was shared with an earlier point
     #: because their specs canonicalized identically for this trace (e.g.
     #: forwarding variants on a store-free trace, gated policies when no
@@ -132,6 +141,9 @@ class BatchStats:
             "kernel_points": self.kernel_points,
             "columns_points": self.columns_points,
             "columns_cohorts": self.columns_cohorts,
+            "native_points": self.native_points,
+            "native_compile_seconds": round(self.native_compile_seconds, 4),
+            "native_cache_hits": self.native_cache_hits,
             "deduped_points": self.deduped_points,
             "kernel_seconds": round(self.kernel_seconds, 4),
             "columns_seconds": round(self.columns_seconds, 4),
@@ -218,6 +230,8 @@ def simulate_batch(
     stats = batch_stats if batch_stats is not None else BatchStats()
     tier = engine_tier()
     use_kernels = tier != "interp"
+    use_native = tier == "native"
+    native_snapshot = native.counters_snapshot() if use_native else None
 
     if trace is None:
         if result is None:
@@ -391,6 +405,9 @@ def simulate_batch(
     #: Memo keys whose counters came from a columns cohort walk (attribution
     #: for ``BatchStats.columns_points`` vs ``kernel_points``).
     columns_keys: Set[tuple] = set()
+    #: Memo keys whose counters came from a compiled C kernel (attribution
+    #: for ``BatchStats.native_points``).
+    native_keys: Set[tuple] = set()
 
     def shared_plan(
         lite: bool, point_config: CoreConfig
@@ -608,7 +625,6 @@ def simulate_batch(
                 else:
                     plan_cls, plan_stp = b"", {}
                     traced_static = 0
-                rows = shared_rows(point_config, relevant_flag_mask(spec))
                 state = FlatState(point_config, btu_data)
                 flush_active = flush_interval is not None
                 # With no flush active and every traced branch fitting the
@@ -620,13 +636,44 @@ def simulate_batch(
                     and not flush_active
                     and traced_static <= point_config.btu.entries
                 )
+                # The native tier serves a point all-or-nothing: mixing a
+                # native warm pass with a python measured pass (or vice
+                # versa) would leave one side reading state the other only
+                # wrote into its own representation.  Any missing variant —
+                # no compiler, toolchain rejection — drops the whole point
+                # back onto the python kernels.
+                kernel = warm_kernel = None
+                if use_native:
+                    kernel = native.get_native_kernel(
+                        spec,
+                        point_config,
+                        flush_active,
+                        icache_resident=icache_ok,
+                        dcache_resident=dcache_ok,
+                        btu_elide=btu_elide,
+                    )
+                    if kernel is not None and (flush_private or forwarding_private):
+                        warm_kernel = native.get_native_kernel(
+                            spec, point_config, flush_active, collect_stats=False
+                        )
+                        if warm_kernel is None:
+                            kernel = None
+                native_point = kernel is not None
+                # Native kernels premask the flags column in compiled code,
+                # so they skip the shared pre-zipped rows entirely.
+                rows = (
+                    None
+                    if native_point
+                    else shared_rows(point_config, relevant_flag_mask(spec))
+                )
                 if flush_private or forwarding_private:
                     # Private warm passes always model the caches in full:
                     # the first pass runs cold, and its miss timing feeds
                     # the cycle-triggered BTU flushes.
-                    warm_kernel = get_kernel(
-                        spec, point_config, flush_active, collect_stats=False
-                    )
+                    if warm_kernel is None:
+                        warm_kernel = get_kernel(
+                            spec, point_config, flush_active, collect_stats=False
+                        )
                     for _ in range(passes):
                         start = time.perf_counter()
                         warm_kernel(
@@ -643,14 +690,15 @@ def simulate_batch(
                         need_icache=not icache_ok,
                         need_dcache=not dcache_ok,
                     )
-                kernel = get_kernel(
-                    spec,
-                    point_config,
-                    flush_active,
-                    icache_resident=icache_ok,
-                    dcache_resident=dcache_ok,
-                    btu_elide=btu_elide,
-                )
+                if kernel is None:
+                    kernel = get_kernel(
+                        spec,
+                        point_config,
+                        flush_active,
+                        icache_resident=icache_ok,
+                        dcache_resident=dcache_ok,
+                        btu_elide=btu_elide,
+                    )
                 start = time.perf_counter()
                 counters = kernel(
                     trace, state, rows, crypto_pcs, plan_cls, plan_stp,
@@ -658,6 +706,8 @@ def simulate_batch(
                 )
                 stats.kernel_seconds += time.perf_counter() - start
                 measured_memo[memo_key] = counters
+                if native_point:
+                    native_keys.add(memo_key)
             elif not from_columns:
                 # Sharing between columns cohort members is the tier's whole
                 # point, not a canonicalization dedup — only python-tier memo
@@ -666,6 +716,8 @@ def simulate_batch(
             stats.measured_passes += 1
             if from_columns:
                 stats.columns_points += 1
+            elif memo_key in native_keys:
+                stats.native_points += 1
             else:
                 stats.kernel_points += 1
             plan_occ = (
@@ -717,4 +769,9 @@ def simulate_batch(
         simulations.append(simulation)
 
     stats.warmup_component_walks += sum(b.component_walks for b in builders.values())
+    if native_snapshot is not None:
+        _count0, seconds0, hits0 = native_snapshot
+        _count1, seconds1, hits1 = native.counters_snapshot()
+        stats.native_compile_seconds += seconds1 - seconds0
+        stats.native_cache_hits += hits1 - hits0
     return simulations

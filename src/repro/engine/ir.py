@@ -60,9 +60,20 @@ def pow2(n: int) -> bool:
 # Expressions
 # --------------------------------------------------------------------------- #
 class Expr:
-    """Base class for structured (transformable) expression parts."""
+    """Base class for structured (transformable) expression parts.
+
+    Every node renders to two syntaxes: :meth:`render` (Python source, the
+    python emitter) and :meth:`render_c` (C source, the native emitter).
+    Both targets only ever see non-negative operands, so C's
+    truncating ``/`` and ``%`` agree with Python's ``//`` and ``%`` — the
+    ``//`` spelling itself cannot be reused because ``//`` opens a comment
+    in C.
+    """
 
     def render(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def render_c(self) -> str:  # pragma: no cover - abstract
         raise NotImplementedError
 
 
@@ -81,6 +92,9 @@ class Mod(Expr):
         text = f"{self.var} % {self.n}"
         return text if self.bare else f"({text})"
 
+    def render_c(self) -> str:
+        return self.render()
+
 
 @dataclass(frozen=True)
 class Div(Expr):
@@ -91,6 +105,9 @@ class Div(Expr):
 
     def render(self) -> str:
         return f"({self.var} // {self.n})"
+
+    def render_c(self) -> str:
+        return f"({self.var} / {self.n})"
 
 
 @dataclass(frozen=True)
@@ -103,6 +120,9 @@ class ScaledDiv(Expr):
 
     def render(self) -> str:
         return f"(({self.var} * {self.scale}) // {self.line_bytes})"
+
+    def render_c(self) -> str:
+        return f"(({self.var} * {self.scale}) / {self.line_bytes})"
 
 
 @dataclass(frozen=True)
@@ -117,6 +137,9 @@ class BitAnd(Expr):
         text = f"{self.var} & {self.mask}"
         return text if self.bare else f"({text})"
 
+    def render_c(self) -> str:
+        return self.render()
+
 
 @dataclass(frozen=True)
 class Shr(Expr):
@@ -126,6 +149,9 @@ class Shr(Expr):
     def render(self) -> str:
         return f"({self.var} >> {self.k})"
 
+    def render_c(self) -> str:
+        return self.render()
+
 
 @dataclass(frozen=True)
 class Shl(Expr):
@@ -134,6 +160,9 @@ class Shl(Expr):
 
     def render(self) -> str:
         return f"({self.var} << {self.k})"
+
+    def render_c(self) -> str:
+        return self.render()
 
 
 Part = Union[str, Expr]

@@ -74,18 +74,19 @@ from repro.uarch.config import CoreConfig
 from repro.uarch.defenses.base import EnginePolicySpec
 from repro.uarch.defenses.cassandra import ReplayMismatchError
 
-#: The three-way execution-tier switch (``columns`` / ``python`` / ``interp``).
+#: The execution-tier switch (``native`` / ``columns`` / ``python`` /
+#: ``interp``).
 TIER_ENV = "REPRO_ENGINE_TIER"
 #: Legacy two-way switch, honored when ``REPRO_ENGINE_TIER`` is unset:
 #: any value in ``_OFF_VALUES`` means ``interp``, anything else ``python``.
 KERNELS_ENV = "REPRO_ENGINE_KERNELS"
 _OFF_VALUES = ("off", "0", "false", "no")
 #: Valid ``REPRO_ENGINE_TIER`` values, fastest first.
-ENGINE_TIERS = ("columns", "python", "interp")
+ENGINE_TIERS = ("native", "columns", "python", "interp")
 
 
 def engine_tier() -> str:
-    """The selected execution tier: ``columns``, ``python``, or ``interp``.
+    """The selected execution tier: one of :data:`ENGINE_TIERS`.
 
     Resolution order:
 
@@ -100,6 +101,10 @@ def engine_tier() -> str:
        engages for cohorts large enough to amortize NumPy dispatch (see
        ``repro.engine.emit.columns``) and falls back to python kernels
        point-by-point otherwise, so "auto" is never slower than ``python``.
+       ``native`` (C kernels compiled per specialization point — see
+       :mod:`repro.engine.native`) is opt-in: it needs a working C
+       toolchain, and degrades point-by-point onto the python kernels when
+       none is found.
 
     Checked at every ``simulate_batch`` call, so tests (and operators
     bisecting a suspected tier bug) can flip the environment at any point
@@ -294,5 +299,17 @@ def get_kernel(
 
 
 def clear_kernel_cache() -> None:
-    """Drop every compiled kernel (test isolation helper)."""
+    """Drop every compiled kernel *and* the caches feeding the compile.
+
+    Chains the python/C IR build caches and the native tier's kernel memo so
+    bench per-repetition compile timing measures the whole pipeline (IR
+    build → transforms → emit → compile), not just the final ``exec``.
+    """
     _KERNEL_CACHE.clear()
+    from repro.engine.emit.c import clear_c_ir_cache
+    from repro.engine.ir import clear_ir_cache
+    from repro.engine.native import clear_native_memo
+
+    clear_ir_cache()
+    clear_c_ir_cache()
+    clear_native_memo()

@@ -15,7 +15,8 @@ so that
 Representations (all bit-equivalent to the object models by construction;
 ``tests/engine/test_kernel_parity.py`` asserts it end to end):
 
-* **L1I / L1D** — one flat list of ``num_sets * associativity`` tags.  Each
+* **L1I / L1D** — one flat ``array('q')`` of ``num_sets * associativity``
+  tags.  Each
   set owns the segment ``[set*assoc, (set+1)*assoc)`` kept in LRU→MRU order
   and left-padded with ``-1`` (tags are non-negative, so the padding can
   never match).  A hit deletes the tag and re-inserts it at the segment's
@@ -26,7 +27,8 @@ Representations (all bit-equivalent to the object models by construction;
   ``Cache`` uses internally (these levels are touched only on L1D misses,
   and dense arrays for a 30 MB L3 would make per-point restore the dominant
   cost again).
-* **BPU** — the PHT as a flat list, the history register as an int, the BTB
+* **BPU** — the PHT as a flat ``array('q')``, the history register as an
+  int, the BTB
   as a ``{pc: target}`` dict, the RSB as a list, and the loop predictor as
   ``{pc: [current_run, last_trip, confidence]}`` rows (a list per branch
   instead of a ``_LoopEntry`` object, so the kernel mutates indices, not
@@ -36,10 +38,19 @@ Representations (all bit-equivalent to the object models by construction;
   :meth:`repro.uarch.btu.BranchTraceUnit.replay_data`) is shared read-only by
   every point; the mutable part is two ``{pc: int}`` position dicts plus the
   residency list.
+
+The hot flat-int structures (L1I / L1D / PHT) are ``array('q')`` rather
+than plain lists: a Python kernel indexes and mutates them exactly like a
+list, while the native tier (:mod:`repro.engine.native`) obtains their
+machine addresses via ``buffer_info()`` and lets the compiled kernel mutate
+the same memory in place — no per-call marshalling for the largest state
+components.  Snapshot restore also gets cheaper: ``array(...)`` from
+another array is a single memcpy.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, List, Optional, Tuple
 
 from repro.uarch.config import CoreConfig
@@ -55,32 +66,33 @@ EMPTY_BTU_DATA: BtuReplayData = ({}, {}, {})
 # --------------------------------------------------------------------------- #
 # Flat cache conversions
 # --------------------------------------------------------------------------- #
-def flat_cache_new(num_sets: int, associativity: int) -> List[int]:
+def flat_cache_new(num_sets: int, associativity: int) -> "array":
     """An empty flat cache: every segment all padding."""
-    return [-1] * (num_sets * associativity)
+    # b"\xff" * 8 is int64 -1; one bytes fill beats a Python-level loop.
+    return array("q", b"\xff" * (8 * num_sets * associativity))
 
 
 def flat_cache_from_sets(
     sets: Dict[int, List[int]], num_sets: int, associativity: int
-) -> List[int]:
+) -> "array":
     """Convert a ``Cache.snapshot_state()`` dict into the flat layout.
 
     Ways arrive LRU→MRU and are right-aligned into their segment so that the
     kernel's shift-left-install keeps exactly the object model's eviction
     order.
     """
-    flat = [-1] * (num_sets * associativity)
+    flat = flat_cache_new(num_sets, associativity)
     for index, ways in sets.items():
         n = len(ways)
         if n > associativity:  # pragma: no cover - snapshot invariant
             raise ValueError(f"set {index} holds {n} ways > associativity")
         end = index * associativity + associativity
-        flat[end - n : end] = ways
+        flat[end - n : end] = array("q", ways)
     return flat
 
 
 def flat_cache_to_sets(
-    flat: List[int], num_sets: int, associativity: int
+    flat: "array", num_sets: int, associativity: int
 ) -> Dict[int, List[int]]:
     """The inverse conversion (occupied sets only), for tests and snapshots."""
     sets: Dict[int, List[int]] = {}
@@ -100,25 +112,26 @@ def copy_sparse_sets(sets: Dict[int, List[int]]) -> Dict[int, List[int]]:
 # --------------------------------------------------------------------------- #
 # Flat BPU conversions
 # --------------------------------------------------------------------------- #
-#: ``(pht, history, btb, rsb, loops_rows)`` — the kernel-side BPU state.
-FlatBpu = Tuple[List[int], int, Dict[int, int], List[int], Dict[int, List[int]]]
+#: ``(pht, history, btb, rsb, loops_rows)`` — the kernel-side BPU state
+#: (the PHT is an ``array('q')``; see the module docstring).
+FlatBpu = Tuple["array", int, Dict[int, int], List[int], Dict[int, List[int]]]
 
 
 def flat_bpu_new(config: CoreConfig) -> FlatBpu:
     """A freshly constructed predictor (weakly-taken PHT, empty tables)."""
-    return ([2] * (1 << config.pht_bits), 0, {}, [], {})
+    return (array("q", [2]) * (1 << config.pht_bits), 0, {}, [], {})
 
 
 def flat_bpu_from_snapshot(snapshot: Tuple) -> FlatBpu:
     """Convert a ``BranchPredictionUnit.snapshot_state()`` tuple."""
     pht, history, btb, rsb, loops = snapshot
     rows = {pc: [run, trip, conf] for pc, (run, trip, conf) in loops.items()}
-    return (list(pht), history, dict(btb), list(rsb), rows)
+    return (array("q", pht), history, dict(btb), list(rsb), rows)
 
 
 def copy_flat_bpu(bpu: FlatBpu) -> FlatBpu:
     pht, history, btb, rsb, loops = bpu
-    return (list(pht), history, dict(btb), list(rsb), {pc: list(row) for pc, row in loops.items()})
+    return (array("q", pht), history, dict(btb), list(rsb), {pc: list(row) for pc, row in loops.items()})
 
 
 # --------------------------------------------------------------------------- #
@@ -174,6 +187,10 @@ class FlatState:
         "btu_pos",
         "btu_committed",
         "btu_resident",
+        # The native tier's per-point buffer session (opaque to this module;
+        # owned by repro.engine.native).  ``None`` whenever no compiled
+        # kernel holds live views over this state.
+        "native_session",
     )
 
     def __init__(self, config: CoreConfig, btu_data: Optional[BtuReplayData] = None) -> None:
@@ -185,24 +202,29 @@ class FlatState:
         self.pht, self.history, self.btb, self.rsb, self.loops = flat_bpu_new(config)
         self.btu_targets, self.btu_eids, self.btu_long = data
         self.btu_pos, self.btu_committed, self.btu_resident = flat_btu_new(data)
+        self.native_session = None
 
     # ------------------------------------------------------------------ #
     # Warm-state restore (cheap array copies)
     # ------------------------------------------------------------------ #
-    def restore_icache(self, flat: List[int]) -> None:
-        self.l1i[:] = flat
+    def restore_icache(self, flat) -> None:
+        self.native_session = None
+        self.l1i[:] = flat if isinstance(flat, array) else array("q", flat)
 
     def restore_dcache(
-        self, l1d: List[int], l2: Dict[int, List[int]], l3: Dict[int, List[int]]
+        self, l1d, l2: Dict[int, List[int]], l3: Dict[int, List[int]]
     ) -> None:
-        self.l1d[:] = l1d
+        self.native_session = None
+        self.l1d[:] = l1d if isinstance(l1d, array) else array("q", l1d)
         self.l2 = copy_sparse_sets(l2)
         self.l3 = copy_sparse_sets(l3)
 
     def restore_bpu(self, bpu: FlatBpu) -> None:
+        self.native_session = None
         self.pht, self.history, self.btb, self.rsb, self.loops = copy_flat_bpu(bpu)
 
     def restore_btu(self, btu: FlatBtu) -> None:
+        self.native_session = None
         self.btu_pos, self.btu_committed, self.btu_resident = copy_flat_btu(btu)
 
     def btu_occupancy(self) -> int:

@@ -1,7 +1,9 @@
-"""The golden-source snapshot cases for the python kernel emitter.
+"""The golden-source snapshot cases for the python and C kernel emitters.
 
 Each case names one (spec × config × specialization-axes) point whose
-emitted kernel source is pinned byte-for-byte under ``tests/engine/golden/``.
+emitted kernel source is pinned byte-for-byte under ``tests/engine/golden/``
+— ``<name>.py.txt`` for the python emitter, ``<name>.c.txt`` for the C
+emitter (both emitters lower the same specialized IR point).
 The set is chosen so every specialization axis is visible in at least one
 snapshot: BPU vs Cassandra vs lite kind, gate masks, forwarding off, an
 active flush check, the residency-proved cache-free variants, the BTU
@@ -76,12 +78,22 @@ def render_case(name: str) -> str:
     return kernel_source(spec, config, flush_active, **kwargs)
 
 
+def render_c_case(name: str) -> str:
+    from repro.engine.emit.c import c_kernel_source
+
+    spec, config, kwargs = GOLDEN_CASES[name]
+    kwargs = dict(kwargs)
+    flush_active = kwargs.pop("flush_active", False)
+    return c_kernel_source(spec, config, flush_active, **kwargs)
+
+
 def regenerate() -> None:  # pragma: no cover - maintenance entry point
     GOLDEN_DIR.mkdir(exist_ok=True)
     for name in GOLDEN_CASES:
-        path = GOLDEN_DIR / f"{name}.py.txt"
-        path.write_text(render_case(name))
-        print(f"wrote {path}")
+        for suffix, render in ((".py.txt", render_case), (".c.txt", render_c_case)):
+            path = GOLDEN_DIR / f"{name}{suffix}"
+            path.write_text(render(name))
+            print(f"wrote {path}")
 
 
 if __name__ == "__main__":  # pragma: no cover

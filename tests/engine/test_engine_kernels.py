@@ -311,8 +311,8 @@ def test_flat_cache_roundtrip_preserves_lru_order():
     flat = flat_cache_from_sets(sets, num_sets=64, associativity=4)
     assert flat_cache_to_sets(flat, 64, 4) == sets
     # LRU→MRU order is right-aligned in each segment, padding on the left.
-    assert flat[0:4] == [-1, 7, 3, 9]
-    assert flat[5 * 4 : 5 * 4 + 4] == [-1, -1, -1, 1]
+    assert list(flat[0:4]) == [-1, 7, 3, 9]
+    assert list(flat[5 * 4 : 5 * 4 + 4]) == [-1, -1, -1, 1]
 
 
 def test_flat_cache_rejects_overfull_set():

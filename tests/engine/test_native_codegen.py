@@ -1,0 +1,208 @@
+"""Static analysis + compilability of the generated C kernel sources.
+
+Mirrors ``test_kernel_codegen.py`` for the native tier's emitter:
+
+* **golden snapshots** — the same eight representative corners rendered to C
+  and pinned byte-for-byte (``tests/engine/golden/<name>.c.txt``; regenerate
+  with ``PYTHONPATH=src:tests python -m engine.golden_cases``);
+* **full-product emit** — every variant of the policy family × config ×
+  flush × residency × elide × stats product must render (this leg needs no
+  compiler, so it also guards the stdlib-only environments);
+* **full-product syntax sweep** — the unique translation units of that
+  product must pass ``cc -fsyntax-only`` (the parity suite exercises real
+  compiles; this pins the long tail of variants no fuzz case selects);
+* the **degraded path** (an unresolvable ``REPRO_NATIVE_CC`` must disable
+  the tier without raising) and the ``clear_kernel_cache`` chain.
+"""
+
+import subprocess
+
+import pytest
+
+from engine.golden_cases import GOLDEN_CASES, GOLDEN_DIR, render_c_case
+from engine.test_kernel_codegen import CONFIGS, SPECS, _variants
+from repro.engine import native
+from repro.engine.emit import c as emit_c
+from repro.engine.emit.c import ARG, c_kernel_source, source_digest
+from repro.engine.kernels import clear_kernel_cache, get_kernel
+from repro.uarch.config import GOLDEN_COVE_LIKE
+
+needs_compiler = pytest.mark.skipif(
+    not native.compiler_available(), reason="no working C toolchain"
+)
+
+
+def _render(spec, config, flush, ic, dc, elide, stats):
+    return c_kernel_source(
+        spec,
+        config,
+        flush_active=flush,
+        icache_resident=ic,
+        dcache_resident=dc,
+        btu_elide=elide,
+        collect_stats=not stats,
+    )
+
+
+def test_every_variant_renders():
+    count = 0
+    for sname, spec, cname, config, flush, ic, dc, elide, stats in _variants():
+        source = _render(spec, config, flush, ic, dc, elide, stats)
+        label = f"{sname}/{cname} flush={flush} ic={ic} dc={dc} elide={elide}"
+        assert "int64_t kernel(int64_t *a)" in source, label
+        assert source.count("int64_t kernel") == 1, label
+        count += 1
+    # Same coverage claim as the python sweep: a silent shrink of the
+    # variant product should fail loudly.
+    assert count == (3 * 24 + 4 * 16) * len(CONFIGS)
+
+
+@needs_compiler
+def test_every_variant_syntax_checks(tmp_path):
+    # Distinct variants can fold to identical translation units (e.g. the
+    # flush axis is forced off for non-traced specs), so the compiler only
+    # sees each unique source once.
+    unique = {}
+    for _sname, spec, _cname, config, flush, ic, dc, elide, stats in _variants():
+        source = _render(spec, config, flush, ic, dc, elide, stats)
+        unique.setdefault(source_digest(source), source)
+    paths = []
+    for i, source in enumerate(unique.values()):
+        path = tmp_path / f"k{i}.c"
+        path.write_text(source)
+        paths.append(str(path))
+    toolchain = native.find_toolchain()
+    for start in range(0, len(paths), 64):
+        chunk = paths[start : start + 64]
+        proc = subprocess.run(
+            [toolchain.path, "-fsyntax-only", "-w", *chunk],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stderr
+
+
+@pytest.mark.parametrize("sname", ["unsafe", "spt", "prospect", "cassandra-lite"])
+def test_dead_policy_code_is_absent(sname):
+    spec = SPECS[sname]
+    source = c_kernel_source(spec, GOLDEN_COVE_LIKE, flush_active=False)
+    if spec.kind == "bpu":
+        for needle in ("plan_cls", "btu_pos", "n_integrity"):
+            assert needle not in source, (sname, needle)
+    if spec.lite:
+        assert "tgt_off" not in source
+        assert "tgt_data" not in source
+    if not spec.gate_mask:
+        assert "window_resolve_cycle > ready" not in source
+    if spec.allow_store_forwarding:
+        assert "n_stl_blocked" not in source
+    else:
+        assert "n_forwards" not in source
+
+
+def test_residency_deletes_cache_models():
+    spec = SPECS["unsafe"]
+    full = c_kernel_source(spec, GOLDEN_COVE_LIKE, flush_active=False)
+    resident = c_kernel_source(
+        spec,
+        GOLDEN_COVE_LIKE,
+        flush_active=False,
+        icache_resident=True,
+        dcache_resident=True,
+    )
+    for needle in ("seg_find(l1i", "seg_find(l1d", "l2_set", "l3_set"):
+        assert needle in full
+        assert needle not in resident
+    # The residency-proved variants still zero their miss counter slots.
+    assert f"a[{ARG['counter_l1i_miss']}] = 0;" in resident
+    assert f"a[{ARG['counter_l1d_miss']}] = 0;" in resident
+
+
+def test_warm_variant_drops_counter_writes():
+    warm = c_kernel_source(
+        SPECS["cassandra"], GOLDEN_COVE_LIKE, flush_active=False, collect_stats=False
+    )
+    stats = c_kernel_source(SPECS["cassandra"], GOLDEN_COVE_LIKE, flush_active=False)
+    for name in ("counter_cycles", "counter_squash_cycles", "counter_btu_misses"):
+        slot = f"a[{ARG[name]}] ="
+        assert slot in stats, name
+        assert slot not in warm, name
+    # ... but keeps the persistent-state writebacks the next pass chains on.
+    for name in ("history", "btb_head", "rsb_head", "loop_n"):
+        assert f"a[{ARG[name]}] =" in warm, name
+
+
+def test_source_digest_tracks_abi_and_content():
+    a = c_kernel_source(SPECS["unsafe"], GOLDEN_COVE_LIKE, flush_active=False)
+    b = c_kernel_source(SPECS["cassandra"], GOLDEN_COVE_LIKE, flush_active=False)
+    assert source_digest(a) == source_digest(a)
+    assert source_digest(a) != source_digest(b)
+
+
+def test_degraded_path_without_compiler(monkeypatch):
+    monkeypatch.setenv(native.TOOLCHAIN_ENV, "/nonexistent/cc")
+    assert native.find_toolchain() is None
+    assert not native.compiler_available()
+    kernel = native.get_native_kernel(
+        SPECS["unsafe"], GOLDEN_COVE_LIKE, flush_active=False
+    )
+    assert kernel is None
+    assert native.last_error
+
+
+@needs_compiler
+def test_native_kernel_memo_and_artifact_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    clear_kernel_cache()
+    before = native.compile_count
+    first = native.get_native_kernel(
+        SPECS["unsafe"], GOLDEN_COVE_LIKE, flush_active=False
+    )
+    assert first is not None
+    assert native.compile_count == before + 1
+    # Same point again: served from the in-process memo, no new compile.
+    again = native.get_native_kernel(
+        SPECS["unsafe"], GOLDEN_COVE_LIKE, flush_active=False
+    )
+    assert again is first
+    assert native.compile_count == before + 1
+    # Memo cleared but the .so bytes are still content-addressed on disk:
+    # the reload counts as a cache hit, not a compile.
+    hits = native.cache_hits
+    native.clear_native_memo()
+    warm = native.get_native_kernel(
+        SPECS["unsafe"], GOLDEN_COVE_LIKE, flush_active=False
+    )
+    assert warm is not None
+    assert native.compile_count == before + 1
+    assert native.cache_hits == hits + 1
+
+
+def test_clear_kernel_cache_chains_every_layer():
+    from repro.engine import ir, kernels
+
+    get_kernel(SPECS["unsafe"], GOLDEN_COVE_LIKE, flush_active=False)
+    emit_c.build_c_kernel_ir(SPECS["unsafe"], GOLDEN_COVE_LIKE)
+    native._KERNEL_MEMO[("sentinel",)] = None
+    assert kernels._KERNEL_CACHE and ir._IR_CACHE and emit_c._C_IR_CACHE
+    clear_kernel_cache()
+    assert not kernels._KERNEL_CACHE
+    assert not ir._IR_CACHE
+    assert not emit_c._C_IR_CACHE
+    assert not native._KERNEL_MEMO
+
+
+# --------------------------------------------------------------------------- #
+# Golden snapshots
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("name", sorted(GOLDEN_CASES))
+def test_c_golden_snapshot(name):
+    path = GOLDEN_DIR / f"{name}.c.txt"
+    assert path.exists(), (
+        f"missing snapshot {path}; regenerate with "
+        "PYTHONPATH=src:tests python -m engine.golden_cases"
+    )
+    assert render_c_case(name) == path.read_text(), (
+        f"C kernel codegen drifted for {name!r}; if intentional, regenerate "
+        "snapshots with PYTHONPATH=src:tests python -m engine.golden_cases"
+    )
