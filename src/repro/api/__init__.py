@@ -66,6 +66,7 @@ from repro.api.backends import (
     make_backend,
 )
 from repro.api.jobs import JobCancelled, JobEvent, JobHandle
+from repro.api.journal import JobJournal, RecoveredJob, resume_jobs
 from repro.api.matrix import EMPTY_MATRIX, ScenarioMatrix, expand_many
 from repro.api.request import (
     REQUEST_FORMAT_VERSION,
@@ -73,6 +74,7 @@ from repro.api.request import (
     WorkloadRef,
 )
 from repro.api.results import ResultSet
+from repro.api.retry import RetryError, RetryPolicy
 from repro.api.scheduler import Scheduler
 from repro.api.service import (
     ExperimentContext,
@@ -91,8 +93,12 @@ __all__ = [
     "JobCancelled",
     "JobEvent",
     "JobHandle",
+    "JobJournal",
     "REQUEST_FORMAT_VERSION",
+    "RecoveredJob",
     "ResultSet",
+    "RetryError",
+    "RetryPolicy",
     "ScenarioMatrix",
     "Scheduler",
     "SerialBackend",
@@ -105,4 +111,5 @@ __all__ = [
     "default_context",
     "expand_many",
     "make_backend",
+    "resume_jobs",
 ]

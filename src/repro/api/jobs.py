@@ -117,13 +117,19 @@ class JobHandle:
     def cancel_requested(self) -> bool:
         return self._cancel_requested
 
-    def events(self) -> Iterator[JobEvent]:
+    def events(self, after_seq: Optional[int] = None) -> Iterator[JobEvent]:
         """Stream this job's events: history so far, then live, then stop.
 
         The iterator ends after yielding the terminal event, so
         ``for event in handle.events()`` always terminates once the job
         does.  Safe to call from several threads; each caller gets its own
         complete stream.
+
+        ``after_seq`` resumes a stream: events whose monotonic ``seq`` is at
+        or below it are skipped (the caller already saw them), which is what
+        lets a reconnecting remote client replay only the gap.  If the
+        terminal event itself falls inside the skipped prefix the stream is
+        simply empty.
         """
         queue: Queue = Queue()
         with self._lock:
@@ -132,6 +138,10 @@ class JobHandle:
             if not finished:
                 self._subscribers.append(queue)
         for event in backlog:
+            if after_seq is not None and event.seq <= after_seq:
+                if event.terminal:
+                    return
+                continue
             yield event
             if event.terminal:
                 return
@@ -139,6 +149,10 @@ class JobHandle:
             return
         while True:
             event = queue.get()
+            if after_seq is not None and event.seq <= after_seq:
+                if event.terminal:
+                    return
+                continue
             yield event
             if event.terminal:
                 return

@@ -1,0 +1,308 @@
+"""Durable jobs: an append-only, fsync'd write-ahead journal per state dir.
+
+``repro serve`` used to hold every queued and partially-complete job in
+memory — a crash lost the sweep.  :class:`JobJournal` makes the job layer
+crash-safe without a database: every job submission (the full
+JSON-round-trippable :class:`~repro.api.request.SimulationRequest` batch
+plus its tags and priority), every per-point completion (with a content
+digest of the result), and every terminal state transition is appended as
+one JSON line to ``<state-dir>/journal.jsonl`` and fsync'd before the
+operation is considered done.
+
+Crash-safety invariants:
+
+* **Torn tails are tolerated** — a ``kill -9`` mid-append leaves at most one
+  undecodable trailing line, which recovery skips; every fully written
+  record survives.
+* **Recovery is a pure fold** — :meth:`JobJournal.__init__` replays the
+  journal: a job with a ``submit`` record but no terminal ``state`` record
+  is *pending* and gets resubmitted by :func:`resume_jobs` under its
+  original job id.  Its completed points are already in the artifact disk
+  cache, so the resumed job re-executes exactly the remainder (the rest
+  land as ``cache-hit`` events — observable, and asserted by the chaos
+  suite).
+* **Compaction is atomic** — on open, finished jobs' records are dropped by
+  rewriting the journal through a temp file + ``os.replace``; a crash
+  mid-compaction leaves either the old or the new journal, never a mix.
+* **Monotonic seqs across restarts** — recovery reports the largest event
+  ``seq`` seen, and the scheduler restarts its counter above it, so a
+  client resuming a stream with ``events(after_seq=N)`` never sees a seq
+  collision between incarnations.
+
+Graceful shutdown (``SIGTERM``/``SIGINT`` on ``repro serve``) sets
+:attr:`JobJournal.draining`: the drain cancels running jobs at their next
+round boundary, but the journal *suppresses* their ``cancelled`` terminal
+records so they remain pending and resume on the next start; a final
+``checkpoint`` record marks the shutdown clean.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import re
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.api.request import SimulationRequest
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.api.jobs import JobEvent, JobHandle
+    from repro.api.service import SimulationService
+
+logger = logging.getLogger(__name__)
+
+#: Bump when the record vocabulary changes incompatibly.
+JOURNAL_FORMAT_VERSION = 1
+
+#: The journal file inside a state dir.
+JOURNAL_NAME = "journal.jsonl"
+
+#: Tag added to resumed jobs so event consumers can tell them apart.
+RESUMED_TAG = "resumed"
+
+
+def result_digest(result: Any) -> str:
+    """A stable content digest of one :class:`SimulationResult`."""
+    from repro.pipeline.hashing import stable_digest
+
+    return stable_digest("simulation-result", sorted(result.as_dict().items()))
+
+
+@dataclass
+class RecoveredJob:
+    """One journaled job that had not reached a terminal state."""
+
+    job_id: str
+    requests: List[SimulationRequest]
+    priority: int = 0
+    tags: Tuple[str, ...] = ()
+    #: request-JSON → result digest for every journaled completed point.
+    completed: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def remaining(self) -> int:
+        return max(0, len(self.requests) - len(self.completed))
+
+
+class JobJournal:
+    """The write-ahead journal of one ``--state-dir`` (open = recover)."""
+
+    def __init__(self, state_dir: str) -> None:
+        self.state_dir = state_dir
+        os.makedirs(state_dir, exist_ok=True)
+        self.path = os.path.join(state_dir, JOURNAL_NAME)
+        self._lock = threading.Lock()
+        #: Set during graceful shutdown: suppress ``cancelled`` terminal
+        #: records so drained jobs stay pending and resume next start.
+        self.draining = False
+        #: Pending (interrupted) jobs found at open, for :func:`resume_jobs`.
+        self.pending: List[RecoveredJob] = []
+        #: Counters the scheduler restarts above, keeping ids/seqs monotonic.
+        self.next_seq = 0
+        self.next_job_number = 1
+        self._recover()
+        self._compact()
+        self._file = open(self.path, "ab")
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def read_records(path: str) -> Iterator[Dict[str, Any]]:
+        """Every decodable record in ``path`` (torn/garbled lines skipped)."""
+        if not os.path.exists(path):
+            return
+        with open(path, "rb") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    # A torn tail from a crash mid-append, or garbage; a
+                    # fsync'd journal tears at most its last line.
+                    logger.warning(
+                        "journal %s: skipping undecodable line %d", path, line_number
+                    )
+                    continue
+                if isinstance(record, dict):
+                    yield record
+
+    def _recover(self) -> None:
+        jobs: Dict[str, RecoveredJob] = {}
+        finished: Dict[str, str] = {}
+        for record in self.read_records(self.path):
+            kind = record.get("record")
+            job_id = str(record.get("job", ""))
+            try:
+                if kind == "submit":
+                    job = RecoveredJob(
+                        job_id=job_id,
+                        requests=[
+                            SimulationRequest.from_dict(payload)
+                            for payload in record.get("requests", ())
+                        ],
+                        priority=int(record.get("priority", 0)),
+                        tags=tuple(record.get("tags", ())),
+                    )
+                    # A re-submit (journal resume writes one per restart)
+                    # keeps the completed points recorded before it: they
+                    # back the resume-is-only-the-remainder guarantee.
+                    previous = jobs.get(job_id)
+                    if previous is not None:
+                        job.completed.update(previous.completed)
+                    jobs[job_id] = job
+                    # A fresh submit record supersedes any earlier terminal
+                    # state (a resumed job reuses its id).
+                    finished.pop(job_id, None)
+                elif kind == "point" and job_id in jobs:
+                    jobs[job_id].completed[
+                        json.dumps(record.get("request"), sort_keys=True)
+                    ] = str(record.get("digest", ""))
+                elif kind == "state" and record.get("state") in (
+                    "done",
+                    "failed",
+                    "cancelled",
+                ):
+                    finished[job_id] = str(record["state"])
+            except (KeyError, TypeError, ValueError) as exc:
+                logger.warning("journal %s: skipping bad %r record: %s", self.path, kind, exc)
+                continue
+            seq = record.get("seq")
+            if isinstance(seq, int):
+                self.next_seq = max(self.next_seq, seq + 1)
+            match = re.match(r"job-(\d+)$", job_id)
+            if match:
+                self.next_job_number = max(self.next_job_number, int(match.group(1)) + 1)
+        self.pending = [job for job_id, job in jobs.items() if job_id not in finished]
+
+    def _compact(self) -> None:
+        """Atomically rewrite the journal keeping only pending jobs' records."""
+        if not os.path.exists(self.path):
+            return
+        temp = self.path + ".compact"
+        with open(temp, "wb") as handle:
+            for job in self.pending:
+                handle.write(_encode(_submit_record(job.job_id, job.requests, job.priority, job.tags)))
+                for request_json, digest in job.completed.items():
+                    handle.write(
+                        _encode(
+                            {
+                                "record": "point",
+                                "job": job.job_id,
+                                "kind": "cache-hit",
+                                "request": json.loads(request_json),
+                                "digest": digest,
+                            }
+                        )
+                    )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, self.path)
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+    def _append(self, record: Dict[str, Any]) -> None:
+        payload = _encode(record)
+        with self._lock:
+            if self._file.closed:  # pragma: no cover - post-close stragglers
+                return
+            self._file.write(payload)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def job_submitted(self, handle: "JobHandle") -> None:
+        """Journal a submission: the WAL entry resume replays from."""
+        self._append(
+            _submit_record(handle.job_id, handle.requests, handle.priority, handle.tags)
+        )
+
+    def job_event(self, event: "JobEvent") -> None:
+        """Journal the durable subset of the event stream.
+
+        ``point-done``/``cache-hit`` become per-point completion records
+        (with the result digest the scheduler put in the payload);
+        ``done``/``failed`` become terminal state records; ``cancelled`` is
+        terminal only when it was *requested*, not when the drain of a
+        graceful shutdown induced it — drained jobs must stay pending.
+        """
+        payload = event.payload or {}
+        if event.kind in ("point-done", "cache-hit"):
+            self._append(
+                {
+                    "record": "point",
+                    "job": event.job_id,
+                    "kind": event.kind,
+                    "seq": event.seq,
+                    "request": event.request.as_dict() if event.request else None,
+                    "cycles": payload.get("cycles"),
+                    "digest": payload.get("digest", ""),
+                }
+            )
+        elif event.kind in ("done", "failed") or (
+            event.kind == "cancelled" and not self.draining
+        ):
+            record = {
+                "record": "state",
+                "job": event.job_id,
+                "state": event.kind,
+                "seq": event.seq,
+            }
+            if event.kind == "failed":
+                record["error"] = payload.get("error")
+            self._append(record)
+
+    def checkpoint(self) -> None:
+        """Mark a clean shutdown (pending jobs intentionally left pending)."""
+        self._append({"record": "checkpoint", "version": JOURNAL_FORMAT_VERSION})
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+
+def _encode(record: Dict[str, Any]) -> bytes:
+    return (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+
+
+def _submit_record(
+    job_id: str,
+    requests,
+    priority: int,
+    tags: Tuple[str, ...],
+) -> Dict[str, Any]:
+    return {
+        "record": "submit",
+        "version": JOURNAL_FORMAT_VERSION,
+        "job": job_id,
+        "priority": priority,
+        "tags": list(tags),
+        "requests": [request.as_dict() for request in requests],
+    }
+
+
+def resume_jobs(service: "SimulationService", journal: JobJournal) -> List["JobHandle"]:
+    """Resubmit every pending journaled job under its original id.
+
+    Completed points are served from the artifact disk cache (the resumed
+    job observes them as ``cache-hit`` events); only the remainder executes.
+    Returns the new handles, in journal order.
+    """
+    handles = []
+    for job in journal.pending:
+        tags = job.tags if RESUMED_TAG in job.tags else job.tags + (RESUMED_TAG,)
+        handles.append(
+            service.scheduler.submit(
+                job.requests,
+                priority=job.priority,
+                tags=tags,
+                job_id=job.job_id,
+            )
+        )
+    return handles

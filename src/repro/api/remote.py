@@ -42,11 +42,14 @@ import pickle
 import socket
 import sys
 import threading
+import time
+import weakref
 from typing import (
     TYPE_CHECKING,
     Any,
     Callable,
     Dict,
+    Iterable,
     Iterator,
     List,
     Optional,
@@ -56,11 +59,13 @@ from typing import (
     Union,
 )
 
+from repro.api import shard as _shard
 from repro.api.backends import ExecutionBackend, SubprocessShardBackend
 from repro.api.jobs import JobCancelled, JobEvent
 from repro.api.matrix import ScenarioMatrix, expand_many
 from repro.api.request import SimulationRequest
 from repro.api.results import ResultSet
+from repro.api.retry import RetryPolicy
 from repro.api.shard import (
     ShardTask,
     ShardWorkerError,
@@ -117,6 +122,43 @@ def recv_json(stream) -> Optional[Dict[str, Any]]:
     return json.loads(payload.decode("utf-8"))
 
 
+def _close_sockets_after_fork(owner, sockets: Callable[[Any], Iterable[Any]]) -> None:
+    """Close ``owner``'s sockets in any child this process forks.
+
+    The fork and fork-pool backends fork workers that inherit every open
+    file descriptor.  A worker orphaned by a server crash (``kill -9``)
+    would otherwise keep the listen port alive — new clients dial into a
+    backlog nobody accepts and hang instead of getting a prompt
+    connection-refused — and keep established client connections from
+    seeing EOF until the last worker exits.  Closing the descriptors in
+    the child only drops the child's references; the parent's sockets are
+    untouched.
+
+    ``os.register_at_fork`` callbacks cannot be unregistered, so the
+    callback holds a weakref and turns into a no-op once the owner is
+    collected.  It must not take locks: another thread may hold them at
+    fork time and will not exist in the child to release them.  And it
+    must close the raw descriptor, not call ``socket.close()``: the
+    connection handlers hold ``makefile()`` streams whose io-references
+    make ``close()`` defer the real close indefinitely in the child.
+    """
+    ref = weakref.ref(owner)
+
+    def close_in_child() -> None:
+        alive = ref()
+        if alive is None:
+            return
+        for sock in list(sockets(alive)):
+            try:
+                fd = sock.detach()
+                if fd >= 0:
+                    os.close(fd)
+            except Exception:  # pragma: no cover - best effort in the child
+                pass
+
+    os.register_at_fork(after_in_child=close_in_child)
+
+
 # --------------------------------------------------------------------------- #
 # Server
 # --------------------------------------------------------------------------- #
@@ -158,6 +200,11 @@ class JobServer:
         self.host, self.port = self._sock.getsockname()[:2]
         self._closed = threading.Event()
         self._accept_thread: Optional[threading.Thread] = None
+        self._conns: Set[socket.socket] = set()
+        self._conns_lock = threading.Lock()
+        _close_sockets_after_fork(
+            self, lambda server: [server._sock, *server._conns]
+        )
 
     @property
     def address(self) -> str:
@@ -182,6 +229,35 @@ class JobServer:
         except OSError:  # pragma: no cover - already closed
             pass
 
+    def drain(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: stop accepting, stop jobs at their next round
+        boundary, checkpoint the journal, return.
+
+        With a journal attached its ``draining`` flag is set first, so the
+        ``cancelled`` events this induces are *not* journaled as terminal —
+        the interrupted jobs stay pending and resume on the next start
+        (their completed points are already journaled and disk-cached).
+        """
+        self.close()
+        journal = self.service.journal
+        if journal is not None:
+            journal.draining = True
+        scheduler = self.service._scheduler
+        if scheduler is not None:
+            for job in scheduler.jobs():
+                if not job.done:
+                    job.cancel()
+            deadline = time.monotonic() + timeout
+            for job in scheduler.jobs():
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                job._finished.wait(remaining)
+            scheduler.close()
+        if journal is not None:
+            journal.checkpoint()
+            journal.close()
+
     def _accept_loop(self) -> None:
         self._sock.settimeout(0.2)
         while not self._closed.is_set():
@@ -191,6 +267,8 @@ class JobServer:
                 continue
             except OSError:
                 return
+            with self._conns_lock:
+                self._conns.add(conn)
             threading.Thread(
                 target=self._handle_connection, args=(conn,), daemon=True
             ).start()
@@ -225,10 +303,16 @@ class JobServer:
                 if handle is None:
                     send_json(stream, {"ok": False, "error": "unknown job"})
                 else:
+                    after_seq = message.get("after_seq")
                     send_json(stream, {"ok": True, "job": handle.job_id})
                     # An observer does not own the job: its disconnect must
                     # not cancel work the submitter is still waiting on.
-                    self._stream_job(stream, handle, owner=False)
+                    self._stream_job(
+                        stream,
+                        handle,
+                        owner=False,
+                        after_seq=int(after_seq) if after_seq is not None else None,
+                    )
             elif op == "cancel":
                 handle = self.service.scheduler.get_job(str(message.get("job")))
                 send_json(
@@ -245,6 +329,8 @@ class JobServer:
                     closer()
                 except OSError:
                     pass
+            with self._conns_lock:
+                self._conns.discard(conn)
 
     def _serve_submit(self, stream, message: Dict[str, Any]) -> None:
         protocol = message.get("protocol", REMOTE_PROTOCOL_VERSION)
@@ -274,14 +360,28 @@ class JobServer:
             send_json(stream, {"ok": False, "error": f"bad submit frame: {exc}"})
             return
         send_json(stream, {"ok": True, "job": handle.job_id})
-        self._stream_job(stream, handle, owner=True)
+        # ``on_disconnect: "keep"`` marks a reconnecting client: its job
+        # must survive a dropped connection (it will re-attach by id).
+        # The protocol default stays "cancel" so old clients keep the
+        # nobody-is-waiting-anymore semantics.
+        self._stream_job(
+            stream, handle, owner=message.get("on_disconnect", "cancel") != "keep"
+        )
 
-    def _stream_job(self, stream, handle, owner: bool = True) -> None:
+    def _stream_job(
+        self,
+        stream,
+        handle,
+        owner: bool = True,
+        after_seq: Optional[int] = None,
+    ) -> None:
         """Forward a job's events, watching for in-band cancel frames.
 
         ``owner`` marks the submitting connection: only *its* disconnect
         cancels the job (nobody is waiting for the answer); an observer
         attached via the ``events`` op can come and go freely.
+        ``after_seq`` resumes a stream mid-way (events at or below it are
+        skipped — the reconnect replay path).
         """
         stop = threading.Event()
 
@@ -302,7 +402,7 @@ class JobServer:
         watcher = threading.Thread(target=watch, daemon=True)
         watcher.start()
         try:
-            for event in handle.events():
+            for event in handle.events(after_seq=after_seq):
                 send_json(stream, {"event": event.as_dict()})
             try:
                 result = handle.result()
@@ -336,7 +436,19 @@ class RemoteJobHandle:
     rehydrates) the final :class:`ResultSet`, :meth:`cancel` asks the
     server to stop.  One consumer at a time: the handle owns a single
     socket.
+
+    When constructed by a client whose :class:`~repro.api.retry.RetryPolicy`
+    allows ``reconnect``, a dropped connection (reset, EOF, read timeout)
+    is transparent: the handle re-attaches by job id with the policy's
+    backoff and resumes the stream from the last seen event ``seq`` — the
+    server replays only the gap, and duplicates are filtered here, so a
+    flaky network no longer kills a client sweep.
     """
+
+    #: Errors a reconnect may heal.  A read timeout is included because a
+    #: timed-out buffered stream may hold a partial frame — the stream is
+    #: never reused after any of these, only replaced by a fresh attach.
+    _RETRYABLE = (OSError, EOFError, ValueError)
 
     def __init__(
         self,
@@ -344,24 +456,86 @@ class RemoteJobHandle:
         requests: Sequence[SimulationRequest],
         sock: socket.socket,
         stream,
+        client: Optional["RemoteServiceClient"] = None,
     ) -> None:
         self.job_id = job_id
         self.requests = tuple(requests)
         self.state = "queued"
         self._sock = sock
         self._stream = stream
+        self._client = client
         self._final: Optional[Dict[str, Any]] = None
         self._drained = False
+        self._last_seq = -1
+        self._deadline: Optional[float] = None
+        self._timeout: Optional[float] = None
 
     @property
     def done(self) -> bool:
         return self._drained
 
+    # ------------------------------------------------------------------ #
+    # Stream plumbing
+    # ------------------------------------------------------------------ #
+    def _io_timeout(self) -> Optional[float]:
+        if self._client is not None:
+            return self._client.retry.io_timeout
+        return None
+
+    def _recv(self) -> Optional[Dict[str, Any]]:
+        """One frame, honoring the result() deadline and the io timeout."""
+        limit = self._io_timeout()
+        if self._deadline is not None:
+            remaining = self._deadline - time.monotonic()
+            limit = remaining if limit is None else min(limit, remaining)
+        try:
+            self._sock.settimeout(limit)
+        except OSError:
+            pass  # closed underneath us; the read below reports it
+        return recv_json(self._stream)
+
+    def _expired(self) -> bool:
+        return self._deadline is not None and time.monotonic() >= self._deadline
+
+    def _try_reconnect(self) -> bool:
+        """Replace the dead socket via attach-by-id; True on success."""
+        if self._client is None or not self._client.retry.reconnect:
+            return False
+        self._close()
+        try:
+            fresh = self._client.attach(self.job_id, after_seq=self._last_seq)
+        except (OSError, EOFError, RemoteJobError):
+            return False
+        self._sock, self._stream = fresh._sock, fresh._stream
+        return True
+
     def events(self) -> Iterator[JobEvent]:
         """Stream events until the terminal one; then the stream ends."""
         while not self._drained:
-            message = recv_json(self._stream)
+            if self._expired():
+                self._close()
+                raise TimeoutError(
+                    f"job {self.job_id} still {self.state} after {self._timeout}s"
+                )
+            try:
+                message = self._recv()
+            except self._RETRYABLE as exc:
+                if self._expired():
+                    self._close()
+                    raise TimeoutError(
+                        f"job {self.job_id} still {self.state} "
+                        f"after {self._timeout}s"
+                    ) from exc
+                if self._try_reconnect():
+                    continue
+                self._drained = True
+                self._close()
+                raise ConnectionError(
+                    f"lost connection to job {self.job_id}: {exc}"
+                ) from exc
             if message is None:
+                if self._try_reconnect():
+                    continue
                 self._drained = True
                 self._close()
                 raise ConnectionError(
@@ -369,28 +543,44 @@ class RemoteJobHandle:
                 )
             if "event" not in message:
                 # The final frame arrived (an events-replay of a finished
-                # job can open with it).
+                # job can open with it, and it always follows the terminal
+                # event).
                 self._final = message
                 self._drained = True
                 self._close()
                 return
             event = JobEvent.from_dict(message["event"])
+            if event.seq <= self._last_seq:
+                continue  # a reconnect replayed something already seen
+            self._last_seq = event.seq
             if event.kind in ("queued", "point-started"):
                 self.state = "running"
-            yield event
             if event.terminal:
-                self.state = event.kind if event.kind != "done" else "done"
-                self._final = recv_json(self._stream)
-                self._drained = True
-                self._close()
-                return
+                self.state = event.kind
+            yield event
 
     def result(self, timeout: Optional[float] = None) -> ResultSet:
-        """Drain remaining events and return the rehydrated result set."""
+        """Drain remaining events and return the rehydrated result set.
+
+        ``timeout`` is an overall deadline for this call only: it bounds
+        every read, and — unlike the old behavior, which left the override
+        on the socket — the connection's default io timeout is restored
+        afterwards whether the call returns, times out, or raises.
+        """
         if timeout is not None:
-            self._sock.settimeout(timeout)
-        for _event in self.events():
-            pass
+            self._timeout = timeout
+            self._deadline = time.monotonic() + timeout
+        try:
+            for _event in self.events():
+                pass
+        finally:
+            self._deadline = None
+            self._timeout = None
+            if not self._drained:
+                try:
+                    self._sock.settimeout(self._io_timeout())
+                except OSError:
+                    pass
         final = self._final
         if final is None:
             raise ConnectionError(f"no final frame for job {self.job_id}")
@@ -437,30 +627,60 @@ class RemoteServiceClient:
     """
 
     def __init__(
-        self, address: Union[str, Tuple[str, int]], timeout: Optional[float] = None
+        self,
+        address: Union[str, Tuple[str, int]],
+        timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.address = parse_address(address)
         self.timeout = timeout
+        if retry is None:
+            # Legacy ``timeout`` maps onto the policy's two timeout knobs;
+            # everything else gets the uniform defaults.
+            retry = (
+                RetryPolicy()
+                if timeout is None
+                else RetryPolicy(connect_timeout=timeout, io_timeout=timeout)
+            )
+        self.retry = retry
         self._workloads: Optional[List[str]] = None
 
     # ------------------------------------------------------------------ #
     # Plumbing
     # ------------------------------------------------------------------ #
-    def _connect(self):
-        sock = socket.create_connection(self.address, timeout=self.timeout)
+    def _dial(self):
+        """One connection attempt (the policy's drivers wrap this)."""
+        sock = socket.create_connection(
+            self.address, timeout=self.retry.connect_timeout
+        )
+        sock.settimeout(self.retry.io_timeout)
         return sock, sock.makefile("rwb")
 
+    def _connect(self):
+        return self.retry.call(self._dial, token=f"dial:{self.address}")
+
     def _roundtrip(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        sock, stream = self._connect()
-        try:
-            send_json(stream, message)
-            answer = recv_json(stream)
-        finally:
-            stream.close()
-            sock.close()
-        if answer is None:
-            raise ConnectionError(f"no answer from {self.address} for {message['op']}")
-        return answer
+        # One-shot ops (ping / workloads / cancel) are idempotent, so the
+        # whole exchange retries under the policy, not just the dial.
+        def attempt() -> Dict[str, Any]:
+            sock, stream = self._dial()
+            try:
+                send_json(stream, message)
+                answer = recv_json(stream)
+            finally:
+                stream.close()
+                sock.close()
+            if answer is None:
+                raise ConnectionError(
+                    f"no answer from {self.address} for {message['op']}"
+                )
+            return answer
+
+        return self.retry.call(
+            attempt,
+            retry_on=(OSError, EOFError),
+            token=f"{message.get('op')}:{self.address}",
+        )
 
     # ------------------------------------------------------------------ #
     # Service surface
@@ -497,6 +717,8 @@ class RemoteServiceClient:
         tags: Sequence[str] = (),
     ) -> RemoteJobHandle:
         requests = self.expand(what)
+        # Submission is NOT idempotent (a retry could create a second job),
+        # so only the dial retries; the submit exchange itself is one shot.
         sock, stream = self._connect()
         try:
             send_json(
@@ -507,6 +729,9 @@ class RemoteServiceClient:
                     "requests": [request.as_dict() for request in requests],
                     "priority": priority,
                     "tags": list(tags),
+                    # A reconnecting client's job must survive its dropped
+                    # connections; it re-attaches by id.
+                    "on_disconnect": "keep" if self.retry.reconnect else "cancel",
                 },
             )
             ack = recv_json(stream)
@@ -518,25 +743,39 @@ class RemoteServiceClient:
             raise RemoteJobError(
                 (ack or {}).get("error", f"submit rejected by {self.address}")
             )
-        return RemoteJobHandle(ack["job"], requests, sock, stream)
+        return RemoteJobHandle(ack["job"], requests, sock, stream, client=self)
 
-    def attach(self, job_id: str) -> RemoteJobHandle:
+    def attach(self, job_id: str, after_seq: Optional[int] = None) -> RemoteJobHandle:
         """Re-observe an existing server-side job (the ``events`` op).
 
         History is replayed first, so attaching to a finished job still
-        yields its complete event stream and final result.
+        yields its complete event stream and final result.  ``after_seq``
+        resumes mid-stream: events at or below it are skipped server-side
+        (what :class:`RemoteJobHandle` reconnection uses).  Attaching is
+        idempotent, so the whole exchange retries under the policy.
         """
-        sock, stream = self._connect()
-        try:
-            send_json(stream, {"op": "events", "job": job_id})
-            ack = recv_json(stream)
-        except BaseException:
-            sock.close()
-            raise
-        if not ack or not ack.get("ok"):
-            sock.close()
-            raise RemoteJobError((ack or {}).get("error", f"unknown job {job_id!r}"))
-        return RemoteJobHandle(job_id, (), sock, stream)
+
+        def attempt() -> RemoteJobHandle:
+            sock, stream = self._dial()
+            message: Dict[str, Any] = {"op": "events", "job": job_id}
+            if after_seq is not None and after_seq >= 0:
+                message["after_seq"] = after_seq
+            try:
+                send_json(stream, message)
+                ack = recv_json(stream)
+            except BaseException:
+                sock.close()
+                raise
+            if not ack or not ack.get("ok"):
+                sock.close()
+                raise RemoteJobError(
+                    (ack or {}).get("error", f"unknown job {job_id!r}")
+                )
+            return RemoteJobHandle(job_id, (), sock, stream, client=self)
+
+        return self.retry.call(
+            attempt, retry_on=(OSError, EOFError), token=f"attach:{job_id}"
+        )
 
     def run(self, what: "RequestsLike") -> ResultSet:
         """The blocking convenience, exactly like ``SimulationService.run``."""
@@ -561,8 +800,9 @@ class RemoteBackend(ExecutionBackend):
         address: Union[str, Tuple[str, int]],
         listener: Optional[Callable[[JobEvent], None]] = None,
         timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
-        self.client = RemoteServiceClient(address, timeout=timeout)
+        self.client = RemoteServiceClient(address, timeout=timeout, retry=retry)
         self.listener = listener
 
     def execute(self, artifacts, requests, jobs):
@@ -626,10 +866,15 @@ class RemoteShardBackend(ExecutionBackend):
         port: int = 0,
         worker_wait: float = 30.0,
         heartbeat_interval: Optional[float] = 10.0,
-        ping_timeout: float = 5.0,
+        ping_timeout: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
+        self.retry = retry if retry is not None else RetryPolicy()
         self.worker_wait = worker_wait
-        self.ping_timeout = ping_timeout
+        # The explicit knob wins; otherwise the policy's heartbeat budget.
+        self.ping_timeout = (
+            ping_timeout if ping_timeout is not None else self.retry.heartbeat_timeout
+        )
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
@@ -640,6 +885,13 @@ class RemoteShardBackend(ExecutionBackend):
         self._registered = threading.Condition(self._lock)
         self._workers: Dict[str, _Worker] = {}
         self._worker_ids = iter(range(1, 1 << 30))
+        _close_sockets_after_fork(
+            self,
+            lambda backend: [
+                backend._sock,
+                *[worker.conn for worker in backend._workers.values()],
+            ],
+        )
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="repro-remote-shard-accept", daemon=True
         )
@@ -688,7 +940,7 @@ class RemoteShardBackend(ExecutionBackend):
             except OSError:
                 return
             try:
-                conn.settimeout(10.0)
+                conn.settimeout(self.retry.connect_timeout)
                 stream = conn.makefile("rwb")
                 hello = recv_json(stream)
                 if (
@@ -905,14 +1157,26 @@ class RemoteShardBackend(ExecutionBackend):
 # --------------------------------------------------------------------------- #
 # Worker entry point
 # --------------------------------------------------------------------------- #
-def worker_main(connect: Union[str, Tuple[str, int]]) -> int:
+def worker_main(
+    connect: Union[str, Tuple[str, int]],
+    retry: Optional[RetryPolicy] = None,
+) -> int:
     """Dial a :class:`RemoteShardBackend`, register, and serve tasks.
 
     The socket twin of the pipe worker loop in :mod:`repro.api.shard`:
     tagged frames in (``TAG_TASK`` :class:`ShardTask` payloads, pings),
     tagged frames out (pickled result lists, pongs), exit 0 on EOF.
     """
-    sock = socket.create_connection(parse_address(connect))
+    from repro.testing.faults import activate_from_env
+
+    activate_from_env()
+    policy = retry if retry is not None else RetryPolicy()
+    address = parse_address(connect)
+    sock = policy.call(
+        lambda: socket.create_connection(address, timeout=policy.connect_timeout),
+        token=f"worker-dial:{address}",
+    )
+    sock.settimeout(None)
     stream = sock.makefile("rwb")
     send_json(
         stream,
@@ -936,6 +1200,8 @@ def worker_main(connect: Union[str, Tuple[str, int]]) -> int:
         if tag == TAG_PING:
             write_frame(stream, TAG_PONG)
         elif tag == TAG_TASK:
+            if _shard.FAULT_HOOK is not None:
+                _shard.FAULT_HOOK("worker-task")
             results = run_task(ShardTask.from_bytes(body))
             write_frame(
                 stream,

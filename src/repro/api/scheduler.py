@@ -37,25 +37,34 @@ from repro.api.request import SimulationRequest
 from repro.api.results import ResultSet
 
 if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.api.journal import JobJournal
     from repro.api.service import RequestsLike, SimulationService
 
 
 class Scheduler:
-    """Multiplex prioritized jobs over one service's backend and cache."""
+    """Multiplex prioritized jobs over one service's backend and cache.
+
+    With a :class:`~repro.api.journal.JobJournal` attached, every
+    submission and durable event is written ahead to the journal, and the
+    event-``seq`` / job-id counters restart *above* the journal's recovered
+    maxima, so ids and seqs stay monotonic across process restarts.
+    """
 
     def __init__(
         self,
         service: "SimulationService",
         workers: int = 1,
         paused: bool = False,
+        journal: Optional["JobJournal"] = None,
     ) -> None:
         self.service = service
+        self.journal = journal
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
         self._heap: List[Tuple[int, int, JobHandle]] = []
         self._order = itertools.count()
-        self._seq = itertools.count()
-        self._job_ids = itertools.count(1)
+        self._seq = itertools.count(journal.next_seq if journal else 0)
+        self._job_ids = itertools.count(journal.next_job_number if journal else 1)
         self._jobs: Dict[str, JobHandle] = {}
         #: (workload name, SimulationKey) → Event set when its execution ends.
         self._inflight: Dict[Tuple[str, tuple], threading.Event] = {}
@@ -80,16 +89,21 @@ class Scheduler:
         what: "RequestsLike",
         priority: int = 0,
         tags: Sequence[str] = (),
+        job_id: Optional[str] = None,
     ) -> JobHandle:
         """Queue a job for ``what`` (expanded eagerly, in the caller).
 
         Invalid input (unknown workloads/designs surface at expansion)
         raises here, synchronously; everything later is reported through
         the handle.  An empty expansion completes immediately.
+
+        ``job_id`` overrides the allocated id — used by journal resume so
+        an interrupted job keeps its identity (clients re-attach by id)
+        across restarts.
         """
         requests = self.service.expand(what)
         handle = JobHandle(
-            f"job-{next(self._job_ids)}",
+            job_id if job_id is not None else f"job-{next(self._job_ids)}",
             requests,
             priority=priority,
             tags=tuple(tags),
@@ -98,6 +112,10 @@ class Scheduler:
             if self._closed:
                 raise RuntimeError("scheduler is closed")
             self._jobs[handle.job_id] = handle
+        if self.journal is not None:
+            # Write-ahead: the submission is durable before any event or
+            # execution, so a crash from here on leaves a resumable job.
+            self.journal.job_submitted(handle)
         self._emit(
             handle,
             "queued",
@@ -129,6 +147,11 @@ class Scheduler:
         """A previously submitted job's handle (``None`` when unknown)."""
         with self._lock:
             return self._jobs.get(job_id)
+
+    def jobs(self) -> List[JobHandle]:
+        """Every job this scheduler has seen (the drain path iterates it)."""
+        with self._lock:
+            return list(self._jobs.values())
 
     def add_listener(self, listener: Callable[[JobEvent], None]) -> None:
         """Observe every event of every job (the CLI progress line hook)."""
@@ -181,8 +204,25 @@ class Scheduler:
             request=request,
             payload=payload,
         )
+        if self.journal is not None:
+            # Write-ahead: durable before any subscriber observes it.
+            self.journal.job_event(event)
         handle._emit(event, self._listeners)
         return event
+
+    def _point_payload(self, result) -> dict:
+        """The payload of a point-done/cache-hit event.
+
+        The result content digest is only computed when a journal needs it
+        for per-point completion records; the common in-memory path stays
+        digest-free.
+        """
+        payload = {"cycles": result.cycles}
+        if self.journal is not None:
+            from repro.api.journal import result_digest
+
+            payload["digest"] = result_digest(result)
+        return payload
 
     def _dispatch(self) -> None:
         while True:
@@ -223,7 +263,7 @@ class Scheduler:
                 resolved[request] = cached
                 cache_hits += 1
                 self._emit(
-                    handle, "cache-hit", request, payload={"cycles": cached.cycles}
+                    handle, "cache-hit", request, payload=self._point_payload(cached)
                 )
             else:
                 groups.setdefault(request.workload.name, []).append(request)
@@ -283,7 +323,7 @@ class Scheduler:
                         )
                     resolved[request] = result
                     self._emit(
-                        handle, "point-done", request, payload={"cycles": result.cycles}
+                        handle, "point-done", request, payload=self._point_payload(result)
                     )
                 self._release(
                     (request.workload.name, request.key()) for request in round_requests
@@ -317,13 +357,13 @@ class Scheduler:
                         )
                     resolved[request] = result
                     self._emit(
-                        handle, "point-done", request, payload={"cycles": result.cycles}
+                        handle, "point-done", request, payload=self._point_payload(result)
                     )
                 else:
                     resolved[request] = result
                     cache_hits += 1
                     self._emit(
-                        handle, "cache-hit", request, payload={"cycles": result.cycles}
+                        handle, "cache-hit", request, payload=self._point_payload(result)
                     )
 
         if cancelled or handle.cancel_requested:

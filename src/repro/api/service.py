@@ -25,6 +25,7 @@ from repro.api.results import ResultSet
 if TYPE_CHECKING:  # pragma: no cover - types only.  The pipeline and runner
     # modules import the experiments package, whose modules import repro.api
     # at module scope; runtime imports below are deferred to break the cycle.
+    from repro.api.journal import JobJournal
     from repro.api.scheduler import Scheduler
     from repro.experiments.runner import WorkloadArtifacts
     from repro.pipeline.artifacts import ArtifactCache
@@ -49,6 +50,7 @@ class SimulationService:
         cache: Optional[ArtifactCache] = None,
         jobs: int = 1,
         backend: Optional[Union[str, ExecutionBackend]] = None,
+        journal: Optional["JobJournal"] = None,
     ) -> None:
         if pipeline is None:
             from repro.pipeline.pipeline import ExperimentPipeline
@@ -58,6 +60,8 @@ class SimulationService:
         self.backend = (
             backend if isinstance(backend, ExecutionBackend) else make_backend(backend)
         )
+        #: Optional write-ahead journal the scheduler records jobs into.
+        self.journal = journal
         #: Artifacts for non-registry workload refs, keyed by workload name.
         self._extra: Dict[str, WorkloadArtifacts] = {}
         self._scheduler: Optional[Scheduler] = None
@@ -161,7 +165,7 @@ class SimulationService:
             if self._scheduler is None:
                 from repro.api.scheduler import Scheduler
 
-                self._scheduler = Scheduler(self)
+                self._scheduler = Scheduler(self, journal=self.journal)
             return self._scheduler
 
     def submit(
@@ -259,6 +263,7 @@ def build_service(
     use_cache: bool = True,
     jobs: int = 0,
     backend: Optional[Union[str, ExecutionBackend]] = None,
+    journal: Optional["JobJournal"] = None,
 ) -> SimulationService:
     """Construct a service from CLI-style options (the CLI's front door)."""
     from repro.pipeline.pipeline import build_pipeline
@@ -266,7 +271,7 @@ def build_service(
     pipeline = build_pipeline(
         workloads=workloads, cache_dir=cache_dir, use_cache=use_cache, jobs=jobs
     )
-    return SimulationService(pipeline, backend=backend)
+    return SimulationService(pipeline, backend=backend, journal=journal)
 
 
 def default_context(

@@ -26,6 +26,11 @@ from typing import BinaryIO, List, Optional, Tuple
 #: Framing header: payload byte count as an unsigned 64-bit big-endian int.
 _HEADER = struct.Struct(">Q")
 
+#: Fault-injection hook (see :mod:`repro.testing.faults`).  ``None`` in
+#: production; when armed it is called as ``FAULT_HOOK(site, **context)``
+#: at every framing/worker site and may raise or kill the process.
+FAULT_HOOK = None
+
 #: Bump when the task layout changes; workers reject other versions.
 SHARD_FORMAT_VERSION = 1
 
@@ -106,6 +111,8 @@ class ShardTask:
 # Framing
 # --------------------------------------------------------------------------- #
 def write_frame(stream: BinaryIO, payload: bytes) -> None:
+    if FAULT_HOOK is not None:
+        FAULT_HOOK("frame-write", stream=stream, payload=payload)
     stream.write(_HEADER.pack(len(payload)))
     stream.write(payload)
     stream.flush()
@@ -113,6 +120,8 @@ def write_frame(stream: BinaryIO, payload: bytes) -> None:
 
 def read_frame(stream: BinaryIO) -> Optional[bytes]:
     """The next frame's payload, or ``None`` on a clean EOF."""
+    if FAULT_HOOK is not None:
+        FAULT_HOOK("frame-read", stream=stream)
     header = stream.read(_HEADER.size)
     if not header:
         return None
@@ -156,12 +165,17 @@ def run_task(task: ShardTask) -> List["SimulationResult"]:  # noqa: F821
 
 def main() -> int:
     """The worker loop: framed tasks on stdin, framed result lists on stdout."""
+    from repro.testing.faults import activate_from_env
+
+    activate_from_env()
     stdin = sys.stdin.buffer
     stdout = sys.stdout.buffer
     while True:
         payload = read_frame(stdin)
         if payload is None:
             return 0
+        if FAULT_HOOK is not None:
+            FAULT_HOOK("worker-task")
         results = run_task(ShardTask.from_bytes(payload))
         write_frame(stdout, pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL))
 

@@ -228,6 +228,19 @@ def _build_serve_parser() -> argparse.ArgumentParser:
                         help="artifact cache directory")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk artifact cache")
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="durable state directory: jobs are recorded in an append-only "
+        "write-ahead journal (DIR/journal.jsonl) so a crashed or killed "
+        "server resumes interrupted jobs on restart, re-executing only "
+        "their unfinished points (completed points replay as disk-cache "
+        "hits).  SIGTERM/SIGINT drain running jobs at the next round "
+        "boundary, checkpoint the journal, and exit 0.  Unless --cache-dir "
+        "is given, the artifact cache lives in DIR/cache, making the "
+        "state dir self-contained.",
+    )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     _add_engine_tier_argument(parser)
     return parser
@@ -235,35 +248,76 @@ def _build_serve_parser() -> argparse.ArgumentParser:
 
 def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     """``python -m repro serve --port N`` — the long-lived job server."""
+    import signal
+
+    from repro.api.journal import JobJournal, resume_jobs
     from repro.api.remote import JobServer
 
     args = _build_serve_parser().parse_args(argv)
     _apply_engine_tier(args.engine_tier)
+    journal = None
+    cache_dir = args.cache_dir
+    if args.state_dir is not None:
+        journal = JobJournal(args.state_dir)
+        if cache_dir is None:
+            # Self-contained state dir: journal and artifact cache travel
+            # together, so "resume = journal + disk cache" needs one path.
+            cache_dir = os.path.join(args.state_dir, "cache")
     try:
         service = build_service(
             workloads=args.workloads,
-            cache_dir=args.cache_dir,
+            cache_dir=cache_dir,
             use_cache=not args.no_cache,
             jobs=args.jobs,
             backend=args.backend,
+            journal=journal,
         )
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
     server = JobServer(service, host=args.host, port=args.port)
+    resumed = resume_jobs(service, journal) if journal is not None else []
     print(
         f"repro serve: listening on {server.address} "
         f"(backend {service.backend.name}, {len(service.workloads)} workloads, "
         f"{service.jobs} jobs)",
         flush=True,
     )
+    for handle in resumed:
+        print(
+            f"repro serve: resumed {handle.job_id} "
+            f"({len(handle.requests)} points) from the journal",
+            flush=True,
+        )
+
+    # A signal only closes the listen socket (signal-handler-safe); the
+    # drain — stop jobs at their round boundary, journal a checkpoint —
+    # runs below, in the main thread, after serve_forever returns.
+    def _request_shutdown(signum, _frame):
+        print(f"repro serve: caught signal {signum}, draining", flush=True)
+        server.close()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, _request_shutdown)
+
+    # Fork-based backend workers must NOT inherit the drain handlers:
+    # multiprocessing.Pool.terminate() stops stragglers with SIGTERM, and
+    # a worker that swallows that signal into _request_shutdown never
+    # exits — the parent's join() inside Pool.__exit__ then wedges the
+    # dispatcher thread (and with it the drain) forever.
+    def _reset_signals_in_child() -> None:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, signal.SIG_DFL)
+
+    os.register_at_fork(after_in_child=_reset_signals_in_child)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
-        server.close()
+        server.drain()
         service.close()
+    print("repro serve: drained, exiting", flush=True)
     return 0
 
 

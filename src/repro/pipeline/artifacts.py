@@ -19,15 +19,26 @@ are treated as misses and overwritten.
 
 from __future__ import annotations
 
+import logging
 import os
 import pickle
 import re
 import tempfile
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Set
+
+logger = logging.getLogger(__name__)
 
 #: Bump whenever the pickled payload layout changes incompatibly.
 CACHE_FORMAT_VERSION = 1
+
+#: Fault-injection hook (see :mod:`repro.testing.faults`).  ``None`` in
+#: production; when armed it is called around the atomic-store window.
+FAULT_HOOK = None
+
+#: Entries already reported as quarantined, so each corrupt file logs once
+#: per process instead of once per read.
+_QUARANTINE_LOGGED: Set[str] = set()
 
 #: Environment variable that switches the default disk cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -53,6 +64,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     memo_hits: int = 0
+    quarantined: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -60,6 +72,7 @@ class CacheStats:
             "disk_misses": self.misses,
             "disk_stores": self.stores,
             "memo_hits": self.memo_hits,
+            "quarantined": self.quarantined,
         }
 
 
@@ -108,13 +121,32 @@ class ArtifactCache:
         try:
             with open(path, "rb") as handle:
                 payload = pickle.load(handle)
-        except Exception:
-            # A corrupt / truncated / incompatible entry is simply a miss.
+        except Exception as error:
+            # A corrupt / truncated / incompatible entry is a miss — but
+            # left in place it would be re-read and re-missed every run, so
+            # quarantine it aside (the recompute re-puts at the same path).
+            self._quarantine(path, error)
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         self._memo[memo_key] = payload
         return payload
+
+    def _quarantine(self, path: str, error: Exception) -> None:
+        """Move a corrupt entry to ``<path>.corrupt`` and log once."""
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            return
+        self.stats.quarantined += 1
+        if path not in _QUARANTINE_LOGGED:
+            _QUARANTINE_LOGGED.add(path)
+            logger.warning(
+                "artifact cache: quarantined corrupt entry %s -> %s.corrupt (%s)",
+                path,
+                os.path.basename(path),
+                error,
+            )
 
     def memoize(self, kind: str, name: str, digest: str, payload: Any) -> None:
         """Seed only the in-memory level (e.g. with a payload a worker
@@ -133,6 +165,10 @@ class ArtifactCache:
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            if FAULT_HOOK is not None:
+                # The crash window atomicity protects: temp written, not
+                # yet visible under its final name.
+                FAULT_HOOK("cache-put", path=path, temp_path=temp_path)
             os.replace(temp_path, path)
         except BaseException:
             try:
@@ -140,6 +176,8 @@ class ArtifactCache:
             except OSError:
                 pass
             raise
+        if FAULT_HOOK is not None:
+            FAULT_HOOK("cache-stored", path=path)
         self.stats.stores += 1
 
     def load_or_compute(self, kind: str, name: str, digest: str, compute) -> Any:

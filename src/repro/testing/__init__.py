@@ -1,0 +1,21 @@
+"""Deterministic test harnesses (fault injection) for the service stack."""
+
+from repro.testing.faults import (
+    DIE_STATUS,
+    FAULT_PLAN_ENV,
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    activate,
+    activate_from_env,
+)
+
+__all__ = [
+    "DIE_STATUS",
+    "FAULT_PLAN_ENV",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
+    "activate",
+    "activate_from_env",
+]

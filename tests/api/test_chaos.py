@@ -1,0 +1,373 @@
+"""Deterministic chaos: every fault plan ends in byte-identical tables or
+a typed error — never a hang, never a corrupted cache.
+
+Each test arms a :class:`repro.testing.faults.FaultPlan` (in-process via
+``activate`` or across process boundaries via :data:`FAULT_PLAN_ENV`) and
+asserts the stack's recovery contract: delayed and torn frames, dying
+workers, crashes inside the artifact cache's atomic-rename window, corrupt
+stores, and — the flagship — ``kill -9`` of a ``repro serve --state-dir``
+process mid-sweep followed by a restart that resumes the journaled job to
+the same final tables.  Every blocking wait carries a timeout.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.api import ScenarioMatrix, ShardWorkerError, SimulationService
+from repro.api.journal import JOURNAL_NAME, JobJournal
+from repro.api.remote import RemoteServiceClient, RemoteShardBackend
+from repro.pipeline import ArtifactCache
+from repro.testing import (
+    DIE_STATUS,
+    FAULT_PLAN_ENV,
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    activate,
+)
+
+WORKLOAD = "ChaCha20_ct"
+SECOND_WORKLOAD = "SHA-256"
+
+MATRIX = ScenarioMatrix(designs=("unsafe-baseline", "cassandra"))
+
+#: Enough points that a mid-sweep kill lands mid-sweep, not after the end.
+BIG_MATRIX = ScenarioMatrix(
+    designs=("unsafe-baseline", "cassandra", "spt", "cassandra-lite")
+).extended(
+    ScenarioMatrix(designs=("cassandra",), flush_intervals=tuple(range(200, 1400, 50)))
+)
+
+RESULT_TIMEOUT = 300
+
+
+def serial_service(names=(WORKLOAD,), cache_root=None):
+    return SimulationService(
+        names=list(names),
+        jobs=1,
+        backend="serial",
+        cache=ArtifactCache(root=cache_root),
+    )
+
+
+@pytest.fixture(scope="module")
+def big_baseline():
+    """The uninterrupted serial answer the killed-and-resumed runs must match."""
+    return serial_service().run(BIG_MATRIX).to_json()
+
+
+def repro_env(fault_plan=None):
+    """A subprocess environment with ``repro`` importable (plus a plan)."""
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    env.pop(FAULT_PLAN_ENV, None)
+    if fault_plan is not None:
+        env[FAULT_PLAN_ENV] = fault_plan.to_json()
+    return env
+
+
+# --------------------------------------------------------------------------- #
+# Frame faults on the shard backends
+# --------------------------------------------------------------------------- #
+def test_delayed_frames_answer_bit_identically():
+    plan = FaultPlan.scripted(
+        Fault("frame-write", 0, "delay", delay=0.1),
+        Fault("frame-read", 1, "delay", delay=0.1),
+    )
+    with activate(plan, env=True) as active:
+        service = SimulationService(names=[WORKLOAD], jobs=1, backend="shard")
+        answer = service.submit(MATRIX).result(timeout=RESULT_TIMEOUT)
+        assert active.fired  # the plan really did stall frames
+    serial = serial_service().run(MATRIX)
+    assert answer.to_json() == serial.to_json()
+
+
+def test_worker_death_with_no_survivor_is_a_typed_error(monkeypatch):
+    plan = FaultPlan.scripted(Fault("worker-task", 0, "die"))
+    monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+    service = SimulationService(names=[WORKLOAD], jobs=1, backend="shard")
+    with pytest.raises(ShardWorkerError) as excinfo:
+        service.submit(MATRIX).result(timeout=RESULT_TIMEOUT)
+    assert excinfo.value.workload == WORKLOAD
+    assert excinfo.value.requests  # the pending work is named, not lost
+
+
+def test_truncated_result_frame_is_a_typed_error_not_a_hang(monkeypatch):
+    """The worker writes a torn result frame (true header, half payload):
+    the parent must surface a ShardWorkerError, never block on the rest."""
+    plan = FaultPlan.scripted(Fault("frame-write", 0, "truncate"))
+    monkeypatch.setenv(FAULT_PLAN_ENV, plan.to_json())
+    service = SimulationService(names=[WORKLOAD], jobs=1, backend="shard")
+    with pytest.raises(ShardWorkerError):
+        service.submit(MATRIX).result(timeout=RESULT_TIMEOUT)
+
+
+def spawn_remote_worker(address, fault_plan=None):
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            "import sys; from repro.api.remote import worker_main; "
+            f"sys.exit(worker_main({address!r}))",
+        ],
+        env=repro_env(fault_plan),
+    )
+
+
+def test_remote_worker_death_requeues_and_stays_bit_identical():
+    """One of two socket workers dies on its first task (an injected
+    ``os._exit``); the task requeues on the survivor and the final tables
+    match serial byte for byte."""
+    backend = RemoteShardBackend(heartbeat_interval=None)
+    doomed = spawn_remote_worker(
+        backend.address, FaultPlan.scripted(Fault("worker-task", 0, "die"))
+    )
+    survivor = spawn_remote_worker(backend.address)
+    try:
+        assert backend.wait_for_workers(2, timeout=60) == 2
+        service = SimulationService(
+            names=[WORKLOAD, SECOND_WORKLOAD], jobs=2, backend=backend
+        )
+        answer = service.submit(MATRIX).result(timeout=RESULT_TIMEOUT)
+        assert len(answer) == 4
+        assert service.pipeline.points_simulated == 4
+        doomed.wait(timeout=30)
+        assert doomed.returncode == DIE_STATUS  # the injected death, not a bug
+        assert len(backend.workers()) == 1
+        serial = serial_service(names=[WORKLOAD, SECOND_WORKLOAD]).run(MATRIX)
+        assert answer.to_json() == serial.to_json()
+    finally:
+        backend.close()
+        for process in (doomed, survivor):
+            process.wait(timeout=30)
+
+
+# --------------------------------------------------------------------------- #
+# Cache faults
+# --------------------------------------------------------------------------- #
+def test_cache_put_crash_leaves_no_partial_entry(tmp_path):
+    """A crash between the cache's temp write and its atomic rename is the
+    classic torn-write window: the put must fail loudly, leave neither a
+    partial entry nor a stray temp file, and a clean rerun heals."""
+    root = str(tmp_path)
+    # Put order is deterministic under the serial backend: workload
+    # artifacts, lowered trace, then one entry per simulation point.
+    plan = FaultPlan.scripted(Fault("cache-put", 2, "crash"))
+    with activate(plan) as active:
+        service = serial_service(cache_root=root)
+        with pytest.raises(InjectedFault):
+            service.submit(MATRIX).result(timeout=RESULT_TIMEOUT)
+        assert [fault.site for fault in active.fired] == ["cache-put"]
+    leftovers = [
+        name
+        for _dir, _sub, names in os.walk(root)
+        for name in names
+        if not name.endswith(".pkl")
+    ]
+    assert leftovers == []  # no temp files, no partial entries
+
+    healed = serial_service(cache_root=root)
+    answer = healed.submit(MATRIX).result(timeout=RESULT_TIMEOUT)
+    assert answer.to_json() == serial_service().run(MATRIX).to_json()
+
+
+def test_corrupt_store_is_quarantined_and_recomputed(tmp_path):
+    """An entry torn on disk *after* its atomic rename (bit rot, torn
+    write-back) is quarantined on the next read and recomputed to the
+    same bytes."""
+    root = str(tmp_path)
+    plan = FaultPlan.scripted(Fault("cache-stored", 2, "corrupt"))
+    with activate(plan) as active:
+        first = serial_service(cache_root=root)
+        answer = first.submit(MATRIX).result(timeout=RESULT_TIMEOUT)
+        assert [fault.action for fault in active.fired] == ["corrupt"]
+
+    rerun_cache = ArtifactCache(root=root)
+    rerun = SimulationService(
+        names=[WORKLOAD], jobs=1, backend="serial", cache=rerun_cache
+    )
+    again = rerun.submit(MATRIX).result(timeout=RESULT_TIMEOUT)
+    assert again.to_json() == answer.to_json()
+    assert rerun_cache.stats.quarantined == 1
+    quarantined = [
+        name
+        for _dir, _sub, names in os.walk(root)
+        for name in names
+        if name.endswith(".corrupt")
+    ]
+    assert len(quarantined) == 1
+
+
+# --------------------------------------------------------------------------- #
+# kill -9 / SIGTERM of `repro serve --state-dir`, then resume
+# --------------------------------------------------------------------------- #
+class ServeProcess:
+    """A ``repro serve --state-dir`` subprocess with captured stdout."""
+
+    def __init__(self, state_dir):
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--state-dir",
+                state_dir,
+                "--workloads",
+                WORKLOAD,
+                "--backend",
+                "serial",
+                "--jobs",
+                "1",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=repro_env(),
+            text=True,
+        )
+        self.lines = []
+        self._reader = threading.Thread(target=self._pump, daemon=True)
+        self._reader.start()
+        self.address = self.wait_for_line("listening on").split("listening on ")[1].split()[0]
+
+    def _pump(self):
+        for line in self.process.stdout:
+            self.lines.append(line.rstrip("\n"))
+
+    def wait_for_line(self, needle, timeout=60):
+        deadline = time.monotonic() + timeout
+        seen = 0
+        while time.monotonic() < deadline:
+            while seen < len(self.lines):
+                line = self.lines[seen]
+                seen += 1
+                if needle in line:
+                    return line
+            if self.process.poll() is not None and seen >= len(self.lines):
+                break
+            time.sleep(0.02)
+        raise AssertionError(f"serve never printed {needle!r}; got {self.lines}")
+
+    def kill9(self):
+        self.process.send_signal(signal.SIGKILL)
+        self.process.wait(timeout=30)
+
+    def terminate(self):
+        self.process.send_signal(signal.SIGTERM)
+        return self.process.wait(timeout=120)
+
+
+def cached_point_count(state_dir):
+    """Completed simulation points in the state dir's disk cache.
+
+    The serial backend persists each point the moment it computes (the
+    atomic-rename cache), while per-point journal records land only at the
+    round boundary — so *this* is the signal that a sweep is mid-round.
+    """
+    cache_root = os.path.join(state_dir, "cache")
+    return sum(
+        1
+        for dirpath, _subdirs, names in os.walk(cache_root)
+        if "simulation" in dirpath
+        for name in names
+        if name.endswith(".pkl")
+    )
+
+
+def wait_for_cached_points(state_dir, count, timeout=120):
+    """Block until ``count`` simulation points are on disk (sweep mid-round)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if cached_point_count(state_dir) >= count:
+            return
+        time.sleep(0.005)
+    raise AssertionError(f"cache never reached {count} simulation points")
+
+
+def journal_records(state_dir):
+    return list(JobJournal.read_records(os.path.join(state_dir, JOURNAL_NAME)))
+
+
+def test_kill9_mid_sweep_then_restart_resumes_to_identical_tables(
+    tmp_path, big_baseline
+):
+    state_dir = str(tmp_path / "state")
+
+    first = ServeProcess(state_dir)
+    try:
+        client = RemoteServiceClient(first.address)
+        handle = client.submit(BIG_MATRIX, tags=("sweep",))
+        wait_for_cached_points(state_dir, 3)
+    finally:
+        first.kill9()  # no drain, no checkpoint: the crash case
+
+    second = ServeProcess(state_dir)
+    try:
+        resumed_line = second.wait_for_line("resumed")
+        assert handle.job_id in resumed_line
+
+        attached = RemoteServiceClient(second.address).attach(handle.job_id)
+        results = attached.result(timeout=RESULT_TIMEOUT)
+        assert results.to_json() == big_baseline
+
+        records = journal_records(state_dir)
+        # The pre-kill completions replayed as cache hits on resume...
+        assert any(
+            record.get("record") == "point" and record.get("kind") == "cache-hit"
+            for record in records
+        )
+        # ...and the resumed job reached a durable terminal state.
+        assert any(
+            record.get("record") == "state"
+            and record.get("state") == "done"
+            and record.get("job") == handle.job_id
+            for record in records
+        )
+        assert second.terminate() == 0
+        second.wait_for_line("drained, exiting")
+    finally:
+        if second.process.poll() is None:
+            second.kill9()
+
+
+def test_sigterm_drains_cleanly_and_restart_resumes(tmp_path, big_baseline):
+    state_dir = str(tmp_path / "state")
+
+    first = ServeProcess(state_dir)
+    try:
+        client = RemoteServiceClient(first.address)
+        handle = client.submit(BIG_MATRIX)
+        wait_for_cached_points(state_dir, 2)
+        assert first.terminate() == 0  # SIGTERM: drain, checkpoint, exit 0
+        first.wait_for_line("draining")
+        first.wait_for_line("drained, exiting")
+    finally:
+        if first.process.poll() is None:
+            first.kill9()
+
+    records = journal_records(state_dir)
+    # The drain suppressed the induced cancel (the job must stay pending)
+    # and stamped a clean checkpoint.
+    assert not any(record.get("record") == "state" for record in records)
+    assert any(record.get("record") == "checkpoint" for record in records)
+
+    second = ServeProcess(state_dir)
+    try:
+        assert handle.job_id in second.wait_for_line("resumed")
+        attached = RemoteServiceClient(second.address).attach(handle.job_id)
+        assert attached.result(timeout=RESULT_TIMEOUT).to_json() == big_baseline
+        assert second.terminate() == 0
+    finally:
+        if second.process.poll() is None:
+            second.kill9()

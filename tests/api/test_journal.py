@@ -1,0 +1,252 @@
+"""The job write-ahead journal: durability, recovery, resume semantics.
+
+The crash-safety bar for ``repro serve --state-dir``: every submission is
+durable before it runs, torn tails never poison recovery, finished jobs
+compact away, interrupted jobs resume under their original id with only
+the remainder left to execute, and seqs/job-ids stay monotonic across
+process incarnations.
+"""
+
+import json
+import os
+
+from repro.api import ScenarioMatrix, SimulationRequest, SimulationService
+from repro.api.journal import (
+    JOURNAL_NAME,
+    RESUMED_TAG,
+    JobJournal,
+    resume_jobs,
+)
+from repro.pipeline import ArtifactCache
+
+WORKLOAD = "ChaCha20_ct"
+SECOND_WORKLOAD = "SHA-256"
+MATRIX = ScenarioMatrix(designs=("unsafe-baseline", "cassandra"))
+
+
+def make_service(journal=None, cache_root=None):
+    return SimulationService(
+        names=[WORKLOAD],
+        jobs=1,
+        backend="serial",
+        cache=ArtifactCache(root=cache_root),
+        journal=journal,
+    )
+
+
+def journal_path(state_dir) -> str:
+    return os.path.join(str(state_dir), JOURNAL_NAME)
+
+
+def read_all(state_dir):
+    return list(JobJournal.read_records(journal_path(state_dir)))
+
+
+def append_line(state_dir, record) -> None:
+    with open(journal_path(state_dir), "ab") as handle:
+        payload = record if isinstance(record, bytes) else (
+            json.dumps(record) + "\n"
+        ).encode("utf-8")
+        handle.write(payload)
+
+
+def test_submissions_points_and_terminal_states_are_journaled(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    service = make_service(journal=journal)
+    handle = service.submit(MATRIX, priority=3, tags=("sweep",))
+    results = handle.result(timeout=120)
+    assert len(results) == 2
+    service.close()
+    journal.close()
+
+    records = read_all(tmp_path)
+    kinds = [record["record"] for record in records]
+    assert kinds == ["submit", "point", "point", "state"]
+
+    submit = records[0]
+    assert submit["job"] == handle.job_id
+    assert submit["priority"] == 3
+    assert submit["tags"] == ["sweep"]
+    # The submission is lossless: the journaled requests round-trip.
+    recovered = [SimulationRequest.from_dict(entry) for entry in submit["requests"]]
+    assert recovered == list(handle.requests)
+
+    for point in records[1:3]:
+        assert point["kind"] == "point-done"
+        assert point["cycles"] > 0
+        assert len(point["digest"]) > 0
+        SimulationRequest.from_dict(point["request"])  # round-trippable
+
+    assert records[3] == {
+        "record": "state",
+        "job": handle.job_id,
+        "state": "done",
+        "seq": records[3]["seq"],
+    }
+
+
+def test_torn_tail_and_garbage_lines_are_skipped(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    service = make_service(journal=journal)
+    service.scheduler.pause()
+    handle = service.submit(MATRIX)
+    journal.close()  # the "crash": no terminal record ever lands
+    service.close()
+
+    # A crash mid-append leaves a torn (undecodable) trailing line.
+    append_line(tmp_path, b'{"record": "state", "job": "job-1", "sta')
+
+    reopened = JobJournal(str(tmp_path))
+    assert [job.job_id for job in reopened.pending] == [handle.job_id]
+    assert reopened.pending[0].requests == list(handle.requests)
+    reopened.close()
+
+
+def test_finished_jobs_compact_away_on_reopen(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    service = make_service(journal=journal)
+    service.submit(MATRIX).result(timeout=120)
+    service.close()
+    journal.close()
+    assert len(read_all(tmp_path)) == 4
+
+    reopened = JobJournal(str(tmp_path))
+    assert reopened.pending == []
+    reopened.close()
+    # Compaction rewrote the journal without the finished job's records.
+    assert read_all(tmp_path) == []
+
+
+def test_drain_suppresses_cancelled_so_job_stays_pending(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    service = make_service(journal=journal)
+    service.scheduler.pause()  # the job never starts: a mid-queue shutdown
+    handle = service.submit(MATRIX, tags=("interrupted",))
+    journal.draining = True
+    service.close()  # cancels the queued job; the record is suppressed
+    journal.checkpoint()
+    journal.close()
+
+    states = [r for r in read_all(tmp_path) if r["record"] == "state"]
+    assert states == []
+
+    reopened = JobJournal(str(tmp_path))
+    assert [job.job_id for job in reopened.pending] == [handle.job_id]
+    reopened.close()
+
+
+def test_requested_cancel_is_terminal_and_not_resumed(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    service = make_service(journal=journal)
+    service.scheduler.pause()
+    handle = service.submit(MATRIX)
+    handle.cancel()
+    service.scheduler.resume()
+    service.close()
+    journal.close()
+
+    reopened = JobJournal(str(tmp_path))
+    assert reopened.pending == []
+    reopened.close()
+
+
+def test_resume_runs_the_remainder_as_cache_hits(tmp_path):
+    cache_root = str(tmp_path / "cache")
+    state_dir = str(tmp_path / "state")
+
+    # An uninterrupted baseline run computes one of the two points into the
+    # shared disk cache (modeling the completed half of a crashed sweep).
+    baseline = make_service(cache_root=cache_root)
+    done_request = SimulationRequest(workload=WORKLOAD, design="cassandra")
+    expected_cycles = baseline.run(done_request).cycles(design="cassandra")
+    baseline.close()
+
+    # A journal holding the full two-point job, interrupted mid-sweep: a
+    # submit record, one completed point, no terminal state.
+    journal = JobJournal(state_dir)
+    service = make_service(journal=journal)
+    service.scheduler.pause()
+    handle = service.submit(MATRIX, priority=2, tags=("sweep",))
+    journal.draining = True
+    service.close()
+    journal.close()
+
+    # Restart: recovery reports the pending job, resume resubmits it under
+    # its original id, and the already-computed point lands as a cache hit.
+    reopened = JobJournal(state_dir)
+    assert len(reopened.pending) == 1
+    restarted = make_service(journal=reopened, cache_root=cache_root)
+    resumed = resume_jobs(restarted, reopened)
+    assert [h.job_id for h in resumed] == [handle.job_id]
+    results = resumed[0].result(timeout=120)
+    assert len(results) == 2
+    assert results.cycles(design="cassandra") == expected_cycles
+    assert RESUMED_TAG in resumed[0].tags
+
+    events = resumed[0].history()
+    hits = [event for event in events if event.kind == "cache-hit"]
+    assert any(event.request.design == "cassandra" for event in hits)
+    restarted.close()
+    reopened.close()
+
+
+def test_resubmit_merges_previously_completed_points(tmp_path):
+    first = SimulationRequest(workload=WORKLOAD, design="unsafe-baseline")
+    second = SimulationRequest(workload=WORKLOAD, design="cassandra")
+    submit = {
+        "record": "submit",
+        "version": 1,
+        "job": "job-7",
+        "priority": 0,
+        "tags": [],
+        "requests": [first.as_dict(), second.as_dict()],
+    }
+    os.makedirs(str(tmp_path), exist_ok=True)
+    append_line(tmp_path, submit)
+    append_line(
+        tmp_path,
+        {
+            "record": "point",
+            "job": "job-7",
+            "kind": "point-done",
+            "seq": 4,
+            "request": first.as_dict(),
+            "cycles": 100,
+            "digest": "d" * 12,
+        },
+    )
+    # The restart re-submits the job (resume writes one submit per
+    # incarnation); the earlier completed point must survive the fold.
+    append_line(tmp_path, submit)
+
+    journal = JobJournal(str(tmp_path))
+    assert len(journal.pending) == 1
+    job = journal.pending[0]
+    assert job.job_id == "job-7"
+    assert len(job.completed) == 1
+    assert job.remaining == 1
+    # Counters restart above the journal's maxima.
+    assert journal.next_seq == 5
+    assert journal.next_job_number == 8
+    journal.close()
+
+
+def test_seq_and_job_ids_stay_monotonic_across_restart(tmp_path):
+    journal = JobJournal(str(tmp_path))
+    service = make_service(journal=journal)
+    handle = service.submit(MATRIX)
+    handle.result(timeout=120)
+    last_seq = handle.history()[-1].seq
+    service.close()
+    journal.close()
+
+    reopened = JobJournal(str(tmp_path))
+    assert reopened.next_seq == last_seq + 1
+    assert reopened.next_job_number == 2
+    restarted = make_service(journal=reopened)
+    fresh = restarted.submit(SimulationRequest(workload=WORKLOAD, design="spt"))
+    fresh.result(timeout=120)
+    assert fresh.job_id == "job-2"
+    assert all(event.seq > last_seq for event in fresh.history())
+    restarted.close()
+    reopened.close()

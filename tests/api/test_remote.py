@@ -28,6 +28,8 @@ from repro.api.remote import (
     REMOTE_PROTOCOL_VERSION,
     TAG_PING,
     TAG_PONG,
+    TAG_RESULT,
+    TAG_TASK,
     RemoteBackend,
     RemoteServiceClient,
     RemoteShardBackend,
@@ -36,7 +38,7 @@ from repro.api.remote import (
     send_json,
     serve,
 )
-from repro.api.shard import read_frame, write_frame
+from repro.api.shard import ShardTask, read_frame, run_task, write_frame
 
 WORKLOAD = "ChaCha20_ct"
 SECOND_WORKLOAD = "SHA-256"
@@ -193,6 +195,96 @@ def test_observer_disconnect_does_not_cancel_the_job(server, client):
     assert len(handle.result(timeout=60)) == 1  # the job still completes
 
 
+def test_attach_after_seq_replays_only_the_gap(client):
+    handle = client.submit(SimulationRequest(workload=WORKLOAD, design="cassandra"))
+    handle.result(timeout=120)
+    full = list(client.attach(handle.job_id).events())
+    assert len(full) >= 3 and full[-1].kind == "done"
+
+    # Resuming after the second event replays exactly the suffix.
+    resumed = client.attach(handle.job_id, after_seq=full[1].seq)
+    suffix = list(resumed.events())
+    assert [event.seq for event in suffix] == [event.seq for event in full[2:]]
+    assert resumed.result().to_json() == handle.result().to_json()
+
+
+def test_result_timeout_raises_then_handle_still_answers(server, client):
+    """``result(timeout=...)`` bounds the wait with a TimeoutError — and the
+    override must not linger: a later untimed ``result()`` on the same
+    handle blocks under the connection's own policy and succeeds."""
+    scheduler = server.service.scheduler
+    scheduler.pause()
+    try:
+        handle = client.submit(
+            SimulationRequest(workload=WORKLOAD, design="cassandra-lite")
+        )
+        before = time.monotonic()
+        with pytest.raises(TimeoutError, match=handle.job_id):
+            handle.result(timeout=0.4)
+        assert time.monotonic() - before < 5
+        # The per-call deadline is gone once the call is.
+        assert handle._deadline is None and handle._timeout is None
+    finally:
+        scheduler.resume()
+    results = handle.result(timeout=60)  # reconnects by job id under the hood
+    assert len(results) == 1
+    local = SimulationService(names=[WORKLOAD], jobs=1, backend="serial").run(
+        SimulationRequest(workload=WORKLOAD, design="cassandra-lite")
+    )
+    assert results.to_json() == local.to_json()
+
+
+def test_stream_reconnects_transparently_after_socket_loss(server, client):
+    """Killing the handle's socket mid-stream is healed by attach-by-id:
+    the stream resumes from the last seen seq with no gaps or duplicates
+    and the job itself survives (the submit said on_disconnect=keep)."""
+    scheduler = server.service.scheduler
+    scheduler.pause()
+    try:
+        handle = client.submit(
+            SimulationRequest(workload=WORKLOAD, design="cassandra+stl")
+        )
+        stream = handle.events()
+        first = next(stream)
+        assert first.kind == "queued"
+        handle._sock.close()  # the network "fails" under the iterator
+    finally:
+        scheduler.resume()
+    rest = list(stream)
+    seqs = [first.seq] + [event.seq for event in rest]
+    assert seqs == sorted(set(seqs))  # strictly increasing, no duplicates
+    assert rest[-1].kind == "done"
+    assert not scheduler.get_job(handle.job_id).cancel_requested
+    assert len(handle.result()) == 1
+
+
+def test_forked_children_do_not_inherit_server_sockets(server):
+    """Fork-backend workers inherit every open fd; an orphan surviving a
+    server crash must not keep the listen port alive (new clients would
+    dial into a backlog nobody accepts) nor hold established client
+    connections open past the server's death.  The at-fork hook closes
+    the server's sockets in every forked child."""
+    probe = socket.create_connection((server.host, server.port))
+    try:
+        deadline = time.monotonic() + 5
+        while not server._conns and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert server._conns  # the accept loop registered the connection
+        pid = os.fork()
+        if pid == 0:  # the child reports through its exit status only
+            closed = server._sock.fileno() == -1 and all(
+                conn.fileno() == -1 for conn in list(server._conns)
+            )
+            os._exit(0 if closed else 1)
+        _, status = os.waitpid(pid, 0)
+        assert os.WIFEXITED(status) and os.WEXITSTATUS(status) == 0
+        # the parent's sockets are untouched
+        assert server._sock.fileno() != -1
+        assert all(conn.fileno() != -1 for conn in list(server._conns))
+    finally:
+        probe.close()
+
+
 def test_malformed_submit_answers_an_error(server):
     """A bad submit frame gets an error reply, never a silent hang."""
     for frame in (
@@ -281,6 +373,65 @@ def register_fake_worker(address, die_on_task=False):
     thread = threading.Thread(target=loop, daemon=True)
     thread.start()
     return sock, ack["worker_id"]
+
+
+def register_pong_racing_worker(address):
+    """An in-test worker that computes tasks for real (in-process) but
+    writes a stray ``TAG_PONG`` *before* every result frame — exactly the
+    interleaving a heartbeat ping racing a task dispatch produces."""
+    sock = socket.create_connection(parse_address(address))
+    stream = sock.makefile("rwb")
+    send_json(
+        stream,
+        {"op": "register-worker", "protocol": REMOTE_PROTOCOL_VERSION, "pid": 0},
+    )
+    ack = recv_json(stream)
+    assert ack and ack["ok"]
+
+    def loop():
+        while True:
+            try:
+                frame = read_frame(stream)
+            except (OSError, EOFError, ValueError):
+                return
+            if frame is None:
+                return
+            if frame[:1] == TAG_PING:
+                write_frame(stream, TAG_PONG)
+                continue
+            if frame[:1] == TAG_TASK:
+                results = run_task(ShardTask.from_bytes(frame[1:]))
+                write_frame(stream, TAG_PONG)  # the raced heartbeat answer
+                write_frame(
+                    stream,
+                    TAG_RESULT
+                    + pickle.dumps(results, protocol=pickle.HIGHEST_PROTOCOL),
+                )
+
+    thread = threading.Thread(target=loop, daemon=True)
+    thread.start()
+    return sock, ack["worker_id"]
+
+
+def test_raced_pong_before_result_frame_is_skipped_not_fatal():
+    """The driver's read loop must skip pongs a heartbeat raced into the
+    channel instead of treating them as the task's answer: the run stays
+    bit-identical to serial and the worker is not dropped as dead."""
+    backend = RemoteShardBackend(heartbeat_interval=None)
+    sock, worker_id = register_pong_racing_worker(backend.address)
+    try:
+        assert backend.wait_for_workers(1, timeout=30) == 1
+        service = SimulationService(names=[WORKLOAD], jobs=1, backend=backend)
+        matrix = ScenarioMatrix(designs=("unsafe-baseline", "cassandra"))
+        answer = service.run(matrix)
+        serial = SimulationService(names=[WORKLOAD], jobs=1, backend="serial").run(
+            matrix
+        )
+        assert answer.to_json() == serial.to_json()
+        assert worker_id in backend.workers()  # survived both "pongs"
+    finally:
+        backend.close()
+        sock.close()
 
 
 def test_remote_shard_parity_with_real_workers():

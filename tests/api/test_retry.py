@@ -1,0 +1,94 @@
+"""RetryPolicy: deterministic backoff, typed re-raise, deadline budget."""
+
+import pytest
+
+from repro.api import RetryPolicy
+
+
+def test_delay_schedule_is_exponential_and_capped():
+    policy = RetryPolicy(base_delay=0.1, backoff=2.0, max_delay=0.5, jitter=0.0)
+    assert [policy.delay(n) for n in range(5)] == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+
+def test_jitter_is_deterministic_per_token():
+    policy = RetryPolicy(base_delay=1.0, backoff=1.0, max_delay=10.0, jitter=0.1)
+    assert policy.delay(0, "dial:a") == policy.delay(0, "dial:a")
+    assert policy.delay(0, "dial:a") != policy.delay(0, "dial:b")
+    for token in ("dial:a", "dial:b", "attach:job-3"):
+        assert 0.9 <= policy.delay(0, token) <= 1.1
+
+
+def test_call_returns_first_success_after_retries():
+    attempts = []
+    pauses = []
+
+    def flaky():
+        attempts.append(1)
+        if len(attempts) < 3:
+            raise ConnectionResetError("boom")
+        return "answer"
+
+    policy = RetryPolicy(max_attempts=4, jitter=0.0, base_delay=0.01)
+    assert policy.call(flaky, sleep=pauses.append) == "answer"
+    assert len(attempts) == 3
+    assert pauses == [policy.delay(0), policy.delay(1)]
+
+
+def test_call_reraises_the_last_error_as_its_own_type():
+    def always():
+        raise ConnectionRefusedError("nope")
+
+    policy = RetryPolicy(max_attempts=3, jitter=0.0, base_delay=0.0)
+    with pytest.raises(ConnectionRefusedError, match="nope"):
+        policy.call(always, sleep=lambda _pause: None)
+
+
+def test_call_does_not_catch_unlisted_errors():
+    calls = []
+
+    def wrong():
+        calls.append(1)
+        raise ValueError("not a network problem")
+
+    with pytest.raises(ValueError):
+        RetryPolicy().call(wrong, retry_on=(OSError,), sleep=lambda _p: None)
+    assert len(calls) == 1  # no retry for a non-retryable error
+
+
+def test_deadline_stops_retrying_early():
+    calls = []
+
+    def always():
+        calls.append(1)
+        raise ConnectionResetError("down")
+
+    policy = RetryPolicy(
+        max_attempts=10, base_delay=5.0, jitter=0.0, deadline=1.0
+    )
+    with pytest.raises(ConnectionResetError):
+        policy.call(always, sleep=lambda _p: None)
+    assert len(calls) == 1  # the first pause alone would blow the budget
+
+
+def test_none_policy_is_the_legacy_behavior():
+    policy = RetryPolicy.none()
+    assert policy.max_attempts == 1
+    assert policy.io_timeout is None
+    assert policy.reconnect is False
+
+    calls = []
+
+    def always():
+        calls.append(1)
+        raise ConnectionResetError("down")
+
+    with pytest.raises(ConnectionResetError):
+        policy.call(always, sleep=lambda _p: None)
+    assert len(calls) == 1
+
+
+def test_with_builds_a_modified_copy():
+    policy = RetryPolicy()
+    tweaked = policy.with_(max_attempts=7, io_timeout=None)
+    assert tweaked.max_attempts == 7 and tweaked.io_timeout is None
+    assert policy.max_attempts == 4  # the original is untouched (frozen)

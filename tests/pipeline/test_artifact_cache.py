@@ -87,6 +87,38 @@ def test_corrupt_entry_is_a_miss_and_heals(artifact_cache):
     assert payload[0].instruction_count == artifact.result.instruction_count
 
 
+def test_corrupt_entry_is_quarantined_not_rereread(tmp_path):
+    """A truncated pickle is renamed aside on first read — it must not be
+    re-read and re-missed on every subsequent run — and the recompute
+    re-stores a valid entry at the original path."""
+    import os
+
+    cache = ArtifactCache(root=str(tmp_path))
+    cache.put("kind", "entry", "d" * 24, {"payload": 42})
+    path = cache.path_for("kind", "entry", "d" * 24)
+    with open(path, "rb") as handle:
+        whole = handle.read()
+    with open(path, "wb") as handle:
+        handle.write(whole[: len(whole) // 2])  # a torn disk write
+
+    reader = ArtifactCache(root=str(tmp_path))
+    assert reader.get("kind", "entry", "d" * 24) is None
+    assert reader.stats.quarantined == 1
+    assert not os.path.exists(path)  # moved aside, not left to re-miss
+    assert os.path.exists(path + ".corrupt")
+    assert reader.entry_count() == 0  # .corrupt files are not entries
+
+    # A second read is a plain miss, not another quarantine.
+    assert reader.get("kind", "entry", "d" * 24) is None
+    assert reader.stats.quarantined == 1
+
+    # The heal path: recompute re-puts at the original path and hits again.
+    reader.put("kind", "entry", "d" * 24, {"payload": 42})
+    fresh = ArtifactCache(root=str(tmp_path))
+    assert fresh.get("kind", "entry", "d" * 24) == {"payload": 42}
+    assert fresh.stats.hits == 1
+
+
 def test_memory_only_cache_memoizes(tmp_path):
     cache = ArtifactCache(root=None)
     assert cache.get("kind", "name", "digest") is None
