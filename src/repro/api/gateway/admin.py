@@ -1,0 +1,173 @@
+"""``repro gateway admin``: tenant/key management over a gateway store.
+
+Operates on the SQLite store directly (no running gateway needed — and
+safe alongside one: SQLite serializes the writes), so key provisioning
+works before the first ``repro gateway`` ever starts.  The plaintext API
+key is printed exactly once, by ``create-key``; only its hash is stored.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import List, Optional
+
+from repro.api.gateway.store import GatewayStore, Tenant
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro gateway admin",
+        description="Manage gateway tenants, API keys, and quotas.",
+    )
+    parser.add_argument(
+        "--state-dir",
+        required=True,
+        help="The gateway's state directory (holds gateway.sqlite3).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def quota_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--max-concurrent-jobs",
+            type=int,
+            default=None,
+            help="Live (queued+running) job cap; omit for the gateway default.",
+        )
+        p.add_argument(
+            "--max-queued-points",
+            type=int,
+            default=None,
+            help="Points across live jobs; omit for the gateway default.",
+        )
+        p.add_argument(
+            "--points-per-day",
+            type=int,
+            default=None,
+            help="Points per rolling usage window; omit for the gateway default.",
+        )
+
+    create_tenant = sub.add_parser("create-tenant", help="Create a tenant.")
+    create_tenant.add_argument("name")
+    quota_flags(create_tenant)
+
+    set_quota = sub.add_parser(
+        "set-quota", help="Replace a tenant's quota overrides."
+    )
+    set_quota.add_argument("tenant", help="Tenant name or id.")
+    quota_flags(set_quota)
+
+    create_key = sub.add_parser(
+        "create-key", help="Issue an API key (plaintext printed once)."
+    )
+    create_key.add_argument("tenant", help="Tenant name or id.")
+    create_key.add_argument("--label", default="", help="Free-form key label.")
+
+    revoke_key = sub.add_parser("revoke-key", help="Revoke a key by key id.")
+    revoke_key.add_argument("key_id")
+
+    list_keys = sub.add_parser("list-keys", help="List issued keys.")
+    list_keys.add_argument("--tenant", default=None, help="Filter by tenant name/id.")
+    list_keys.add_argument(
+        "--format", choices=("table", "json"), default="table", dest="fmt"
+    )
+
+    list_tenants = sub.add_parser("list-tenants", help="List tenants.")
+    list_tenants.add_argument(
+        "--format", choices=("table", "json"), default="table", dest="fmt"
+    )
+    return parser
+
+
+def _resolve_tenant(store: GatewayStore, ref: str) -> Optional[Tenant]:
+    tenant = store.tenant_by_name(ref)
+    if tenant is None:
+        tenant = store.get_tenant(ref)
+    return tenant
+
+
+def admin_main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    with GatewayStore(args.state_dir) as store:
+        if args.command == "create-tenant":
+            try:
+                tenant = store.create_tenant(
+                    args.name,
+                    max_concurrent_jobs=args.max_concurrent_jobs,
+                    max_queued_points=args.max_queued_points,
+                    points_per_day=args.points_per_day,
+                )
+            except ValueError as exc:
+                print(f"repro gateway admin: {exc}")
+                return 2
+            print(f"created tenant {tenant.name} ({tenant.tenant_id})")
+            return 0
+
+        if args.command == "set-quota":
+            tenant = _resolve_tenant(store, args.tenant)
+            if tenant is None:
+                print(f"repro gateway admin: unknown tenant {args.tenant!r}")
+                return 2
+            tenant = store.set_quotas(
+                tenant.tenant_id,
+                max_concurrent_jobs=args.max_concurrent_jobs,
+                max_queued_points=args.max_queued_points,
+                points_per_day=args.points_per_day,
+            )
+            print(
+                f"quotas for {tenant.name}: "
+                f"concurrent-jobs={tenant.max_concurrent_jobs} "
+                f"queued-points={tenant.max_queued_points} "
+                f"points-per-day={tenant.points_per_day}"
+            )
+            return 0
+
+        if args.command == "create-key":
+            tenant = _resolve_tenant(store, args.tenant)
+            if tenant is None:
+                print(f"repro gateway admin: unknown tenant {args.tenant!r}")
+                return 2
+            plaintext, key = store.issue_key(tenant.tenant_id, label=args.label)
+            print(f"key-id: {key.key_id}")
+            print(f"api-key: {plaintext}")
+            print("(store the api-key now; it is not retrievable later)")
+            return 0
+
+        if args.command == "revoke-key":
+            if store.revoke_key(args.key_id):
+                print(f"revoked {args.key_id}")
+                return 0
+            print(f"repro gateway admin: no active key {args.key_id!r}")
+            return 2
+
+        if args.command == "list-keys":
+            tenant_id = None
+            if args.tenant is not None:
+                tenant = _resolve_tenant(store, args.tenant)
+                if tenant is None:
+                    print(f"repro gateway admin: unknown tenant {args.tenant!r}")
+                    return 2
+                tenant_id = tenant.tenant_id
+            keys = store.list_keys(tenant_id)
+            if args.fmt == "json":
+                print(json.dumps([key.as_dict() for key in keys], sort_keys=True))
+            else:
+                for key in keys:
+                    status = "active" if key.active else "revoked"
+                    label = f"  {key.label}" if key.label else ""
+                    print(f"{key.key_id}  {key.tenant_id}  {status}{label}")
+            return 0
+
+        assert args.command == "list-tenants"
+        tenants = store.list_tenants()
+        if args.fmt == "json":
+            print(json.dumps([t.as_dict() for t in tenants], sort_keys=True))
+        else:
+            for tenant in tenants:
+                print(
+                    f"{tenant.tenant_id}  {tenant.name}  "
+                    f"concurrent-jobs={tenant.max_concurrent_jobs} "
+                    f"queued-points={tenant.max_queued_points} "
+                    f"points-per-day={tenant.points_per_day}"
+                )
+        return 0

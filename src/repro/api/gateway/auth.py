@@ -1,0 +1,38 @@
+"""API-key authentication for the gateway's ``/v1`` surface.
+
+One scheme: ``Authorization: Bearer rk_<hex>``.  The presented key is
+hashed and matched against the store's active key hashes in constant time
+(see :meth:`GatewayStore.lookup_key`); anything short of a match —
+missing header, wrong scheme, malformed value, unknown or revoked key —
+raises :class:`AuthError`, which the router maps to a 401 with a
+``WWW-Authenticate`` challenge.  The error messages deliberately do not
+distinguish "unknown" from "revoked".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.gateway.store import GatewayStore, Tenant
+
+
+class AuthError(RuntimeError):
+    """The request carries no acceptable credential (→ HTTP 401)."""
+
+
+class AuthService:
+    """Turn an ``Authorization`` header into the :class:`Tenant` behind it."""
+
+    def __init__(self, store: GatewayStore) -> None:
+        self.store = store
+
+    def authenticate(self, authorization: Optional[str]) -> Tenant:
+        if not authorization:
+            raise AuthError("missing Authorization header")
+        parts = authorization.split(None, 1)
+        if len(parts) != 2 or parts[0].lower() != "bearer" or not parts[1].strip():
+            raise AuthError("expected 'Authorization: Bearer <api-key>'")
+        tenant = self.store.lookup_key(parts[1].strip())
+        if tenant is None:
+            raise AuthError("invalid API key")
+        return tenant

@@ -153,6 +153,35 @@ class Scheduler:
         with self._lock:
             return list(self._jobs.values())
 
+    def stats(self) -> Dict[str, object]:
+        """A point-in-time operational snapshot (the ``/healthz`` payload).
+
+        Job counts are by handle state, so ``jobs_queued`` includes jobs
+        waiting in the heap and ``jobs_running`` those a dispatcher holds;
+        ``inflight_claims`` is the cross-job dedup table's current size.
+        """
+        with self._lock:
+            handles = list(self._jobs.values())
+            queue_depth = len(self._heap)
+            inflight = len(self._inflight)
+            paused = self._paused
+        counts = {"queued": 0, "running": 0, "done": 0, "failed": 0, "cancelled": 0}
+        for handle in handles:
+            counts[handle.state] = counts.get(handle.state, 0) + 1
+        return {
+            "jobs_total": len(handles),
+            "jobs_queued": counts["queued"],
+            "jobs_running": counts["running"],
+            "jobs_done": counts["done"],
+            "jobs_failed": counts["failed"],
+            "jobs_cancelled": counts["cancelled"],
+            "queue_depth": queue_depth,
+            "inflight_claims": inflight,
+            "workers": len(self._threads),
+            "paused": paused,
+            "journal_path": self.journal.path if self.journal is not None else None,
+        }
+
     def add_listener(self, listener: Callable[[JobEvent], None]) -> None:
         """Observe every event of every job (the CLI progress line hook)."""
         self._listeners.append(listener)

@@ -87,6 +87,10 @@ class SimulationService:
         report["backend"] = self.backend.name
         report["engine_tier"] = engine_tier()
         report["native_compiler"] = native.compiler_available()
+        # Read the field, not the lazy property: stats() must never be the
+        # thing that spins a scheduler (and its dispatcher threads) up.
+        if self._scheduler is not None:
+            report["scheduler"] = self._scheduler.stats()
         return report
 
     # ------------------------------------------------------------------ #

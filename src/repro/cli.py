@@ -29,6 +29,15 @@ The networked tier::
 ``serve`` keeps one service (artifact cache, scheduler, backend) alive for
 any number of remote callers; ``--backend remote`` runs every simulation
 point on that server while preparation-independent rendering stays local.
+
+The untrusted-client front door::
+
+    python -m repro gateway --port 8080 --state-dir state
+    python -m repro gateway admin --state-dir state create-key TENANT
+
+``gateway`` mounts the multi-tenant HTTP/JSON gateway (API-key auth,
+quotas, usage accounting, Server-Sent-Events job streaming) over the same
+durable journaled scheduler — see :mod:`repro.api.gateway`.
 """
 
 from __future__ import annotations
@@ -275,7 +284,14 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
-    server = JobServer(service, host=args.host, port=args.port)
+    try:
+        server = JobServer(service, host=args.host, port=args.port)
+    except OSError as exc:
+        print(_bind_diagnosis("repro serve", args.host, args.port, exc), file=sys.stderr)
+        service.close()
+        if journal is not None:
+            journal.close()
+        return 2
     resumed = resume_jobs(service, journal) if journal is not None else []
     print(
         f"repro serve: listening on {server.address} "
@@ -321,10 +337,214 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
+def _bind_diagnosis(prog: str, host: str, port: int, exc: OSError) -> str:
+    """One line saying why the listen socket could not bind (exit 2)."""
+    import errno
+
+    if exc.errno == errno.EADDRINUSE:
+        why = "address already in use (is another server listening there?)"
+    else:
+        why = exc.strerror or str(exc)
+    return f"{prog}: cannot bind {host}:{port}: {why}"
+
+
+def _env_number(name: str, cast):
+    """``REPRO_GATEWAY_*`` fallback for a quota/window flag (None = unset)."""
+    raw = os.environ.get(name)
+    if raw is None or raw.strip() == "":
+        return None
+    try:
+        return cast(raw)
+    except ValueError:
+        print(f"warning: ignoring non-numeric {name}={raw!r}", file=sys.stderr)
+        return None
+
+
+def _build_gateway_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro gateway",
+        description="Serve the multi-tenant HTTP/JSON gateway: API-key "
+        "authenticated job submission (POST /v1/jobs), Server-Sent-Events "
+        "job streaming with Last-Event-ID resume, quotas, and a usage "
+        "ledger, all over the same durable journaled scheduler as 'repro "
+        "serve'.  Provision tenants and keys with 'repro gateway admin'.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=0, metavar="N",
+                        help="HTTP port (default: an ephemeral port, printed)")
+    parser.add_argument(
+        "--workloads",
+        default="all",
+        help="workload set open matrices expand over ('all', 'quick', or names)",
+    )
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="worker processes (default: auto)")
+    parser.add_argument(
+        "--backend",
+        choices=sorted(BACKENDS),
+        default="fork",
+        help="execution backend the gateway computes with (default: fork)",
+    )
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="artifact cache directory (default: STATE_DIR/cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk artifact cache")
+    parser.add_argument(
+        "--state-dir",
+        required=True,
+        metavar="DIR",
+        help="durable state directory: the job journal (DIR/journal.jsonl), "
+        "the tenant/key/usage store (DIR/gateway.sqlite3), and — unless "
+        "--cache-dir is given — the artifact cache (DIR/cache).  Interrupted "
+        "jobs resume on restart with their tenant ownership intact.",
+    )
+    parser.add_argument(
+        "--max-concurrent-jobs",
+        type=int,
+        default=_env_number("REPRO_GATEWAY_MAX_CONCURRENT_JOBS", int),
+        metavar="N",
+        help="default per-tenant live-job cap (env: "
+        "REPRO_GATEWAY_MAX_CONCURRENT_JOBS; default: unlimited)",
+    )
+    parser.add_argument(
+        "--max-queued-points",
+        type=int,
+        default=_env_number("REPRO_GATEWAY_MAX_QUEUED_POINTS", int),
+        metavar="N",
+        help="default per-tenant cap on points across live jobs (env: "
+        "REPRO_GATEWAY_MAX_QUEUED_POINTS; default: unlimited)",
+    )
+    parser.add_argument(
+        "--points-per-day",
+        type=int,
+        default=_env_number("REPRO_GATEWAY_POINTS_PER_DAY", int),
+        metavar="N",
+        help="default per-tenant points per rolling usage window (env: "
+        "REPRO_GATEWAY_POINTS_PER_DAY; default: unlimited)",
+    )
+    parser.add_argument(
+        "--usage-window",
+        type=float,
+        default=_env_number("REPRO_GATEWAY_USAGE_WINDOW", float) or 86400.0,
+        metavar="SECONDS",
+        help="rolling usage window behind --points-per-day (env: "
+        "REPRO_GATEWAY_USAGE_WINDOW; default: 86400)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    _add_engine_tier_argument(parser)
+    return parser
+
+
+def gateway_main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro gateway`` — the multi-tenant HTTP front door."""
+    import signal
+
+    from repro.api.gateway.admin import admin_main
+    from repro.api.gateway.http import GatewayServer
+    from repro.api.gateway.quota import QuotaDefaults
+    from repro.api.gateway.store import GatewayStore
+    from repro.api.journal import JobJournal, resume_jobs
+
+    argv = list(argv or ())
+    if argv and argv[0] == "admin":
+        return admin_main(argv[1:])
+    args = _build_gateway_parser().parse_args(argv)
+    _apply_engine_tier(args.engine_tier)
+    # Arm any REPRO_FAULT_PLAN schedule, like the worker entry points do:
+    # the chaos suite kills the gateway at a chosen request this way.
+    from repro.testing.faults import activate_from_env
+
+    activate_from_env()
+    journal = JobJournal(args.state_dir)
+    cache_dir = args.cache_dir
+    if cache_dir is None:
+        cache_dir = os.path.join(args.state_dir, "cache")
+    store = GatewayStore(args.state_dir)
+    try:
+        service = build_service(
+            workloads=args.workloads,
+            cache_dir=cache_dir,
+            use_cache=not args.no_cache,
+            jobs=args.jobs,
+            backend=args.backend,
+            journal=journal,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        store.close()
+        journal.close()
+        return 2
+    try:
+        # The gateway (and its usage listener) first, resume second: the
+        # resumed jobs' re-queued events then flow through the listener and
+        # re-attach tenant ownership before any client reconnects.
+        server = GatewayServer(
+            service,
+            store,
+            host=args.host,
+            port=args.port,
+            usage_window=args.usage_window,
+            defaults=QuotaDefaults(
+                max_concurrent_jobs=args.max_concurrent_jobs,
+                max_queued_points=args.max_queued_points,
+                points_per_day=args.points_per_day,
+            ),
+        )
+    except OSError as exc:
+        print(
+            _bind_diagnosis("repro gateway", args.host, args.port, exc),
+            file=sys.stderr,
+        )
+        service.close()
+        store.close()
+        journal.close()
+        return 2
+    resumed = resume_jobs(service, journal)
+    print(
+        f"repro gateway: listening on http://{server.host}:{server.port} "
+        f"(backend {service.backend.name}, {len(service.workloads)} workloads, "
+        f"{service.jobs} jobs)",
+        flush=True,
+    )
+    for handle in resumed:
+        print(
+            f"repro gateway: resumed {handle.job_id} "
+            f"({len(handle.requests)} points) from the journal",
+            flush=True,
+        )
+
+    # Same drain choreography as serve_main: the handler only stops the
+    # HTTP loop (signal-safe); the drain runs in the main thread after
+    # serve_forever returns.
+    def _request_shutdown(signum, _frame):
+        print(f"repro gateway: caught signal {signum}, draining", flush=True)
+        threading.Thread(target=server.close, daemon=True).start()
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, _request_shutdown)
+
+    def _reset_signals_in_child() -> None:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(signum, signal.SIG_DFL)
+
+    os.register_at_fork(after_in_child=_reset_signals_in_child)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.drain()
+        service.close()
+    print("repro gateway: drained, exiting", flush=True)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "gateway":
+        return gateway_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.list:
         print(_list_experiments(args.format))

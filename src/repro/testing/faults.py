@@ -32,6 +32,15 @@ Sites:
 ``cache-stored``
     After the rename.  ``corrupt`` truncates the just-stored entry in
     place, modeling torn disk writes the cache must quarantine on read.
+``gateway-request``
+    At the top of the HTTP gateway's request dispatch, before routing.
+    ``crash`` surfaces as a typed 500 to the client; ``die`` models the
+    gateway process dying mid-request (the chaos suite's kill vector);
+    ``delay`` stalls the request.
+``store-write``
+    Before a :class:`~repro.api.gateway.store.GatewayStore` write
+    executes+commits.  ``crash``/``die`` model dying ahead of the commit —
+    the acknowledged store state must be exactly what it was.
 
 Plans cross process boundaries via the :data:`FAULT_PLAN_ENV` environment
 variable: :func:`activate` (optionally) exports the plan as JSON, and the
@@ -58,7 +67,15 @@ FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 #: Exit status of a ``die`` fault, distinguishable from real crashes.
 DIE_STATUS = 53
 
-SITES = ("frame-write", "frame-read", "worker-task", "cache-put", "cache-stored")
+SITES = (
+    "frame-write",
+    "frame-read",
+    "worker-task",
+    "cache-put",
+    "cache-stored",
+    "gateway-request",
+    "store-write",
+)
 ACTIONS = ("reset", "truncate", "delay", "die", "crash", "corrupt")
 
 
@@ -221,11 +238,15 @@ class ActivePlan:
 
 def _install(active: Optional[ActivePlan]) -> None:
     from repro.api import shard
+    from repro.api.gateway import http as gateway_http
+    from repro.api.gateway import store as gateway_store
     from repro.pipeline import artifacts
 
     hook = active.trip if active is not None else None
     shard.FAULT_HOOK = hook
     artifacts.FAULT_HOOK = hook
+    gateway_http.FAULT_HOOK = hook
+    gateway_store.FAULT_HOOK = hook
 
 
 @contextlib.contextmanager

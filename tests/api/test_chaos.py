@@ -371,3 +371,173 @@ def test_sigterm_drains_cleanly_and_restart_resumes(tmp_path, big_baseline):
     finally:
         if second.process.poll() is None:
             second.kill9()
+
+
+# --------------------------------------------------------------------------- #
+# kill -9 the HTTP gateway mid-request, then resume with ownership intact
+# --------------------------------------------------------------------------- #
+class GatewayProcess:
+    """A ``repro gateway --state-dir`` subprocess with captured stdout."""
+
+    def __init__(self, state_dir, fault_plan=None):
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "gateway",
+                "--state-dir",
+                state_dir,
+                "--workloads",
+                WORKLOAD,
+                "--backend",
+                "serial",
+                "--jobs",
+                "1",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=repro_env(fault_plan),
+            text=True,
+        )
+        self.lines = []
+        self._reader = threading.Thread(target=self._pump, daemon=True)
+        self._reader.start()
+        address = self.wait_for_line("listening on").split("listening on http://")[1]
+        host, port = address.split()[0].rsplit(":", 1)
+        self.host, self.port = host, int(port)
+
+    _pump = ServeProcess._pump
+    wait_for_line = ServeProcess.wait_for_line
+    kill9 = ServeProcess.kill9
+    terminate = ServeProcess.terminate
+
+    def request(self, method, path, key=None, body=None, headers=None, timeout=300):
+        import http.client
+        import json as jsonlib
+
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=timeout)
+        try:
+            all_headers = dict(headers or {})
+            if key is not None:
+                all_headers["Authorization"] = f"Bearer {key}"
+            payload = jsonlib.dumps(body) if body is not None else None
+            conn.request(method, path, body=payload, headers=all_headers)
+            response = conn.getresponse()
+            return response.status, response.read().decode("utf-8")
+        finally:
+            conn.close()
+
+
+def gateway_admin(state_dir, *args):
+    """Run ``repro gateway admin`` as the CI smoke does: a subprocess."""
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "gateway", "admin", "--state-dir", state_dir]
+        + list(args),
+        env=repro_env(),
+        capture_output=True,
+        text=True,
+        timeout=60,
+        check=True,
+    ).stdout
+
+
+def test_gateway_die_mid_request_then_restart_keeps_ownership(
+    tmp_path, big_baseline
+):
+    """The gateway process dies (an injected ``os._exit``) mid-HTTP-request
+    while a tenant's sweep is mid-round.  The restart must resume the
+    journaled job under the same id *and the same owner*: the tenant's key
+    still streams and fetches it, a foreign key still gets 404, and the
+    final tables match the uninterrupted serial run byte for byte."""
+    import json as jsonlib
+
+    from repro.api import expand_many
+    from repro.api.gateway.store import GatewayStore
+
+    state_dir = str(tmp_path / "state")
+    out = gateway_admin(state_dir, "create-tenant", "acme")
+    gateway_admin(state_dir, "create-tenant", "rival")
+    out = gateway_admin(state_dir, "create-key", "acme")
+    key = next(l.split(": ")[1] for l in out.splitlines() if l.startswith("api-key:"))
+    out = gateway_admin(state_dir, "create-key", "rival")
+    foreign = next(
+        l.split(": ")[1] for l in out.splitlines() if l.startswith("api-key:")
+    )
+
+    batch = [
+        request.as_dict()
+        for request in expand_many([BIG_MATRIX], default_workloads=[WORKLOAD])
+    ]
+
+    # Request 0 (the submit) passes; request 1 kills the process mid-dispatch.
+    first = GatewayProcess(
+        state_dir, FaultPlan.scripted(Fault("gateway-request", 1, "die"))
+    )
+    try:
+        status, body = first.request("POST", "/v1/jobs", key=key,
+                                     body={"requests": batch})
+        assert status == 202
+        job_id = jsonlib.loads(body)["job"]
+        wait_for_cached_points(state_dir, 3)
+        with pytest.raises(Exception):
+            first.request("GET", "/healthz", timeout=30)  # dies mid-request
+        first.process.wait(timeout=30)
+        assert first.process.returncode == DIE_STATUS  # the injected death
+    finally:
+        if first.process.poll() is None:
+            first.kill9()
+
+    second = GatewayProcess(state_dir)
+    try:
+        assert job_id in second.wait_for_line("resumed")
+
+        # Ownership survived: the owner streams the resumed job's events...
+        status, text = second.request(
+            "GET", f"/v1/jobs/{job_id}/events", key=key, timeout=RESULT_TIMEOUT
+        )
+        assert status == 200
+        kinds = [
+            line.split(": ", 1)[1]
+            for line in text.splitlines()
+            if line.startswith("event: ")
+        ]
+        assert kinds[-1] == "done"
+        assert "cache-hit" in kinds  # pre-kill points replayed from disk
+
+        # ...and fetches tables byte-identical to the uninterrupted run.
+        status, wire = second.request(
+            "GET", f"/v1/jobs/{job_id}/result", key=key, timeout=RESULT_TIMEOUT
+        )
+        assert status == 200
+        from repro.api.results import ResultSet
+
+        assert ResultSet.from_wire(wire).to_json() == big_baseline
+
+        # A foreign tenant still cannot see it.
+        status, _text = second.request(
+            "GET", f"/v1/jobs/{job_id}/result", key=foreign
+        )
+        assert status == 404
+
+        # The usage ledger metered the resumed job for its owner.
+        with GatewayStore(state_dir) as store:
+            acme = store.tenant_by_name("acme")
+            assert store.job_owner(job_id) == acme.tenant_id
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                totals = store.usage_totals(acme.tenant_id)
+                if totals["jobs"]:
+                    break
+                time.sleep(0.05)
+            assert totals["jobs"] == 1
+            assert totals["points"] == len(batch)
+            assert store.usage_totals(store.tenant_by_name("rival").tenant_id)[
+                "jobs"
+            ] == 0
+
+        assert second.terminate() == 0
+        second.wait_for_line("drained, exiting")
+    finally:
+        if second.process.poll() is None:
+            second.kill9()

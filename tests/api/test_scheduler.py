@@ -273,3 +273,44 @@ def test_close_cancels_queued_jobs_and_rejects_new_ones():
     # The service makes a fresh scheduler after close().
     service._scheduler = None
     assert service.run(SimulationRequest(workload=WORKLOAD, design="spt"))
+
+
+def test_scheduler_stats_snapshot():
+    service = make_service()
+    scheduler = service.scheduler
+    stats = scheduler.stats()
+    assert stats["jobs_total"] == 0
+    assert stats["queue_depth"] == 0
+    assert stats["inflight_claims"] == 0
+    assert stats["workers"] == 1
+    assert stats["paused"] is False
+    assert stats["journal_path"] is None
+
+    scheduler.pause()
+    queued = service.submit(SimulationRequest(workload=WORKLOAD, design="spt"))
+    stats = scheduler.stats()
+    assert stats["jobs_total"] == 1
+    assert stats["jobs_queued"] == 1
+    assert stats["queue_depth"] == 1
+    assert stats["paused"] is True
+
+    scheduler.resume()
+    queued.result(timeout=300)
+    stats = scheduler.stats()
+    assert stats["jobs_done"] == 1
+    assert stats["jobs_queued"] == stats["queue_depth"] == 0
+    assert stats["inflight_claims"] == 0  # every dedup claim released
+    service.close()
+
+
+def test_service_stats_surfaces_scheduler_without_creating_one():
+    service = make_service()
+    # No scheduler yet: stats() must not be the thing that spins one up.
+    assert "scheduler" not in service.stats()
+    assert service._scheduler is None
+
+    service.run(SimulationRequest(workload=WORKLOAD, design="unsafe-baseline"))
+    report = service.stats()
+    assert report["scheduler"]["jobs_done"] == 1
+    assert report["backend"] == "serial"
+    service.close()
