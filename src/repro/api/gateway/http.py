@@ -320,6 +320,9 @@ class GatewayServer:
                 "engine_tier": stats.get("engine_tier"),
                 "workloads": len(service.workloads),
                 "scheduler": stats.get("scheduler"),
+                # Operator visibility into the artifact cache — notably the
+                # quarantined counter (corrupt entries set aside on read).
+                "artifact_cache": stats.get("artifact_cache"),
                 "journal": (
                     service.journal.path if service.journal is not None else None
                 ),

@@ -6,11 +6,13 @@ offers the aggregation vocabulary the paper's tables and figures are written
 in: filter (:meth:`where`), group (:meth:`group_by`), normalized execution
 time against a baseline design (:meth:`normalized_time`), geometric means
 (:meth:`geomean_cycles`, :meth:`geomean_normalized_time`), and plain-data
-export (:meth:`export_rows`, :meth:`to_json`).
+export (:meth:`export_rows`, :meth:`to_json`, :meth:`export_csv`).
 """
 
 from __future__ import annotations
 
+import csv
+import io
 import json
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -27,6 +29,39 @@ _UNSET: Any = object()
 WIRE_FORMAT_VERSION = 1
 
 Entry = Tuple[SimulationRequest, SimulationResult]
+
+#: The column order of :meth:`ResultSet.export_rows` rows — and hence of
+#: every CSV export (:meth:`ResultSet.export_csv` and the warehouse's
+#: ``export --format csv`` share :func:`rows_to_csv`).
+EXPORT_COLUMNS = (
+    "workload",
+    "design",
+    "config",
+    "btu_flush_interval",
+    "warmup_passes",
+    "cycles",
+    "instructions",
+    "ipc",
+)
+
+
+def rows_to_csv(rows: Sequence[Dict[str, Any]]) -> str:
+    """Render export rows as CSV text (header always present).
+
+    ``None`` cells (a disabled BTU-flush axis, a lossy backfill's missing
+    instructions) render as empty fields; everything else uses ``str``,
+    so the output round-trips the JSON export's values exactly.
+    """
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(EXPORT_COLUMNS)
+    for row in rows:
+        writer.writerow(
+            "" if row.get(column) is None else row.get(column)
+            for column in EXPORT_COLUMNS
+        )
+    return out.getvalue()
+
 
 #: Axes :meth:`ResultSet.group_by` understands, mapped to key extractors.
 _AXES = {
@@ -205,6 +240,10 @@ class ResultSet:
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.export_rows(), indent=indent)
+
+    def export_csv(self) -> str:
+        """The :meth:`export_rows` table as CSV — same stable sort order."""
+        return rows_to_csv(self.export_rows())
 
     # ------------------------------------------------------------------ #
     # Wire round-trip

@@ -87,6 +87,14 @@ class SimulationService:
         report["backend"] = self.backend.name
         report["engine_tier"] = engine_tier()
         report["native_compiler"] = native.compiler_available()
+        # The structured artifact-cache counters (hits, misses, stores,
+        # memo hits, quarantined corrupt entries), present even when the
+        # disk cache is off so operators can tell "no cache" from "no
+        # quarantines".
+        cache = self.pipeline.cache
+        report["artifact_cache"] = (
+            cache.stats.as_dict() if cache is not None else None
+        )
         # Read the field, not the lazy property: stats() must never be the
         # thing that spins a scheduler (and its dispatcher threads) up.
         if self._scheduler is not None:

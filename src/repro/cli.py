@@ -38,6 +38,15 @@ The untrusted-client front door::
 ``gateway`` mounts the multi-tenant HTTP/JSON gateway (API-key auth,
 quotas, usage accounting, Server-Sent-Events job streaming) over the same
 durable journaled scheduler — see :mod:`repro.api.gateway`.
+
+The result warehouse::
+
+    python -m repro figure7 --workloads quick --warehouse wh.sqlite3
+    python -m repro warehouse query --design cassandra --format csv
+    python -m repro warehouse regressions --threshold 0.02
+
+``--warehouse`` (and every serve/gateway ``--state-dir``) records answered
+points into the queryable result warehouse — see :mod:`repro.warehouse`.
 """
 
 from __future__ import annotations
@@ -117,10 +126,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="disable the on-disk artifact cache"
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text", help="output format"
+        "--format",
+        choices=("text", "json", "csv"),
+        default="text",
+        help="output format; 'csv' prints every simulated point as one "
+        "stable-sorted row table (ResultSet.export_csv)",
     )
     parser.add_argument(
         "--stats", action="store_true", help="print pipeline/cache statistics"
+    )
+    parser.add_argument(
+        "--warehouse",
+        default=None,
+        metavar="PATH",
+        help="record every simulated point into this result-warehouse "
+        "SQLite file (see 'python -m repro warehouse')",
     )
     _add_engine_tier_argument(parser)
     return parser
@@ -248,7 +268,9 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "hits).  SIGTERM/SIGINT drain running jobs at the next round "
         "boundary, checkpoint the journal, and exit 0.  Unless --cache-dir "
         "is given, the artifact cache lives in DIR/cache, making the "
-        "state dir self-contained.",
+        "state dir self-contained.  Every answered point is also recorded "
+        "in the result warehouse (DIR/warehouse.sqlite3 — see 'python -m "
+        "repro warehouse').",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     _add_engine_tier_argument(parser)
@@ -264,6 +286,12 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
 
     args = _build_serve_parser().parse_args(argv)
     _apply_engine_tier(args.engine_tier)
+    # Arm any REPRO_FAULT_PLAN schedule, like the worker entry points and
+    # the gateway do: the chaos suite kills the server at a chosen
+    # warehouse write (or other site) this way.
+    from repro.testing.faults import activate_from_env
+
+    activate_from_env()
     journal = None
     cache_dir = args.cache_dir
     if args.state_dir is not None:
@@ -292,6 +320,15 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         if journal is not None:
             journal.close()
         return 2
+    warehouse_store = None
+    if args.state_dir is not None:
+        from repro.warehouse import WarehouseStore, attach_ingestor
+
+        # Ingestor before resume: a resumed job's completed points replay
+        # as cache-hit events through this listener, so a crash mid-ingest
+        # converges back to the exact store (idempotent upserts).
+        warehouse_store = WarehouseStore(args.state_dir)
+        attach_ingestor(service, warehouse_store)
     resumed = resume_jobs(service, journal) if journal is not None else []
     print(
         f"repro serve: listening on {server.address} "
@@ -333,6 +370,8 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     finally:
         server.drain()
         service.close()
+        if warehouse_store is not None:
+            warehouse_store.close()
     print("repro serve: drained, exiting", flush=True)
     return 0
 
@@ -394,9 +433,10 @@ def _build_gateway_parser() -> argparse.ArgumentParser:
         required=True,
         metavar="DIR",
         help="durable state directory: the job journal (DIR/journal.jsonl), "
-        "the tenant/key/usage store (DIR/gateway.sqlite3), and — unless "
-        "--cache-dir is given — the artifact cache (DIR/cache).  Interrupted "
-        "jobs resume on restart with their tenant ownership intact.",
+        "the tenant/key/usage store (DIR/gateway.sqlite3), the result "
+        "warehouse (DIR/warehouse.sqlite3), and — unless --cache-dir is "
+        "given — the artifact cache (DIR/cache).  Interrupted jobs resume "
+        "on restart with their tenant ownership intact.",
     )
     parser.add_argument(
         "--max-concurrent-jobs",
@@ -499,6 +539,12 @@ def gateway_main(argv: Optional[Sequence[str]] = None) -> int:
         store.close()
         journal.close()
         return 2
+    from repro.warehouse import WarehouseStore, attach_ingestor
+
+    # Like the usage listener: attached before resume, so resumed jobs'
+    # replayed point events land in the warehouse (tenant tags included).
+    warehouse_store = WarehouseStore(args.state_dir)
+    attach_ingestor(service, warehouse_store)
     resumed = resume_jobs(service, journal)
     print(
         f"repro gateway: listening on http://{server.host}:{server.port} "
@@ -535,6 +581,7 @@ def gateway_main(argv: Optional[Sequence[str]] = None) -> int:
     finally:
         server.drain()
         service.close()
+        warehouse_store.close()
     print("repro gateway: drained, exiting", flush=True)
     return 0
 
@@ -545,6 +592,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "gateway":
         return gateway_main(argv[1:])
+    if argv and argv[0] == "warehouse":
+        from repro.warehouse.cli import warehouse_main
+
+        return warehouse_main(argv[1:])
     args = _build_parser().parse_args(argv)
     if args.list:
         print(_list_experiments(args.format))
@@ -567,6 +618,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     if progress is not None:
         service.scheduler.add_listener(progress)
+    warehouse_store = None
+    if args.warehouse is not None:
+        from repro.warehouse import WarehouseStore, attach_ingestor
+
+        # Attached before any job runs, so the prefetch and every
+        # experiment's points land in the warehouse as they complete.
+        warehouse_store = WarehouseStore(args.warehouse)
+        attach_ingestor(service, warehouse_store)
 
     started = time.perf_counter()
     ctx = service.context()
@@ -587,7 +646,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"== {spec.name}: {spec.title} ==")
             print(spec.format(data))
             print()
-        else:
+        elif args.format == "json":
             report[spec.name] = spec.jsonify(data) if spec.jsonify else data
 
     elapsed = time.perf_counter() - started
@@ -601,9 +660,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         }
         json.dump(payload, sys.stdout, indent=2, default=str)
         print()
+    elif args.format == "csv":
+        # One stable-sorted row per simulated point — everything the
+        # prefetch and the selected experiments ran this invocation.
+        sys.stdout.write(ctx.results.export_csv())
     if args.stats:
         print(f"pipeline: {_summarize_stats(stats)}", file=sys.stderr)
     service.close()
+    if warehouse_store is not None:
+        warehouse_store.close()
     return 0
 
 

@@ -41,6 +41,11 @@ Sites:
     Before a :class:`~repro.api.gateway.store.GatewayStore` write
     executes+commits.  ``crash``/``die`` model dying ahead of the commit —
     the acknowledged store state must be exactly what it was.
+``warehouse-write``
+    Before a :class:`~repro.warehouse.store.WarehouseStore` upsert
+    executes+commits.  ``die`` mid-ingest models losing warehouse rows the
+    journal already has — the journal-driven resume must re-ingest to an
+    identical store (idempotent upserts make the replay safe).
 
 Plans cross process boundaries via the :data:`FAULT_PLAN_ENV` environment
 variable: :func:`activate` (optionally) exports the plan as JSON, and the
@@ -75,6 +80,7 @@ SITES = (
     "cache-stored",
     "gateway-request",
     "store-write",
+    "warehouse-write",
 )
 ACTIONS = ("reset", "truncate", "delay", "die", "crash", "corrupt")
 
@@ -241,12 +247,14 @@ def _install(active: Optional[ActivePlan]) -> None:
     from repro.api.gateway import http as gateway_http
     from repro.api.gateway import store as gateway_store
     from repro.pipeline import artifacts
+    from repro.warehouse import store as warehouse_store
 
     hook = active.trip if active is not None else None
     shard.FAULT_HOOK = hook
     artifacts.FAULT_HOOK = hook
     gateway_http.FAULT_HOOK = hook
     gateway_store.FAULT_HOOK = hook
+    warehouse_store.FAULT_HOOK = hook
 
 
 @contextlib.contextmanager

@@ -1,0 +1,68 @@
+"""The result warehouse: a queryable, durable history of simulation points.
+
+Three layers over one WAL-mode SQLite file:
+
+* :mod:`repro.warehouse.store` — schema, migrations, idempotent upserts
+  keyed on (request ``sort_key`` × source-tree fingerprint), compaction;
+* :mod:`repro.warehouse.ingest` — the incremental writer riding the
+  scheduler's :class:`~repro.api.jobs.JobEvent` stream, plus backfill of
+  pre-warehouse JSON exports and BENCH files;
+* :mod:`repro.warehouse.query` / :mod:`repro.warehouse.views` — axis
+  filters, :class:`~repro.api.results.ResultSet`-semantics aggregates,
+  cross-fingerprint regression detection, and the paper's tables re-rendered
+  byte-identically from stored rows.
+
+``python -m repro warehouse`` (see :mod:`repro.warehouse.cli`) is the
+operator surface; ``repro serve --state-dir`` and ``repro gateway`` attach
+the ingestor automatically.
+"""
+
+from repro.warehouse.ingest import (
+    FINGERPRINT_ENV,
+    WarehouseIngestor,
+    attach_ingestor,
+    default_fingerprint,
+    ingest_file,
+)
+from repro.warehouse.query import (
+    PointDelta,
+    Query,
+    RegressionReport,
+    WarehouseError,
+    compare_fingerprints,
+    resolve_fingerprints,
+)
+from repro.warehouse.store import (
+    WAREHOUSE_NAME,
+    FingerprintInfo,
+    WarehouseRow,
+    WarehouseStore,
+    point_key_of,
+)
+from repro.warehouse.views import (
+    VIEWABLE_EXPERIMENTS,
+    WarehouseContext,
+    render_view,
+)
+
+__all__ = [
+    "FINGERPRINT_ENV",
+    "FingerprintInfo",
+    "PointDelta",
+    "Query",
+    "RegressionReport",
+    "VIEWABLE_EXPERIMENTS",
+    "WAREHOUSE_NAME",
+    "WarehouseContext",
+    "WarehouseError",
+    "WarehouseIngestor",
+    "WarehouseRow",
+    "WarehouseStore",
+    "attach_ingestor",
+    "compare_fingerprints",
+    "default_fingerprint",
+    "ingest_file",
+    "point_key_of",
+    "render_view",
+    "resolve_fingerprints",
+]

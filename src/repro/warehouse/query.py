@@ -1,0 +1,281 @@
+"""The warehouse's query layer: filters, aggregates, diffs, regressions.
+
+:class:`Query` is a small immutable filter builder over a
+:class:`~repro.warehouse.store.WarehouseStore`: chain :meth:`where` calls
+to pin axes, then read :meth:`rows` (stable ``sort_key`` order),
+:meth:`group_by` sub-queries, or the aggregates — which reuse the exact
+:class:`~repro.api.results.ResultSet` semantics (the same
+:func:`~repro.experiments.runner.geometric_mean`, the same per-workload
+grouping) so a number computed from the warehouse matches the number the
+live experiment printed.
+
+:func:`compare_fingerprints` is the cross-sweep half: join two
+fingerprints' rows on the request key and report per-point cycle ratios —
+the regression detector CI gates on ("did this engine change move any
+figure?").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.results import ResultSet
+from repro.warehouse.store import WarehouseRow, WarehouseStore
+
+#: Axes :meth:`Query.where`/:meth:`Query.group_by` understand — the
+#: :meth:`ResultSet.group_by` vocabulary plus warehouse metadata.
+QUERY_AXES = (
+    "workload",
+    "design",
+    "config_digest",
+    "btu_flush_interval",
+    "warmup_passes",
+    "tenant",
+    "source",
+)
+
+#: Sentinel distinguishing "axis not filtered" from "filter on None" (the
+#: BTU-flush axis legitimately filters on None = flushing disabled).
+_UNSET: Any = object()
+
+
+class WarehouseError(RuntimeError):
+    """A query asked the store for something it cannot answer."""
+
+
+@dataclass(frozen=True)
+class Query:
+    """An immutable filter over one store; every refinement is a new Query."""
+
+    store: WarehouseStore
+    fingerprint: Optional[str] = None
+    filters: Tuple[Tuple[str, Any], ...] = ()
+
+    def where(self, **axes: Any) -> "Query":
+        """This query with the given axis equalities added."""
+        for axis in axes:
+            if axis not in QUERY_AXES:
+                raise KeyError(
+                    f"unknown query axis {axis!r}; known: {QUERY_AXES}"
+                )
+        return replace(self, filters=self.filters + tuple(axes.items()))
+
+    def at(self, fingerprint: str) -> "Query":
+        """This query pinned to one source-tree fingerprint."""
+        return replace(self, fingerprint=fingerprint)
+
+    # ------------------------------------------------------------------ #
+    # Materialization
+    # ------------------------------------------------------------------ #
+    def rows(self) -> List[WarehouseRow]:
+        """Matching rows in stable ``sort_key`` order."""
+        return self.store.select(
+            fingerprint=self.fingerprint, **dict(self.filters)
+        )
+
+    def export_rows(self) -> List[Dict[str, Any]]:
+        """:meth:`ResultSet.export_rows`-shaped dicts, same stable order."""
+        return [row.export_row() for row in self.rows()]
+
+    def result_set(self) -> ResultSet:
+        """An exact :class:`ResultSet` rebuilt from full-fidelity rows.
+
+        Raises :class:`WarehouseError` when any matching row was
+        backfilled without request/result JSON — those rows answer
+        columnar queries but cannot rebuild typed entries.
+        """
+        rows = self.rows()
+        lossy = [row.point_key for row in rows if not row.full_fidelity]
+        if lossy:
+            raise WarehouseError(
+                f"{len(lossy)} matching row(s) lack full-fidelity JSON "
+                f"(first: {lossy[0]}); they were backfilled from a lossy "
+                "export and only support columnar queries"
+            )
+        return ResultSet([row.entry() for row in rows])
+
+    def group_by(self, axis: str) -> Dict[Any, "Query"]:
+        """Sub-queries per distinct value of ``axis``, in row order."""
+        if axis not in QUERY_AXES:
+            raise KeyError(f"unknown query axis {axis!r}; known: {QUERY_AXES}")
+        groups: Dict[Any, Query] = {}
+        for row in self.rows():
+            value = getattr(row, axis)
+            if value not in groups:
+                groups[value] = self.where(**{axis: value})
+        return groups
+
+    # ------------------------------------------------------------------ #
+    # Aggregates (ResultSet semantics over the cycles column)
+    # ------------------------------------------------------------------ #
+    def cycles(self, **axes: Any) -> int:
+        """The cycle count of the single matching row (error on 0 or >1)."""
+        rows = self.where(**axes).rows() if axes else self.rows()
+        if len(rows) != 1:
+            raise WarehouseError(
+                f"expected exactly one row for {axes!r}, got {len(rows)}"
+            )
+        return rows[0].cycles
+
+    def geomean_cycles(self, **axes: Any) -> float:
+        """Geometric mean of cycles across the (filtered) rows."""
+        from repro.experiments.runner import geometric_mean
+
+        scoped = self.where(**axes) if axes else self
+        return geometric_mean(float(row.cycles) for row in scoped.rows())
+
+    def normalized_time(
+        self, design: str, baseline: str = "unsafe-baseline", **axes: Any
+    ) -> float:
+        """``design``'s cycles over ``baseline``'s, within the filtered rows."""
+        scoped = self.where(**axes) if axes else self
+        return scoped.cycles(design=design) / scoped.cycles(design=baseline)
+
+    def geomean_normalized_time(
+        self, design: str, baseline: str = "unsafe-baseline", **axes: Any
+    ) -> float:
+        """Geometric mean of per-workload normalized times (Figure 7's row)."""
+        from repro.experiments.runner import geometric_mean
+
+        scoped = self.where(**axes) if axes else self
+        return geometric_mean(
+            group.normalized_time(design, baseline)
+            for group in scoped.group_by("workload").values()
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Cross-fingerprint comparison / regression detection
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PointDelta:
+    """One request key's cycles under two fingerprints."""
+
+    point_key: str
+    workload: str
+    design: str
+    baseline_cycles: int
+    candidate_cycles: int
+
+    @property
+    def ratio(self) -> float:
+        """Candidate over baseline; > 1 is slower."""
+        return self.candidate_cycles / self.baseline_cycles
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "point_key": json.loads(self.point_key),
+            "workload": self.workload,
+            "design": self.design,
+            "baseline_cycles": self.baseline_cycles,
+            "candidate_cycles": self.candidate_cycles,
+            "ratio": round(self.ratio, 6),
+        }
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """The cross-fingerprint verdict CI gates on."""
+
+    baseline: str
+    candidate: str
+    threshold: float
+    deltas: Tuple[PointDelta, ...] = ()
+    missing: int = 0  # baseline-only points
+    new: int = 0      # candidate-only points
+
+    @property
+    def regressions(self) -> List[PointDelta]:
+        """Points at least ``threshold`` slower under the candidate."""
+        return [d for d in self.deltas if d.ratio >= 1.0 + self.threshold]
+
+    @property
+    def improvements(self) -> List[PointDelta]:
+        return [d for d in self.deltas if d.ratio <= 1.0 - self.threshold]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "baseline": self.baseline,
+            "candidate": self.candidate,
+            "threshold": self.threshold,
+            "compared": len(self.deltas),
+            "missing": self.missing,
+            "new": self.new,
+            "ok": self.ok,
+            "regressions": [d.as_dict() for d in self.regressions],
+            "improvements": [d.as_dict() for d in self.improvements],
+        }
+
+
+def compare_fingerprints(
+    store: WarehouseStore,
+    baseline: str,
+    candidate: str,
+    threshold: float = 0.02,
+) -> RegressionReport:
+    """Join two fingerprints on the request key and report cycle ratios.
+
+    ``threshold`` is a fraction: 0.02 flags any common point whose
+    candidate cycles are ≥ 2% above the baseline's.  Raises
+    :class:`WarehouseError` when either fingerprint has no rows or the two
+    share no points — a gate that silently compares nothing is worse than
+    one that fails loudly.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    base_rows = {row.point_key: row for row in store.select(fingerprint=baseline)}
+    cand_rows = {row.point_key: row for row in store.select(fingerprint=candidate)}
+    if not base_rows:
+        raise WarehouseError(f"baseline fingerprint {baseline!r} has no rows")
+    if not cand_rows:
+        raise WarehouseError(f"candidate fingerprint {candidate!r} has no rows")
+    common = [key for key in base_rows if key in cand_rows]
+    if not common:
+        raise WarehouseError(
+            f"fingerprints {baseline!r} and {candidate!r} share no points"
+        )
+    deltas = tuple(
+        PointDelta(
+            point_key=key,
+            workload=base_rows[key].workload,
+            design=base_rows[key].design,
+            baseline_cycles=base_rows[key].cycles,
+            candidate_cycles=cand_rows[key].cycles,
+        )
+        for key in sorted(common, key=lambda k: base_rows[k].sort_tuple())
+    )
+    return RegressionReport(
+        baseline=baseline,
+        candidate=candidate,
+        threshold=threshold,
+        deltas=deltas,
+        missing=len(base_rows) - len(common),
+        new=len(cand_rows) - len(common),
+    )
+
+
+def resolve_fingerprints(
+    store: WarehouseStore,
+    baseline: Optional[str] = None,
+    candidate: Optional[str] = None,
+) -> Tuple[str, str]:
+    """Fill missing endpoints: candidate = newest, baseline = next-newest."""
+    known = [info.fingerprint for info in store.fingerprints()]
+    if candidate is None:
+        if not known:
+            raise WarehouseError("the store holds no fingerprints to compare")
+        candidate = known[-1]
+    if baseline is None:
+        others = [fp for fp in known if fp != candidate]
+        if not others:
+            raise WarehouseError(
+                f"no baseline fingerprint distinct from candidate {candidate!r}"
+            )
+        baseline = others[-1]
+    return baseline, candidate

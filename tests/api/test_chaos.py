@@ -31,6 +31,8 @@ from repro.testing import (
     InjectedFault,
     activate,
 )
+from repro.warehouse import WAREHOUSE_NAME, WarehouseStore, attach_ingestor
+from repro.warehouse.ingest import FINGERPRINT_ENV
 
 WORKLOAD = "ChaCha20_ct"
 SECOND_WORKLOAD = "SHA-256"
@@ -215,7 +217,7 @@ def test_corrupt_store_is_quarantined_and_recomputed(tmp_path):
 class ServeProcess:
     """A ``repro serve --state-dir`` subprocess with captured stdout."""
 
-    def __init__(self, state_dir):
+    def __init__(self, state_dir, env=None):
         self.process = subprocess.Popen(
             [
                 sys.executable,
@@ -233,7 +235,7 @@ class ServeProcess:
             ],
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
-            env=repro_env(),
+            env=env if env is not None else repro_env(),
             text=True,
         )
         self.lines = []
@@ -367,6 +369,72 @@ def test_sigterm_drains_cleanly_and_restart_resumes(tmp_path, big_baseline):
         assert handle.job_id in second.wait_for_line("resumed")
         attached = RemoteServiceClient(second.address).attach(handle.job_id)
         assert attached.result(timeout=RESULT_TIMEOUT).to_json() == big_baseline
+        assert second.terminate() == 0
+    finally:
+        if second.process.poll() is None:
+            second.kill9()
+
+
+def test_kill9_mid_warehouse_ingest_then_resume_reingests_identical_store(
+    tmp_path,
+):
+    """Die at the Nth warehouse write; the journal-driven resume must
+    re-ingest to the exact store an uninterrupted run produces."""
+    # The uninterrupted reference: the same sweep ingested in-process
+    # under a pinned fingerprint.
+    reference_store = WarehouseStore(str(tmp_path / "reference.sqlite3"))
+    service = serial_service()
+    attach_ingestor(service, reference_store, fingerprint="chaos-fp")
+    expected = len(service.expand(BIG_MATRIX))
+    service.run(BIG_MATRIX)
+    deadline = time.monotonic() + 60
+    while reference_store.count() < expected and time.monotonic() < deadline:
+        time.sleep(0.02)
+    service.close()
+    reference = reference_store.content_rows()
+    reference_store.close()
+    assert len(reference) == expected
+
+    state_dir = str(tmp_path / "state")
+    store_path = os.path.join(state_dir, WAREHOUSE_NAME)
+    plan = FaultPlan.scripted(Fault("warehouse-write", 6, "die"))
+    env = repro_env(plan)
+    env[FINGERPRINT_ENV] = "chaos-fp"
+    first = ServeProcess(state_dir, env=env)
+    try:
+        client = RemoteServiceClient(first.address)
+        handle = client.submit(BIG_MATRIX, tags=("sweep",))
+        # The 7th warehouse write fires `die`: the server stops mid-ingest.
+        assert first.process.wait(timeout=RESULT_TIMEOUT) == DIE_STATUS
+    finally:
+        if first.process.poll() is None:
+            first.kill9()
+
+    with WarehouseStore(store_path) as partial_store:
+        partial = partial_store.content_rows()
+    # Genuinely mid-ingest: some rows landed, the sweep did not finish,
+    # and nothing that landed disagrees with the reference.
+    assert 0 < len(partial) < expected
+    assert set(partial) <= set(reference)
+
+    env = repro_env()
+    env[FINGERPRINT_ENV] = "chaos-fp"
+    second = ServeProcess(state_dir, env=env)
+    try:
+        assert handle.job_id in second.wait_for_line("resumed")
+        attached = RemoteServiceClient(second.address).attach(handle.job_id)
+        attached.result(timeout=RESULT_TIMEOUT)
+        # The ingest listener trails the result by a beat — poll for
+        # convergence to the byte-exact reference rows.
+        deadline = time.monotonic() + 60
+        rows = []
+        while time.monotonic() < deadline:
+            with WarehouseStore(store_path) as resumed_store:
+                rows = resumed_store.content_rows()
+            if rows == reference:
+                break
+            time.sleep(0.05)
+        assert rows == reference
         assert second.terminate() == 0
     finally:
         if second.process.poll() is None:

@@ -123,6 +123,8 @@ def test_healthz_is_unauthenticated_and_reports_scheduler(gateway):
     assert body["store"].endswith("gateway.sqlite3")
     assert body["scheduler"]["workers"] >= 1
     assert "queue_depth" in body["scheduler"]
+    # Artifact-cache counters ride along (null here: the disk cache is off).
+    assert "artifact_cache" in body
 
 
 @pytest.mark.parametrize(

@@ -141,3 +141,47 @@ def test_wire_round_trip(results):
     assert clone.to_json() == results.to_json()
     with pytest.raises(ValueError, match="wire format"):
         ResultSet.from_wire(json.dumps({"version": 999, "entries": []}))
+
+
+def test_empty_set_exports_cleanly():
+    empty = ResultSet()
+    assert not empty
+    assert empty.export_rows() == []
+    assert empty.to_json() == "[]"
+    # CSV keeps the header even with no rows, so downstream parsers
+    # always see the schema.
+    assert empty.export_csv() == (
+        "workload,design,config,btu_flush_interval,warmup_passes,"
+        "cycles,instructions,ipc\n"
+    )
+    assert empty.group_by("workload") == {}
+    assert empty.where(design="cassandra").export_rows() == []
+
+
+def test_export_csv_matches_rows(results):
+    from repro.api.results import rows_to_csv
+
+    text = results.export_csv()
+    lines = text.splitlines()
+    assert len(lines) == len(results) + 1
+    assert text == rows_to_csv(results.export_rows())
+    # None cells (flush disabled) are empty fields, not the string "None".
+    assert ",None," not in text
+    first = lines[1].split(",")
+    assert first[0] == "A" and first[1] == "cassandra" and first[3] == ""
+    # Insertion order never leaks into the CSV either.
+    shuffled = ResultSet(list(reversed(list(results))))
+    assert shuffled.export_csv() == text
+
+
+def test_duplicate_requests_collapse_on_merge(results):
+    """Merging a set into itself (a resumed job's replay) changes nothing."""
+    merged = results.merged(results)
+    assert len(merged) == len(results)
+    assert merged.export_rows() == results.export_rows()
+    assert merged.export_csv() == results.export_csv()
+    # Even a conflicting later answer is ignored: first occurrence wins.
+    conflicting = ResultSet([fake_entry("A", "cassandra", 12345)])
+    assert results.merged(conflicting).cycles(
+        workload="A", design="cassandra", btu_flush_interval=None
+    ) == 900

@@ -314,3 +314,27 @@ def test_service_stats_surfaces_scheduler_without_creating_one():
     assert report["scheduler"]["jobs_done"] == 1
     assert report["backend"] == "serial"
     service.close()
+
+
+def test_service_stats_surface_artifact_cache_counters(tmp_path):
+    # Cache off: the key is present but null — operators can tell "no
+    # cache" from "no quarantines".
+    service = make_service()
+    assert service.stats()["artifact_cache"] is None
+    service.close()
+
+    from repro.pipeline import ArtifactCache
+
+    cached = make_service(cache=ArtifactCache(root=str(tmp_path)))
+    assert cached.stats()["artifact_cache"] == {
+        "disk_hits": 0,
+        "disk_misses": 0,
+        "disk_stores": 0,
+        "memo_hits": 0,
+        "quarantined": 0,
+    }
+    cached.run(SimulationRequest(workload=WORKLOAD, design="unsafe-baseline"))
+    counters = cached.stats()["artifact_cache"]
+    assert counters["disk_stores"] >= 1
+    assert counters["quarantined"] == 0
+    cached.close()
